@@ -1,0 +1,55 @@
+"""Ablation: point-estimate vs Wilson-confidence classification.
+
+Compares the paper's plain threshold classifier against the
+confidence-aware variant (repro.core.confidence) at several evidence
+levels, measuring the precision/recall trade and how much of the map
+the confident variant abstains on.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core.classifier import SubnetClassifier
+from repro.core.confidence import ConfidentClassifier
+from repro.stats.confusion import BinaryConfusion
+
+
+def _score(lab, cellular_set):
+    confusion = BinaryConfusion()
+    for record in lab.result.ratios:
+        truth = lab.world.truth_is_cellular(record.subnet)
+        if truth is None:
+            continue
+        confusion.observe(truth, record.subnet in cellular_set)
+    return confusion
+
+
+def test_confidence_ablation(lab, benchmark):
+    def compute():
+        ratios = lab.result.ratios
+        plain = SubnetClassifier().classify(ratios)
+        confident = ConfidentClassifier().classify(ratios)
+        return {
+            "plain threshold": (_score(lab, plain.cellular_set()), 0.0),
+            "wilson 95%": (
+                _score(lab, confident.cellular_set()),
+                confident.uncertain_fraction(),
+            ),
+        }
+
+    results = benchmark(compute)
+    rows = [
+        [name, f"{c.precision:.3f}", f"{c.recall:.3f}",
+         f"{100 * uncertain:.1f}%"]
+        for name, (c, uncertain) in results.items()
+    ]
+    print()
+    print(render_table(
+        ["classifier", "precision", "recall", "abstained"],
+        rows,
+        title="confidence ablation (vs world truth)",
+    ))
+    plain, _ = results["plain threshold"]
+    wilson, abstained = results["wilson 95%"]
+    assert wilson.precision >= plain.precision
+    assert abstained < 0.25  # most of the map stays decided

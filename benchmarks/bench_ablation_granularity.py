@@ -1,0 +1,47 @@
+"""Ablation: aggregation granularity (/24 vs /22 vs /20 vs /16).
+
+The paper aggregates at /24, citing Lee & Spring's finding that /24s
+are access-homogeneous.  Coarser keys mix cellular CGN blocks with the
+carrier's fixed-line space, so per-/24 accuracy should degrade as the
+key shortens -- this bench quantifies that.
+"""
+
+import pytest
+
+from repro.analysis.ablation import reaggregate_beacons
+from repro.analysis.report import render_table
+from repro.core.classifier import SubnetClassifier
+from repro.core.ratios import RatioTable
+from repro.stats.confusion import BinaryConfusion
+
+LENGTHS = (24, 22, 20, 16)
+
+
+def _score(lab, length):
+    """Per-/24 confusion when classification happens at ``length``."""
+    coarse = reaggregate_beacons(lab.beacons, length)
+    classification = SubnetClassifier().classify(RatioTable.from_beacons(coarse))
+    confusion = BinaryConfusion()
+    for counts in lab.beacons:
+        if counts.subnet.family != 4 or counts.api_hits == 0:
+            continue
+        truth = lab.world.truth_is_cellular(counts.subnet)
+        if truth is None:
+            continue
+        key = counts.subnet.supernet(length) if length < 24 else counts.subnet
+        confusion.observe(truth, classification.is_cellular(key))
+    return confusion
+
+
+def test_granularity_ablation(lab, benchmark):
+    results = benchmark(lambda: {n: _score(lab, n) for n in LENGTHS})
+    rows = [
+        [f"/{n}", f"{c.precision:.3f}", f"{c.recall:.3f}", f"{c.f1:.3f}"]
+        for n, c in results.items()
+    ]
+    print()
+    print(render_table(["granularity", "precision", "recall", "F1"], rows,
+                       title="granularity ablation (per-/24 accuracy)"))
+    # /24 is the best operating point; /16 visibly degrades.
+    assert results[24].f1 >= results[16].f1
+    assert results[24].f1 > 0.6

@@ -1,0 +1,16 @@
+"""Benchmark: the temporal-churn study (section 8 future work).
+
+Runs the evolution experiment and asserts the longitudinal predictions
+hold: monthly subnet churn with high demand-weighted stability.
+"""
+
+from repro.experiments.base import get_runner
+
+
+def test_evolution(lab, benchmark):
+    runner = get_runner("evolution")
+    result = benchmark.pedantic(runner, args=(lab,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    diverging = [c for c in result.comparisons if not c.ok]
+    assert not diverging, [(c.metric, c.paper, c.measured) for c in diverging]

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 6 (dedicated vs mixed case studies).
+
+Runs the fig6 experiment against the shared lab and asserts every
+paper-vs-measured comparison lands within tolerance.  The printed
+report contains the same rows the paper's figure presents.
+"""
+
+from repro.experiments.base import get_runner
+
+
+def test_fig6(lab, benchmark):
+    runner = get_runner("fig6")
+    result = benchmark(runner, lab)
+    print()
+    print(result.render())
+    assert result.rows
+    diverging = [c for c in result.comparisons if not c.ok]
+    assert not diverging, [(c.metric, c.paper, c.measured) for c in diverging]

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate the key-findings scorecard (sections 6.4/7.3).
+
+Runs the findings experiment against the shared lab and asserts every
+claim holds.
+"""
+
+from repro.experiments.base import get_runner
+
+
+def test_findings(lab, benchmark):
+    runner = get_runner("findings")
+    result = benchmark(runner, lab)
+    print()
+    print(result.render())
+    diverging = [c for c in result.comparisons if not c.ok]
+    assert not diverging, [(c.metric, c.paper, c.measured) for c in diverging]

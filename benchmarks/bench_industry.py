@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the section 7.1 industry-report reconciliation.
+
+Runs the industry experiment against the shared lab and asserts every
+paper-vs-measured comparison lands within tolerance.
+"""
+
+from repro.experiments.base import get_runner
+
+
+def test_industry(lab, benchmark):
+    runner = get_runner("industry")
+    result = benchmark(runner, lab)
+    print()
+    print(result.render())
+    assert result.rows
+    diverging = [c for c in result.comparisons if not c.ok]
+    assert not diverging, [(c.metric, c.paper, c.measured) for c in diverging]

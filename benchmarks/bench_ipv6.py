@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the section 4.3 IPv6 deployment findings.
+
+Runs the ipv6 experiment against the shared lab and asserts every
+paper-vs-measured comparison lands within tolerance.
+"""
+
+from repro.experiments.base import get_runner
+
+
+def test_ipv6(lab, benchmark):
+    runner = get_runner("ipv6")
+    result = benchmark(runner, lab)
+    print()
+    print(result.render())
+    assert result.rows
+    diverging = [c for c in result.comparisons if not c.ok]
+    assert not diverging, [(c.metric, c.paper, c.measured) for c in diverging]

@@ -1,0 +1,23 @@
+"""Benchmark: raw pipeline throughput.
+
+Times one full CellSpotter run (ratios -> classification -> AS
+identification -> operator profiles) over the cached datasets, and
+reports subnets classified per second -- the number a consumer sizing
+a production deployment cares about.
+"""
+
+from repro.core.pipeline import CellSpotter
+
+
+def test_pipeline_throughput(lab, benchmark):
+    spotter = CellSpotter(as_filter=lab.spotter.as_filter)
+    result = benchmark(
+        spotter.run, lab.beacons, lab.demand, lab.as_classes
+    )
+    subnets = len(result.classification)
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:  # absent under --benchmark-disable
+        seconds = stats.stats.mean
+        print(f"\nclassified {subnets:,} subnets in {seconds * 1000:.0f} ms "
+              f"({subnets / seconds:,.0f} subnets/s)")
+    assert result.cellular_as_count > 0

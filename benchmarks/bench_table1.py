@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 1 (comparison of approaches).
+
+Runs the table1 experiment against the shared lab and asserts every
+paper-vs-measured comparison lands within tolerance.  The printed
+report contains the same rows the paper's table presents.
+"""
+
+from repro.experiments.base import get_runner
+
+
+def test_table1(lab, benchmark):
+    runner = get_runner("table1")
+    result = benchmark(runner, lab)
+    print()
+    print(result.render())
+    assert result.rows
+    diverging = [c for c in result.comparisons if not c.ok]
+    assert not diverging, [(c.metric, c.paper, c.measured) for c in diverging]

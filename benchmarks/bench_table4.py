@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 4 (cellular subnets per continent).
+
+Runs the table4 experiment against the shared lab and asserts every
+paper-vs-measured comparison lands within tolerance.  The printed
+report contains the same rows the paper's table presents.
+"""
+
+from repro.experiments.base import get_runner
+
+
+def test_table4(lab, benchmark):
+    runner = get_runner("table4")
+    result = benchmark(runner, lab)
+    print()
+    print(result.render())
+    assert result.rows
+    diverging = [c for c in result.comparisons if not c.ok]
+    assert not diverging, [(c.metric, c.paper, c.measured) for c in diverging]

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate the section 3 vantage-point statistics.
+
+Runs the vantage experiment against the shared lab and asserts every
+comparison lands within tolerance.
+"""
+
+from repro.experiments.base import get_runner
+
+
+def test_vantage(lab, benchmark):
+    runner = get_runner("vantage")
+    result = benchmark(runner, lab)
+    print()
+    print(result.render())
+    diverging = [c for c in result.comparisons if not c.ok]
+    assert not diverging, [(c.metric, c.paper, c.measured) for c in diverging]

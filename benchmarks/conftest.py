@@ -1,0 +1,26 @@
+"""Benchmark fixtures.
+
+One lab (world + datasets + pipeline output) is shared across every
+benchmark; the timed portion of each bench is the analysis that
+regenerates a paper table/figure, not world generation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lab import Lab
+
+BENCH_SCALE = 0.005
+BENCH_SEED = 1
+
+
+@pytest.fixture(scope="session")
+def lab() -> Lab:
+    instance = Lab.create(scale=BENCH_SCALE, seed=BENCH_SEED)
+    # Materialize every cached stage up front so benches time analysis,
+    # not generation.
+    instance.result
+    instance.affinity
+    instance.carriers
+    return instance

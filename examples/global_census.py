@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Global census: where does cellular traffic live?
+
+Regenerates the paper's macroscopic view (section 7): cellular demand
+by continent (Table 8), the country ranking behind Figure 11, and the
+Figure 12 frontier -- countries that are either huge cellular markets
+(the U.S.), almost entirely cellular (Ghana, Laos), or both
+(Indonesia).
+
+Run:  python examples/global_census.py
+"""
+
+import os
+
+from repro import Lab
+from repro.analysis.continent import continent_demand, global_cellular_fraction
+from repro.analysis.country import (
+    country_demand_stats,
+    frontier_countries,
+    top_country_share,
+)
+from repro.analysis.report import render_table
+from repro.world.geo import CONTINENT_NAMES, Continent
+
+
+def main() -> None:
+    lab = Lab.create(scale=float(os.environ.get("REPRO_SCALE", "0.005")), seed=1)
+    result = lab.result
+    accepted = set(result.operators)
+
+    rows_by_continent = continent_demand(
+        result.classification, lab.demand, lab.world.geography,
+        restrict_to_asns=accepted,
+    )
+    table = [
+        [
+            CONTINENT_NAMES[continent],
+            f"{100 * row.cellular_fraction:.1f}%",
+            f"{100 * row.global_cellular_share:.1f}%",
+            f"{row.subscribers_m:,.0f}M",
+        ]
+        for continent, row in sorted(
+            rows_by_continent.items(), key=lambda kv: -kv[1].global_cellular_share
+        )
+    ]
+    print(render_table(
+        ["continent", "cellular fraction", "share of global cellular",
+         "subscribers"],
+        table,
+        title="cellular demand by continent (paper Table 8; China excluded)",
+    ))
+    print(f"\nglobal cellular fraction: "
+          f"{100 * global_cellular_fraction(rows_by_continent):.1f}% "
+          f"(paper: 16.2%)")
+
+    stats = country_demand_stats(
+        result.classification, lab.demand, lab.world.geography,
+        restrict_to_asns=accepted,
+    )
+    print(f"top-5 countries hold {100 * top_country_share(stats, 5):.1f}% of "
+          f"global cellular demand (paper: 55.7%); "
+          f"top-20: {100 * top_country_share(stats, 20):.1f}% (paper: 80%)")
+
+    frontier = frontier_countries(stats)
+    rows = [
+        [
+            row.iso2,
+            CONTINENT_NAMES[row.continent],
+            f"{100 * row.cellular_fraction:.1f}%",
+            f"{100 * row.global_cellular_share:.2f}%",
+        ]
+        for row in frontier[:12]
+    ]
+    print()
+    print(render_table(
+        ["country", "continent", "cellular fraction", "global cellular share"],
+        rows,
+        title="frontier countries (paper Figure 12)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so ``pip install -e .`` works on
+environments without the ``wheel`` package (legacy editable installs
+go through ``setup.py develop``, which does not need bdist_wheel).
+"""
+
+from setuptools import setup
+
+setup()

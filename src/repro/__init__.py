@@ -1,0 +1,43 @@
+"""Cell Spotting reproduction library.
+
+A from-scratch implementation of the measurement system behind
+"Cell Spotting: Studying the Role of Cellular Networks in the
+Internet" (Rula, Bustamante, Steiner -- IMC 2017), over a synthetic
+global CDN substrate.
+
+Quickstart::
+
+    from repro import Lab
+
+    lab = Lab.create(scale=0.005, seed=1)
+    result = lab.result
+    print(result.cellular_as_count, "cellular ASes detected")
+
+Packages:
+
+- :mod:`repro.net` -- addresses, prefixes, tries, AS records
+- :mod:`repro.stats` -- CDFs, samplers, confusion matrices
+- :mod:`repro.world` -- the synthetic global Internet
+- :mod:`repro.cdn` -- RUM beacons and platform demand logs
+- :mod:`repro.dns` -- resolvers, affinities, public DNS
+- :mod:`repro.datasets` -- BEACON / DEMAND / ground-truth containers
+- :mod:`repro.core` -- the identification pipeline (the contribution)
+- :mod:`repro.analysis` -- continent/country/operator analyses
+- :mod:`repro.experiments` -- one module per paper table and figure
+"""
+
+from repro.core.pipeline import CellSpotter, CellSpotterResult
+from repro.lab import Lab
+from repro.world.build import World, WorldParams, build_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CellSpotter",
+    "CellSpotterResult",
+    "Lab",
+    "World",
+    "WorldParams",
+    "build_world",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""Aggregate analyses over pipeline outputs (sections 6 and 7).
+
+Everything here consumes only observable pipeline outputs -- subnet
+labels, Demand Units, operator profiles -- plus static geography; no
+module reads world ground truth.
+
+- :mod:`repro.analysis.continent` -- Tables 4, 6, and 8.
+- :mod:`repro.analysis.country` -- Figures 11 and 12.
+- :mod:`repro.analysis.operators` -- Table 7 and Figures 5-7.
+- :mod:`repro.analysis.concentration` -- Figure 8 and section 6.2.
+- :mod:`repro.analysis.report` -- plain-text table rendering.
+"""
+
+from repro.analysis.ablation import reaggregate_beacons
+from repro.analysis.concentration import subnet_demand_concentration
+from repro.analysis.continent import (
+    ases_by_continent,
+    continent_demand,
+    subnets_by_continent,
+)
+from repro.analysis.country import country_demand_stats
+from repro.analysis.coverage import beacon_coverage
+from repro.analysis.findings import evaluate_key_findings
+from repro.analysis.industry import byte_share_report
+from repro.analysis.operators import (
+    case_study_distribution,
+    per_operator_fraction_cdfs,
+    ranked_operator_demand,
+    top_operators,
+)
+from repro.analysis.report import render_table
+
+__all__ = [
+    "ases_by_continent",
+    "beacon_coverage",
+    "byte_share_report",
+    "evaluate_key_findings",
+    "case_study_distribution",
+    "continent_demand",
+    "country_demand_stats",
+    "per_operator_fraction_cdfs",
+    "ranked_operator_demand",
+    "reaggregate_beacons",
+    "render_table",
+    "subnet_demand_concentration",
+    "subnets_by_continent",
+    "top_operators",
+]

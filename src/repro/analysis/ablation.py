@@ -1,0 +1,46 @@
+"""Helpers for the design-choice ablations (DESIGN.md section 6).
+
+Currently: re-keying BEACON observations to coarser prefixes, used by
+the granularity ablation to quantify why the paper aggregates at /24
+(and /48) rather than anything shorter.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.beacon_dataset import BeaconDataset, SubnetBeaconCounts
+
+
+def reaggregate_beacons(
+    beacons: BeaconDataset, ipv4_length: int, ipv6_length: int = 48
+) -> BeaconDataset:
+    """Re-key a BEACON dataset to coarser prefix lengths.
+
+    Counts of subnets sharing a coarser key merge; merging requires the
+    members to belong to one AS (allocations are per-AS aligned blocks,
+    so this holds up to the AS's block size -- a :class:`ValueError`
+    from the merge signals the key got too coarse for the data).
+    """
+    if not 0 < ipv4_length <= 24:
+        raise ValueError("ipv4_length must be in (0, 24]")
+    if not 0 < ipv6_length <= 48:
+        raise ValueError("ipv6_length must be in (0, 48]")
+    coarse = BeaconDataset(beacons.month)
+    for counts in beacons:
+        subnet = counts.subnet
+        if subnet.family == 4 and ipv4_length < 24:
+            subnet = subnet.supernet(ipv4_length)
+        elif subnet.family == 6 and ipv6_length < 48:
+            subnet = subnet.supernet(ipv6_length)
+        coarse.add_counts(
+            SubnetBeaconCounts(
+                subnet=subnet,
+                asn=counts.asn,
+                country=counts.country,
+                hits=counts.hits,
+                api_hits=counts.api_hits,
+                cellular_hits=counts.cellular_hits,
+            )
+        )
+    for browser, (hits, api_hits) in beacons.browser_counts.items():
+        coarse.observe_browser_batch(browser, hits, api_hits)
+    return coarse

@@ -1,0 +1,196 @@
+"""Continent-level rollups: Tables 4, 6, and 8.
+
+All aggregation keys off the country recorded with each subnet /
+operator, mapped to continents through :class:`~repro.world.geo.Geography`.
+China is excluded from demand statistics by default, as in section 7.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Set
+
+from repro.core.classifier import ClassificationResult
+from repro.core.mixed import OperatorProfile
+from repro.datasets.demand_dataset import DemandDataset
+from repro.world.geo import Continent, Geography
+
+#: Countries dropped from demand statistics (section 7.1).
+DEFAULT_DEMAND_EXCLUSIONS = frozenset({"CN"})
+
+
+@dataclass
+class SubnetCensus:
+    """Table 4 row: detected cellular subnets for one continent."""
+
+    continent: Continent
+    cellular_slash24: int = 0
+    cellular_slash48: int = 0
+    active_slash24: int = 0
+    active_slash48: int = 0
+
+    @property
+    def pct_active_ipv4(self) -> float:
+        if self.active_slash24 == 0:
+            return 0.0
+        return self.cellular_slash24 / self.active_slash24
+
+    @property
+    def pct_active_ipv6(self) -> float:
+        if self.active_slash48 == 0:
+            return 0.0
+        return self.cellular_slash48 / self.active_slash48
+
+
+def subnets_by_continent(
+    classification: ClassificationResult,
+    geography: Geography,
+    restrict_to_asns: Optional[Set[int]] = None,
+) -> Dict[Continent, SubnetCensus]:
+    """Detected cellular subnet counts per continent (Table 4).
+
+    ``restrict_to_asns`` limits *cellular* credit to subnets of the
+    given (accepted cellular) ASes.  At the paper's scale stray false
+    positives are a rounding error against 350k detected subnets; at
+    reduced world scale the AS count does not shrink with the subnet
+    count, so the AS filter's output is needed to keep the census
+    comparable (see the table4 experiment note).
+    """
+    census = {continent: SubnetCensus(continent) for continent in Continent}
+    for subnet, cellular in classification.labels.items():
+        record = classification.records[subnet]
+        country = geography.find(record.country)
+        if country is None:
+            continue
+        if cellular and restrict_to_asns is not None:
+            cellular = record.asn in restrict_to_asns
+        row = census[country.continent]
+        if subnet.family == 4:
+            row.active_slash24 += 1
+            if cellular:
+                row.cellular_slash24 += 1
+        else:
+            row.active_slash48 += 1
+            if cellular:
+                row.cellular_slash48 += 1
+    return census
+
+
+@dataclass
+class ASCensus:
+    """Table 6 row: detected cellular ASes for one continent."""
+
+    continent: Continent
+    as_count: int = 0
+    countries: Set[str] = field(default_factory=set)
+
+    @property
+    def average_per_country(self) -> float:
+        if not self.countries:
+            return 0.0
+        return self.as_count / len(self.countries)
+
+
+def ases_by_continent(
+    operators: Iterable[OperatorProfile], geography: Geography
+) -> Dict[Continent, ASCensus]:
+    """Detected cellular AS counts per continent (Table 6).
+
+    Average-per-country counts only countries with at least one
+    detected cellular AS, as the paper does.
+    """
+    census = {continent: ASCensus(continent) for continent in Continent}
+    for profile in operators:
+        country = geography.find(profile.country)
+        if country is None:
+            continue
+        row = census[country.continent]
+        row.as_count += 1
+        row.countries.add(profile.country)
+    return census
+
+
+@dataclass(frozen=True)
+class ContinentDemand:
+    """Table 8 row: cellular demand statistics for one continent."""
+
+    continent: Continent
+    cellular_du: float
+    total_du: float
+    global_cellular_du: float
+    subscribers_m: float
+
+    @property
+    def cellular_fraction(self) -> float:
+        """Share of the continent's demand that is cellular (col. 1)."""
+        return self.cellular_du / self.total_du if self.total_du > 0 else 0.0
+
+    @property
+    def global_cellular_share(self) -> float:
+        """Share of global cellular demand from this continent (col. 2)."""
+        if self.global_cellular_du <= 0:
+            return 0.0
+        return self.cellular_du / self.global_cellular_du
+
+    @property
+    def demand_per_1000_subscribers(self) -> float:
+        """DU per thousand subscribers (col. 4)."""
+        if self.subscribers_m <= 0:
+            return 0.0
+        return self.cellular_du / (self.subscribers_m * 1_000)
+
+
+def continent_demand(
+    classification: ClassificationResult,
+    demand: DemandDataset,
+    geography: Geography,
+    restrict_to_asns: Optional[Set[int]] = None,
+    exclude_countries: frozenset = DEFAULT_DEMAND_EXCLUSIONS,
+) -> Dict[Continent, ContinentDemand]:
+    """Cellular demand statistics per continent (Table 8).
+
+    ``restrict_to_asns`` limits cellular credit to subnets of the
+    accepted cellular ASes, removing proxy/cloud subnet-level false
+    positives the AS filter caught.
+    """
+    cellular: Dict[Continent, float] = {c: 0.0 for c in Continent}
+    total: Dict[Continent, float] = {c: 0.0 for c in Continent}
+    for record in demand:
+        if record.country in exclude_countries:
+            continue
+        country = geography.find(record.country)
+        if country is None:
+            continue
+        total[country.continent] += record.du
+        if not classification.is_cellular(record.subnet):
+            continue
+        if restrict_to_asns is not None and record.asn not in restrict_to_asns:
+            continue
+        cellular[country.continent] += record.du
+    global_cellular = sum(cellular.values())
+    subscribers = {c: 0.0 for c in Continent}
+    for country in geography:
+        if country.iso2 in exclude_countries:
+            continue
+        subscribers[country.continent] += country.subscribers_m
+    return {
+        continent: ContinentDemand(
+            continent=continent,
+            cellular_du=cellular[continent],
+            total_du=total[continent],
+            global_cellular_du=global_cellular,
+            subscribers_m=subscribers[continent],
+        )
+        for continent in Continent
+    }
+
+
+def global_cellular_fraction(
+    rows: Dict[Continent, ContinentDemand],
+) -> float:
+    """Overall cellular share of demand (paper: 16.2%)."""
+    cellular = sum(row.cellular_du for row in rows.values())
+    total = sum(row.total_du for row in rows.values())
+    if total <= 0:
+        raise ValueError("no demand to aggregate")
+    return cellular / total

@@ -1,0 +1,78 @@
+"""Plain-text table rendering for experiment output.
+
+Experiments print the same rows the paper's tables report; this keeps
+the formatting in one place (monospace columns, right-aligned numbers,
+percentage helpers).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def fmt_pct(value: float, digits: int = 1) -> str:
+    """0.162 -> '16.2%'."""
+    return f"{100 * value:.{digits}f}%"
+
+
+def fmt_num(value: float, digits: int = 2) -> str:
+    """Compact numeric formatting for table cells."""
+    if isinstance(value, int) or float(value).is_integer():
+        return f"{int(value):,}"
+    return f"{value:.{digits}f}"
+
+
+def _render_cell(cell: Cell) -> str:
+    if isinstance(cell, str):
+        return cell
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    if isinstance(cell, float):
+        return fmt_num(cell)
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(render_table(["k", "v"], [["a", 1]]))
+    k | v
+    --+--
+    a | 1
+    """
+    text_rows: List[List[str]] = [
+        [_render_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(
+        " | ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    )
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in text_rows:
+        lines.append(
+            " | ".join(cell.rjust(widths[i]) if _looks_numeric(cell) else cell.ljust(widths[i])
+                       for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _looks_numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace("%", "").replace(".", "", 1)
+    return stripped.lstrip("-").isdigit() if stripped else False

@@ -1,0 +1,145 @@
+"""Log record types and JSONL round-trip.
+
+Two record shapes mirror the CDN's two monitoring sources:
+:class:`BeaconHit` for RUM beacon page loads (section 3.1) and
+:class:`RequestRecord` for daily per-subnet platform request counts
+(section 3.2).  Both serialize to one-JSON-object-per-line streams so
+datasets can be written to disk and re-read without holding a world in
+memory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator, Optional
+
+from repro.net.addr import format_ip, parse_ip
+from repro.net.prefix import Prefix
+from repro.cdn.netinfo import ConnectionType
+from repro.world.population import Browser
+
+
+@dataclass(frozen=True)
+class BeaconHit:
+    """One RUM beacon page-load report.
+
+    ``connection_type`` is None when the browser lacks the Network
+    Information API (``api_enabled`` False) -- most hits at the study
+    time, notably all of iOS.
+    """
+
+    month: str
+    family: int
+    address: int
+    subnet: Prefix
+    asn: int
+    country: str
+    browser: Browser
+    api_enabled: bool
+    connection_type: Optional[ConnectionType]
+
+    def __post_init__(self) -> None:
+        if self.api_enabled and self.connection_type is None:
+            raise ValueError("API-enabled hit needs a connection type")
+        if not self.api_enabled and self.connection_type is not None:
+            raise ValueError("API-disabled hit cannot carry a connection type")
+
+    @property
+    def is_cellular_labeled(self) -> bool:
+        """True when the hit carries a cellular ConnectionType."""
+        return (
+            self.connection_type is not None
+            and self.connection_type.is_cellular
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "month": self.month,
+                "ip": format_ip(self.family, self.address),
+                "subnet": str(self.subnet),
+                "asn": self.asn,
+                "country": self.country,
+                "browser": self.browser.value,
+                "conn": (
+                    self.connection_type.value
+                    if self.connection_type is not None
+                    else None
+                ),
+            },
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "BeaconHit":
+        raw = json.loads(line)
+        family, address = parse_ip(raw["ip"])
+        conn = raw.get("conn")
+        return cls(
+            month=raw["month"],
+            family=family,
+            address=address,
+            subnet=Prefix.parse(raw["subnet"]),
+            asn=raw["asn"],
+            country=raw["country"],
+            browser=Browser(raw["browser"]),
+            api_enabled=conn is not None,
+            connection_type=ConnectionType(conn) if conn is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Daily request count for one /24 or /48 subnet."""
+
+    day: int
+    subnet: Prefix
+    asn: int
+    country: str
+    requests: int
+
+    def __post_init__(self) -> None:
+        if self.requests < 0:
+            raise ValueError("request count must be non-negative")
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "day": self.day,
+                "subnet": str(self.subnet),
+                "asn": self.asn,
+                "country": self.country,
+                "requests": self.requests,
+            },
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "RequestRecord":
+        raw = json.loads(line)
+        return cls(
+            day=raw["day"],
+            subnet=Prefix.parse(raw["subnet"]),
+            asn=raw["asn"],
+            country=raw["country"],
+            requests=raw["requests"],
+        )
+
+
+def write_jsonl(records: Iterable, stream: IO[str]) -> int:
+    """Write records with ``to_json`` methods as JSONL; returns count."""
+    count = 0
+    for record in records:
+        stream.write(record.to_json())
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def read_jsonl(stream: IO[str], record_type) -> Iterator:
+    """Stream records back from JSONL, skipping blank lines."""
+    for line in stream:
+        line = line.strip()
+        if line:
+            yield record_type.from_json(line)

@@ -1,0 +1,83 @@
+"""Network Information API simulation.
+
+The API (section 3.1) reports the device's ``ConnectionType`` as seen
+by the operating system.  Its noise structure is the crux of the
+paper's method:
+
+- **Tethering / hotspots** make devices *inside cellular subnets*
+  report ``wifi`` (the laptop behind a phone hotspot only sees its WiFi
+  link).  This is the dominant error and only ever dilutes the cellular
+  ratio of truly cellular subnets.
+- **Interface changes** between IP capture and API poll add a little
+  noise in both directions, but the cellular->label path is rare, so
+  fixed subnets almost never produce cellular labels.  This asymmetry
+  is why the ratio threshold is so insensitive (Figure 3).
+
+Each :class:`~repro.world.allocation.SubnetPlan` carries a
+``cellular_label_rate`` summarizing these effects for its population;
+:func:`draw_connection_type` realizes a label from it, and
+:func:`noncellular_label_for` picks which non-cellular enum value the
+complement maps to (mostly WiFi on mobile devices, Ethernet on
+desktops).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+
+from repro.world.population import Browser
+
+
+class ConnectionType(enum.Enum):
+    """The API's ConnectionType enumeration (W3C draft section 4)."""
+
+    CELLULAR = "cellular"
+    WIFI = "wifi"
+    ETHERNET = "ethernet"
+    BLUETOOTH = "bluetooth"
+    WIMAX = "wimax"
+    UNKNOWN = "unknown"
+
+    @property
+    def is_cellular(self) -> bool:
+        return self is ConnectionType.CELLULAR
+
+
+#: Probability a non-cellular label on a *desktop* browser is Ethernet.
+_DESKTOP_ETHERNET_RATE = 0.45
+#: Rare exotic labels (Bluetooth tether, WiMAX) among non-cellular hits.
+_EXOTIC_RATE = 0.004
+
+
+def draw_connection_type(
+    rng: random.Random,
+    cellular_label_rate: float,
+    browser: Browser,
+) -> ConnectionType:
+    """Draw the ConnectionType one API-enabled hit reports.
+
+    ``cellular_label_rate`` is the subnet's probability of a cellular
+    label (1 - tethering - interface noise for cellular subnets; the
+    tiny interface noise itself for fixed subnets).
+    """
+    if rng.random() < cellular_label_rate:
+        return ConnectionType.CELLULAR
+    return noncellular_label_for(rng, browser)
+
+
+def noncellular_label_for(
+    rng: random.Random, browser: Browser
+) -> ConnectionType:
+    """Which non-cellular label a hit reports, by device class."""
+    roll = rng.random()
+    if roll < _EXOTIC_RATE:
+        return (
+            ConnectionType.BLUETOOTH
+            if roll < _EXOTIC_RATE / 2
+            else ConnectionType.WIMAX
+        )
+    desktop = browser in (Browser.CHROME_DESKTOP, Browser.OTHER_DESKTOP)
+    if desktop and rng.random() < _DESKTOP_ETHERNET_RATE:
+        return ConnectionType.ETHERNET
+    return ConnectionType.WIFI

@@ -1,0 +1,184 @@
+"""The CDN platform itself: server deployment and request routing.
+
+Section 3 describes the vantage point: ~200,000 servers in 1,450
+networks, receiving requests from 46,936 ASes across 245 countries.
+This module models that deployment so the substrate is a complete
+system rather than a disembodied log source:
+
+- :class:`ServerRegion` -- a deployment site (country, coordinates,
+  server count, hosting ASN);
+- :class:`PlatformDeployment` -- the global fleet, generated from a
+  world with server mass proportional to regional demand;
+- nearest-region request routing, used to derive where each client
+  country's demand is served and the in-country / in-continent service
+  fractions a CDN operator tracks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.datasets.demand_dataset import DemandDataset
+from repro.world.build import World
+from repro.world.geo import Geography, haversine_km
+
+#: Paper-reported fleet shape (full scale).
+PAPER_SERVER_COUNT = 200_000
+PAPER_DEPLOYMENT_NETWORKS = 1_450
+
+
+@dataclass(frozen=True)
+class ServerRegion:
+    """One deployment site of the platform."""
+
+    region_id: str
+    country: str
+    latitude: float
+    longitude: float
+    servers: int
+    #: ASN hosting this deployment (an access or transit network).
+    host_asn: int
+
+    def __post_init__(self) -> None:
+        if self.servers <= 0:
+            raise ValueError(f"{self.region_id}: needs at least one server")
+
+
+class PlatformDeployment:
+    """The CDN fleet plus nearest-region routing."""
+
+    def __init__(self, regions: List[ServerRegion], geography: Geography) -> None:
+        if not regions:
+            raise ValueError("a platform needs at least one region")
+        self.regions = list(regions)
+        self._geography = geography
+        self._routes: Dict[str, ServerRegion] = {}
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    @property
+    def total_servers(self) -> int:
+        return sum(region.servers for region in self.regions)
+
+    @property
+    def network_count(self) -> int:
+        """Distinct hosting networks (paper: 1,450)."""
+        return len({region.host_asn for region in self.regions})
+
+    def regions_in(self, country: str) -> List[ServerRegion]:
+        return [region for region in self.regions if region.country == country]
+
+    # ---- routing -----------------------------------------------------------
+
+    def route(self, client_country: str) -> ServerRegion:
+        """Nearest deployed region for clients of a country.
+
+        Ties in distance break toward the larger region; results are
+        cached per country (anycast-style stable routing).
+        """
+        cached = self._routes.get(client_country)
+        if cached is not None:
+            return cached
+        client = self._geography.get(client_country)
+        best = min(
+            self.regions,
+            key=lambda region: (
+                haversine_km(
+                    client.latitude, client.longitude,
+                    region.latitude, region.longitude,
+                ),
+                -region.servers,
+            ),
+        )
+        self._routes[client_country] = best
+        return best
+
+    def service_report(self, demand: DemandDataset) -> "ServiceReport":
+        """Where demand gets served: in-country / in-continent shares."""
+        in_country = in_continent = total = 0.0
+        by_region: Dict[str, float] = {}
+        for record in demand:
+            if self._geography.find(record.country) is None:
+                continue
+            region = self.route(record.country)
+            total += record.du
+            by_region[region.region_id] = (
+                by_region.get(region.region_id, 0.0) + record.du
+            )
+            if region.country == record.country:
+                in_country += record.du
+            if (
+                self._geography.get(region.country).continent
+                is self._geography.get(record.country).continent
+            ):
+                in_continent += record.du
+        if total <= 0:
+            raise ValueError("no routable demand")
+        return ServiceReport(
+            in_country_fraction=in_country / total,
+            in_continent_fraction=in_continent / total,
+            demand_by_region=by_region,
+        )
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Routing outcome over one demand snapshot."""
+
+    in_country_fraction: float
+    in_continent_fraction: float
+    demand_by_region: Dict[str, float]
+
+    def busiest_regions(self, count: int = 5) -> List[Tuple[str, float]]:
+        ranked = sorted(
+            self.demand_by_region.items(), key=lambda kv: -kv[1]
+        )
+        return ranked[:count]
+
+
+def deploy_platform(
+    world: World,
+    seed_salt: str = "platform",
+) -> PlatformDeployment:
+    """Generate the fleet from a world.
+
+    Server mass follows country demand (CDNs deploy where the traffic
+    is) with a floor of one region per profiled country with meaningful
+    demand; hosts are drawn from the country's access/transit networks.
+    The fleet size scales with the world's ``scale`` parameter.
+    """
+    rng = world.rng(seed_salt)
+    scale = world.params.scale
+    target_servers = max(50, round(PAPER_SERVER_COUNT * scale * 10))
+    shares = world.topology.country_demand
+    regions: List[ServerRegion] = []
+    for iso2 in sorted(shares):
+        share = shares[iso2]
+        country = world.geography.find(iso2)
+        if country is None or share <= 0:
+            continue
+        country_servers = max(2, round(target_servers * share))
+        hosts = [
+            plan.record.asn
+            for plan in world.topology.plans_in_country(iso2)
+            if plan.record.as_type.is_access
+        ]
+        if not hosts:
+            continue
+        site_count = max(1, min(len(hosts), round(math.sqrt(country_servers))))
+        per_site = max(1, country_servers // site_count)
+        for index in range(site_count):
+            regions.append(
+                ServerRegion(
+                    region_id=f"{iso2}-{index}",
+                    country=iso2,
+                    latitude=country.latitude + rng.uniform(-1.5, 1.5),
+                    longitude=country.longitude + rng.uniform(-1.5, 1.5),
+                    servers=per_site,
+                    host_asn=rng.choice(hosts),
+                )
+            )
+    return PlatformDeployment(regions, world.geography)

@@ -1,0 +1,71 @@
+"""The paper's contribution: cellular subnet and AS identification.
+
+- :mod:`repro.core.ratios` -- per-subnet cellular ratios from BEACON
+  data (section 4.1).
+- :mod:`repro.core.classifier` -- the threshold classifier over ratios.
+- :mod:`repro.core.validation` -- precision/recall/F1 against carrier
+  ground truth, by CIDR count and by demand weight (Table 3).
+- :mod:`repro.core.thresholds` -- threshold sensitivity sweeps
+  (Figure 3) and threshold selection.
+- :mod:`repro.core.asn_classifier` -- AS-level identification with the
+  three filtering heuristics of section 5.1 (Table 5).
+- :mod:`repro.core.mixed` -- dedicated vs mixed AS classification via
+  the cellular fraction of demand (section 6.1).
+- :mod:`repro.core.pipeline` -- the :class:`CellSpotter` facade tying
+  the stages together.
+"""
+
+from repro.core.asn_classifier import (
+    ASFilterConfig,
+    ASFilterResult,
+    CandidateAS,
+    identify_cellular_ases,
+)
+from repro.core.classifier import (
+    ClassificationResult,
+    SubnetClassifier,
+)
+from repro.core.confidence import (
+    ConfidentClassifier,
+    Verdict,
+    wilson_interval,
+)
+from repro.core.export import CellularPrefixList, PrefixEntry
+from repro.core.mixed import (
+    DEDICATED_CFD_CUTOFF,
+    OperatorClass,
+    OperatorProfile,
+    classify_operator,
+    operator_profiles,
+)
+from repro.core.pipeline import CellSpotter, CellSpotterResult
+from repro.core.ratios import RatioRecord, RatioTable
+from repro.core.thresholds import ThresholdSweep, sweep_thresholds
+from repro.core.validation import CarrierValidation, validate_against_carrier
+
+__all__ = [
+    "ASFilterConfig",
+    "ASFilterResult",
+    "CandidateAS",
+    "CarrierValidation",
+    "CellSpotter",
+    "CellularPrefixList",
+    "ConfidentClassifier",
+    "PrefixEntry",
+    "Verdict",
+    "wilson_interval",
+    "CellSpotterResult",
+    "ClassificationResult",
+    "DEDICATED_CFD_CUTOFF",
+    "OperatorClass",
+    "OperatorProfile",
+    "RatioRecord",
+    "RatioTable",
+    "SubnetClassifier",
+    "ThresholdSweep",
+    "classify_operator",
+    "identify_cellular_ases",
+    "operator_profiles",
+    "sweep_thresholds",
+    "validate_against_carrier",
+]

@@ -1,0 +1,198 @@
+"""AS-level cellular identification (section 5, Table 5).
+
+The straw man -- tag any AS owning a detected cellular subnet -- nets
+proxy services, cloud VPN egresses, and tethered enterprise networks.
+Three filtering heuristics remove them:
+
+1. exclude ASes whose cumulative *cellular* demand is below 0.1 DU,
+2. exclude ASes with fewer than 300 beacon hits,
+3. exclude ASes that CAIDA classifies as Content (or not at all).
+
+The output is the set of active cellular ASes with per-AS statistics
+(cellular demand CD, total demand, cellular fraction of demand CFD,
+subnet counts) feeding every section 6 analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.classifier import ClassificationResult
+from repro.datasets.beacon_dataset import BeaconDataset
+from repro.datasets.caida import ASClassificationDataset
+from repro.datasets.demand_dataset import DemandDataset
+from repro.net.prefix import Prefix
+
+
+class ExclusionReason(enum.Enum):
+    """Which filtering rule removed a candidate AS."""
+
+    LOW_CELLULAR_DEMAND = "rule1_low_cellular_demand"
+    LOW_BEACON_HITS = "rule2_low_beacon_hits"
+    NON_ACCESS_CLASS = "rule3_non_access_class"
+
+
+@dataclass(frozen=True)
+class ASFilterConfig:
+    """Thresholds of the three heuristics (paper defaults)."""
+
+    min_cellular_du: float = 0.1
+    min_beacon_hits: int = 300
+    require_access_class: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_cellular_du < 0:
+            raise ValueError("min_cellular_du must be non-negative")
+        if self.min_beacon_hits < 0:
+            raise ValueError("min_beacon_hits must be non-negative")
+
+
+@dataclass
+class CandidateAS:
+    """Per-AS aggregates computed from detected subnets and demand."""
+
+    asn: int
+    country: str
+    cellular_subnets: List[Prefix] = field(default_factory=list)
+    cellular_du: float = 0.0
+    total_du: float = 0.0
+    total_subnets: int = 0
+    beacon_hits: int = 0
+
+    @property
+    def cellular_fraction_of_demand(self) -> float:
+        """CFD: cellular demand over all demand of the AS (section 6.1)."""
+        return self.cellular_du / self.total_du if self.total_du > 0 else 0.0
+
+    @property
+    def cellular_subnet_fraction(self) -> float:
+        """Fraction of the AS's observed subnets labeled cellular."""
+        if self.total_subnets == 0:
+            return 0.0
+        return len(self.cellular_subnets) / self.total_subnets
+
+
+@dataclass
+class ASFilterResult:
+    """Table 5: candidates, per-rule exclusions, and the final set."""
+
+    config: ASFilterConfig
+    candidates: Dict[int, CandidateAS]
+    excluded: Dict[int, ExclusionReason]
+    accepted: Dict[int, CandidateAS]
+
+    @property
+    def candidate_count(self) -> int:
+        return len(self.candidates)
+
+    @property
+    def accepted_count(self) -> int:
+        return len(self.accepted)
+
+    def excluded_by(self, reason: ExclusionReason) -> List[int]:
+        return [asn for asn, r in self.excluded.items() if r is reason]
+
+    def filter_summary(self) -> List[Tuple[str, int, int]]:
+        """Rows of (rule description, filtered count, remaining count)."""
+        remaining = self.candidate_count
+        rows = []
+        for reason, description in (
+            (
+                ExclusionReason.LOW_CELLULAR_DEMAND,
+                f"Exclude ASes with cellular demand < {self.config.min_cellular_du} DU",
+            ),
+            (
+                ExclusionReason.LOW_BEACON_HITS,
+                f"Exclude ASes with < {self.config.min_beacon_hits} hits",
+            ),
+            (
+                ExclusionReason.NON_ACCESS_CLASS,
+                "Exclude based on CAIDA AS-classification",
+            ),
+        ):
+            filtered = len(self.excluded_by(reason))
+            remaining -= filtered
+            rows.append((description, filtered, remaining))
+        return rows
+
+
+def aggregate_candidates(
+    classification: ClassificationResult,
+    demand: DemandDataset,
+    beacons: BeaconDataset,
+) -> Dict[int, CandidateAS]:
+    """Straw-man candidate set: every AS with >= 1 detected cellular subnet,
+    with the per-AS aggregates the filters and analyses need."""
+    candidates: Dict[int, CandidateAS] = {}
+    cellular_asns = set(classification.asns_with_cellular())
+    if not cellular_asns:
+        return {}
+
+    def candidate(asn: int, country: str) -> CandidateAS:
+        entry = candidates.get(asn)
+        if entry is None:
+            entry = CandidateAS(asn=asn, country=country)
+            candidates[asn] = entry
+        return entry
+
+    for subnet, cellular in classification.labels.items():
+        record = classification.records[subnet]
+        if record.asn not in cellular_asns:
+            continue
+        entry = candidate(record.asn, record.country)
+        entry.total_subnets += 1
+        if cellular:
+            entry.cellular_subnets.append(subnet)
+            entry.cellular_du += demand.du_of(subnet)
+
+    # Total demand must cover all of the AS's demand-active subnets,
+    # including those without beacon data (e.g. terminating proxies).
+    for record in demand:
+        if record.asn in candidates:
+            candidates[record.asn].total_du += record.du
+
+    for asn, hits in beacons.hits_by_asn().items():
+        if asn in candidates:
+            candidates[asn].beacon_hits = hits
+    return candidates
+
+
+def identify_cellular_ases(
+    classification: ClassificationResult,
+    demand: DemandDataset,
+    beacons: BeaconDataset,
+    as_classes: Optional[ASClassificationDataset] = None,
+    config: Optional[ASFilterConfig] = None,
+) -> ASFilterResult:
+    """Run the full AS identification pipeline.
+
+    Rules apply in the paper's order; each AS records only the first
+    rule that excluded it, matching Table 5's accounting.
+    """
+    config = config or ASFilterConfig()
+    candidates = aggregate_candidates(classification, demand, beacons)
+    excluded: Dict[int, ExclusionReason] = {}
+    accepted: Dict[int, CandidateAS] = {}
+    for asn, entry in candidates.items():
+        if entry.cellular_du < config.min_cellular_du:
+            excluded[asn] = ExclusionReason.LOW_CELLULAR_DEMAND
+            continue
+        if entry.beacon_hits < config.min_beacon_hits:
+            excluded[asn] = ExclusionReason.LOW_BEACON_HITS
+            continue
+        if (
+            config.require_access_class
+            and as_classes is not None
+            and not as_classes.is_access(asn)
+        ):
+            excluded[asn] = ExclusionReason.NON_ACCESS_CLASS
+            continue
+        accepted[asn] = entry
+    return ASFilterResult(
+        config=config,
+        candidates=candidates,
+        excluded=excluded,
+        accepted=accepted,
+    )

@@ -1,0 +1,153 @@
+"""Confidence-aware subnet classification.
+
+The paper's classifier is a point-estimate threshold on the cellular
+ratio; subnets with a handful of API hits get the same treatment as
+subnets with thousands.  This extension scores each subnet with a
+Wilson score interval on its cellular proportion and separates the
+decisions a consumer can rely on from the ones that are statistical
+noise:
+
+- **CELLULAR** -- the interval's lower bound clears the threshold;
+- **FIXED** -- the interval's upper bound stays below it;
+- **UNCERTAIN** -- the interval straddles the threshold (not enough
+  evidence either way).
+
+Against the plain classifier this trades a little recall for
+precision and, more importantly, makes the evidence floor explicit
+instead of hiding it in a ``min_api_hits`` knob.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.classifier import DEFAULT_THRESHOLD
+from repro.core.ratios import RatioRecord, RatioTable
+from repro.net.prefix import Prefix
+
+#: z for a 95% two-sided interval.
+_Z_95 = 1.959963984540054
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = _Z_95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    >>> low, high = wilson_interval(9, 10)
+    >>> 0.55 < low < 0.7 and 0.95 < high <= 1.0
+    True
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be in [0, trials]")
+    if z <= 0:
+        raise ValueError("z must be positive")
+    proportion = successes / trials
+    z2 = z * z
+    denominator = 1 + z2 / trials
+    centre = proportion + z2 / (2 * trials)
+    margin = z * math.sqrt(
+        (proportion * (1 - proportion) + z2 / (4 * trials)) / trials
+    )
+    low = max(0.0, (centre - margin) / denominator)
+    high = min(1.0, (centre + margin) / denominator)
+    # Pin the exact boundary cases against floating-point dust.
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 1.0
+    return low, high
+
+
+class Verdict(enum.Enum):
+    CELLULAR = "cellular"
+    FIXED = "fixed"
+    UNCERTAIN = "uncertain"
+
+
+@dataclass(frozen=True)
+class ConfidentLabel:
+    """One subnet's three-way decision with its interval."""
+
+    subnet: Prefix
+    verdict: Verdict
+    ratio: float
+    interval_low: float
+    interval_high: float
+
+
+@dataclass(frozen=True)
+class ConfidentClassifier:
+    """Three-way classifier on Wilson intervals."""
+
+    threshold: float = DEFAULT_THRESHOLD
+    z: float = _Z_95
+
+    def __post_init__(self) -> None:
+        if not 0 < self.threshold <= 1:
+            raise ValueError("threshold must be in (0, 1]")
+        if self.z <= 0:
+            raise ValueError("z must be positive")
+
+    def label(self, record: RatioRecord) -> ConfidentLabel:
+        """Decide one subnet."""
+        low, high = wilson_interval(
+            record.cellular_hits, record.api_hits, self.z
+        )
+        if low >= self.threshold:
+            verdict = Verdict.CELLULAR
+        elif high < self.threshold:
+            verdict = Verdict.FIXED
+        else:
+            verdict = Verdict.UNCERTAIN
+        return ConfidentLabel(
+            subnet=record.subnet,
+            verdict=verdict,
+            ratio=record.ratio,
+            interval_low=low,
+            interval_high=high,
+        )
+
+    def classify(self, ratios: RatioTable) -> "ConfidentClassification":
+        return ConfidentClassification(
+            threshold=self.threshold,
+            labels={record.subnet: self.label(record) for record in ratios},
+        )
+
+
+@dataclass
+class ConfidentClassification:
+    """All three-way decisions of one run."""
+
+    threshold: float
+    labels: Dict[Prefix, ConfidentLabel]
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def by_verdict(self, verdict: Verdict) -> List[ConfidentLabel]:
+        return [lab for lab in self.labels.values() if lab.verdict is verdict]
+
+    def verdict_counts(self) -> Dict[Verdict, int]:
+        counts = {verdict: 0 for verdict in Verdict}
+        for label in self.labels.values():
+            counts[label.verdict] += 1
+        return counts
+
+    def cellular_set(self):
+        """Confident cellular subnets only."""
+        return {
+            subnet
+            for subnet, label in self.labels.items()
+            if label.verdict is Verdict.CELLULAR
+        }
+
+    def uncertain_fraction(self) -> float:
+        if not self.labels:
+            return 0.0
+        return len(self.by_verdict(Verdict.UNCERTAIN)) / len(self.labels)

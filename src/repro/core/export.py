@@ -1,0 +1,200 @@
+"""Cellular prefix list: the consumable artifact of the census.
+
+Section 8 positions the detected cellular address map as a dataset for
+downstream network services (the role MaxMind-style connection-type
+databases play today).  :class:`CellularPrefixList` packages a
+classification into that artifact:
+
+- adjacent detected /24s (or /48s) under one AS are aggregated into
+  covering prefixes, so the list stays compact;
+- each entry carries provenance (ASN, country) and evidence strength
+  (API hits behind the label, demand);
+- lookups answer "is this address cellular?" via longest-prefix match;
+- the list round-trips through CSV for distribution.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from typing import IO, Dict, Iterable, Iterator, List, Optional
+
+from repro.core.classifier import ClassificationResult
+from repro.datasets.demand_dataset import DemandDataset
+from repro.net.addr import parse_ip
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+
+_CSV_FIELDS = ("prefix", "asn", "country", "api_hits", "du")
+
+
+@dataclass(frozen=True)
+class PrefixEntry:
+    """One aggregated cellular prefix with provenance and evidence."""
+
+    prefix: Prefix
+    asn: int
+    country: str
+    #: Total API-enabled hits behind the aggregated label.
+    api_hits: int
+    #: Total Demand Units of the covered subnets (0 when unknown).
+    du: float = 0.0
+
+    @property
+    def family(self) -> int:
+        return self.prefix.family
+
+
+class CellularPrefixList:
+    """Aggregated, queryable list of detected cellular prefixes."""
+
+    def __init__(self, entries: Iterable[PrefixEntry]) -> None:
+        self._entries: List[PrefixEntry] = sorted(
+            entries, key=lambda e: (e.prefix.family, e.prefix.value, e.prefix.length)
+        )
+        self._tries: Dict[int, PrefixTrie] = {4: PrefixTrie(4), 6: PrefixTrie(6)}
+        for entry in self._entries:
+            if self._tries[entry.family].get(entry.prefix) is not None:
+                raise ValueError(f"duplicate prefix {entry.prefix}")
+            self._tries[entry.family].insert(entry.prefix, entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[PrefixEntry]:
+        return iter(self._entries)
+
+    def entries(self, family: Optional[int] = None) -> List[PrefixEntry]:
+        if family is None:
+            return list(self._entries)
+        return [entry for entry in self._entries if entry.family == family]
+
+    # ---- queries -----------------------------------------------------------
+
+    def lookup(self, address: str) -> Optional[PrefixEntry]:
+        """The covering cellular entry for a textual IP, or None."""
+        family, value = parse_ip(address)
+        found = self._tries[family].longest_match(family, value)
+        return found[1] if found is not None else None
+
+    def is_cellular(self, address: str) -> bool:
+        """True when the address falls inside a detected cellular prefix."""
+        return self.lookup(address) is not None
+
+    def covered_addresses(self, family: int) -> int:
+        """Total address count covered for one family."""
+        return sum(
+            entry.prefix.num_addresses
+            for entry in self._entries
+            if entry.family == family
+        )
+
+    # ---- construction ------------------------------------------------------
+
+    @classmethod
+    def from_classification(
+        cls,
+        classification: ClassificationResult,
+        demand: Optional[DemandDataset] = None,
+        aggregate: bool = True,
+    ) -> "CellularPrefixList":
+        """Build the list from a pipeline classification.
+
+        ``aggregate`` merges sibling blocks of the same AS into shorter
+        covering prefixes (a /23 replaces two adjacent cellular /24s).
+        """
+        leaves: List[PrefixEntry] = []
+        for subnet in classification.cellular_subnets():
+            record = classification.records[subnet]
+            leaves.append(
+                PrefixEntry(
+                    prefix=subnet,
+                    asn=record.asn,
+                    country=record.country,
+                    api_hits=record.api_hits,
+                    du=demand.du_of(subnet) if demand is not None else 0.0,
+                )
+            )
+        if aggregate:
+            leaves = _aggregate(leaves)
+        return cls(leaves)
+
+    # ---- persistence ---------------------------------------------------------
+
+    def to_csv(self, stream: IO[str]) -> int:
+        """Write the list as CSV; returns the number of rows."""
+        writer = csv.writer(stream)
+        writer.writerow(_CSV_FIELDS)
+        for entry in self._entries:
+            writer.writerow(
+                [str(entry.prefix), entry.asn, entry.country,
+                 entry.api_hits, f"{entry.du:.6f}"]
+            )
+        return len(self._entries)
+
+    @classmethod
+    def from_csv(cls, stream: IO[str]) -> "CellularPrefixList":
+        """Read a list previously written by :meth:`to_csv`."""
+        reader = csv.reader(stream)
+        header = next(reader, None)
+        if header is None or tuple(header) != _CSV_FIELDS:
+            raise ValueError("not a cellular prefix list CSV")
+        entries = []
+        for row in reader:
+            if not row:
+                continue
+            prefix_text, asn_text, country, hits_text, du_text = row
+            entries.append(
+                PrefixEntry(
+                    prefix=Prefix.parse(prefix_text),
+                    asn=int(asn_text),
+                    country=country,
+                    api_hits=int(hits_text),
+                    du=float(du_text),
+                )
+            )
+        return cls(entries)
+
+
+def _aggregate(leaves: List[PrefixEntry]) -> List[PrefixEntry]:
+    """Merge sibling prefixes of one AS into covering blocks.
+
+    Standard CIDR aggregation: two adjacent blocks of equal length whose
+    union is a single prefix collapse into their parent, repeatedly,
+    as long as both halves belong to the same AS.  Evidence counts add.
+    """
+    by_key: Dict[Prefix, PrefixEntry] = {}
+    for entry in leaves:
+        if entry.prefix in by_key:
+            raise ValueError(f"duplicate subnet {entry.prefix}")
+        by_key[entry.prefix] = entry
+
+    merged = True
+    while merged:
+        merged = False
+        for prefix in list(by_key):
+            entry = by_key.get(prefix)
+            if entry is None or prefix.length == 0:
+                continue
+            sibling = _sibling(prefix)
+            other = by_key.get(sibling)
+            if other is None or other.asn != entry.asn:
+                continue
+            parent = prefix.supernet(prefix.length - 1)
+            del by_key[prefix]
+            del by_key[sibling]
+            by_key[parent] = PrefixEntry(
+                prefix=parent,
+                asn=entry.asn,
+                country=entry.country,
+                api_hits=entry.api_hits + other.api_hits,
+                du=entry.du + other.du,
+            )
+            merged = True
+    return list(by_key.values())
+
+
+def _sibling(prefix: Prefix) -> Prefix:
+    """The other half of this prefix's parent block."""
+    bit = 1 << (prefix.bits - prefix.length)
+    return Prefix(prefix.family, prefix.value ^ bit, prefix.length)

@@ -1,0 +1,95 @@
+"""Dedicated vs mixed operator classification (section 6.1).
+
+The paper audits the top-50 cellular ASes by hand and lands on a
+cellular-fraction-of-demand (CFD) cutoff of 0.9: ASes with >= 90% of
+their demand on cellular subnets behave like dedicated carriers;
+everything below is a mixed network housing both cellular and
+fixed-line customers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from repro.core.asn_classifier import ASFilterResult, CandidateAS
+
+#: The paper's CFD cutoff for dedicated operators.
+DEDICATED_CFD_CUTOFF = 0.9
+
+
+class OperatorClass(enum.Enum):
+    DEDICATED = "dedicated"
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class OperatorProfile:
+    """One detected cellular AS with its section 6 statistics."""
+
+    asn: int
+    country: str
+    cellular_du: float
+    total_du: float
+    cellular_fraction_of_demand: float
+    cellular_subnet_count: int
+    total_subnet_count: int
+    operator_class: OperatorClass
+
+    @property
+    def is_mixed(self) -> bool:
+        return self.operator_class is OperatorClass.MIXED
+
+    @property
+    def cellular_subnet_fraction(self) -> float:
+        if self.total_subnet_count == 0:
+            return 0.0
+        return self.cellular_subnet_count / self.total_subnet_count
+
+
+def classify_operator(
+    candidate: CandidateAS, cutoff: float = DEDICATED_CFD_CUTOFF
+) -> OperatorClass:
+    """Classify one AS by its cellular fraction of demand."""
+    if not 0 < cutoff <= 1:
+        raise ValueError("cutoff must be in (0, 1]")
+    if candidate.cellular_fraction_of_demand >= cutoff:
+        return OperatorClass.DEDICATED
+    return OperatorClass.MIXED
+
+
+def operator_profiles(
+    result: ASFilterResult, cutoff: float = DEDICATED_CFD_CUTOFF
+) -> Dict[int, OperatorProfile]:
+    """Profiles for every accepted cellular AS."""
+    profiles = {}
+    for asn, candidate in result.accepted.items():
+        profiles[asn] = OperatorProfile(
+            asn=asn,
+            country=candidate.country,
+            cellular_du=candidate.cellular_du,
+            total_du=candidate.total_du,
+            cellular_fraction_of_demand=candidate.cellular_fraction_of_demand,
+            cellular_subnet_count=len(candidate.cellular_subnets),
+            total_subnet_count=candidate.total_subnets,
+            operator_class=classify_operator(candidate, cutoff),
+        )
+    return profiles
+
+
+def mixed_share(profiles: Iterable[OperatorProfile]) -> float:
+    """Fraction of operators that are mixed (paper: 58.6%)."""
+    profiles = list(profiles)
+    if not profiles:
+        raise ValueError("no operator profiles")
+    return sum(1 for p in profiles if p.is_mixed) / len(profiles)
+
+
+def mixed_demand_share(profiles: Iterable[OperatorProfile]) -> float:
+    """Fraction of cellular demand originating in mixed ASes (paper: 32.7%)."""
+    profiles = list(profiles)
+    total = sum(p.cellular_du for p in profiles)
+    if total <= 0:
+        raise ValueError("operators carry no cellular demand")
+    return sum(p.cellular_du for p in profiles if p.is_mixed) / total

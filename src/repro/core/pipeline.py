@@ -1,0 +1,88 @@
+"""The end-to-end Cell Spotting pipeline.
+
+:class:`CellSpotter` ties the stages together: BEACON ratios ->
+subnet classification -> AS identification -> operator profiles.  It
+consumes only observable datasets (BEACON, DEMAND, AS classes) and
+never touches world ground truth, mirroring the paper's epistemic
+position; validation utilities live separately in
+:mod:`repro.core.validation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.asn_classifier import (
+    ASFilterConfig,
+    ASFilterResult,
+    identify_cellular_ases,
+)
+from repro.core.classifier import (
+    DEFAULT_THRESHOLD,
+    ClassificationResult,
+    SubnetClassifier,
+)
+from repro.core.mixed import (
+    DEDICATED_CFD_CUTOFF,
+    OperatorProfile,
+    operator_profiles,
+)
+from repro.core.ratios import RatioTable
+from repro.datasets.beacon_dataset import BeaconDataset
+from repro.datasets.caida import ASClassificationDataset
+from repro.datasets.demand_dataset import DemandDataset
+
+
+@dataclass
+class CellSpotterResult:
+    """Everything one pipeline run produces."""
+
+    ratios: RatioTable
+    classification: ClassificationResult
+    as_result: ASFilterResult
+    operators: Dict[int, OperatorProfile]
+
+    @property
+    def cellular_as_count(self) -> int:
+        return len(self.operators)
+
+    def cellular_subnet_count(self, family: int) -> int:
+        return self.classification.cellular_count(family)
+
+
+@dataclass(frozen=True)
+class CellSpotter:
+    """Configured Cell Spotting pipeline.
+
+    >>> spotter = CellSpotter()           # paper defaults
+    >>> # result = spotter.run(beacons, demand, as_classes)
+    """
+
+    threshold: float = DEFAULT_THRESHOLD
+    min_api_hits: int = 1
+    as_filter: ASFilterConfig = ASFilterConfig()
+    dedicated_cutoff: float = DEDICATED_CFD_CUTOFF
+
+    def run(
+        self,
+        beacons: BeaconDataset,
+        demand: DemandDataset,
+        as_classes: Optional[ASClassificationDataset] = None,
+    ) -> CellSpotterResult:
+        """Run all stages on observable datasets."""
+        ratios = RatioTable.from_beacons(beacons, min_api_hits=self.min_api_hits)
+        classifier = SubnetClassifier(
+            threshold=self.threshold, min_api_hits=self.min_api_hits
+        )
+        classification = classifier.classify(ratios)
+        as_result = identify_cellular_ases(
+            classification, demand, beacons, as_classes, self.as_filter
+        )
+        operators = operator_profiles(as_result, cutoff=self.dedicated_cutoff)
+        return CellSpotterResult(
+            ratios=ratios,
+            classification=classification,
+            as_result=as_result,
+            operators=operators,
+        )

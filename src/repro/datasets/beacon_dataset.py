@@ -1,0 +1,245 @@
+"""The BEACON dataset: per-subnet Network Information API label counts.
+
+Aggregates RUM beacon hits by /24 (IPv4) and /48 (IPv6) subnet, exactly
+the granularity at which section 4 computes cellular ratios.  The
+dataset also keeps global per-browser API counters, which is all
+Figure 1 needs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import IO, Dict, Iterator, List, Optional, Tuple
+
+from repro.net.prefix import Prefix
+from repro.world.population import Browser
+
+
+@dataclass
+class SubnetBeaconCounts:
+    """Label counts for one subnet.
+
+    ``hits`` counts all beacon hits, ``api_hits`` the subset carrying
+    Network Information API data, and ``cellular_hits`` the API hits
+    whose ConnectionType was cellular.
+    """
+
+    subnet: Prefix
+    asn: int
+    country: str
+    hits: int = 0
+    api_hits: int = 0
+    cellular_hits: int = 0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if not 0 <= self.cellular_hits <= self.api_hits <= self.hits:
+            raise ValueError(
+                f"{self.subnet}: need 0 <= cellular <= api <= hits, got "
+                f"{self.cellular_hits}/{self.api_hits}/{self.hits}"
+            )
+
+    @property
+    def noncellular_hits(self) -> int:
+        """API hits with a non-cellular ConnectionType."""
+        return self.api_hits - self.cellular_hits
+
+    @property
+    def cellular_ratio(self) -> Optional[float]:
+        """Fraction of API hits labeled cellular; None without API data.
+
+        This is the paper's core quantity (section 4.1).
+        """
+        if self.api_hits == 0:
+            return None
+        return self.cellular_hits / self.api_hits
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "subnet": str(self.subnet),
+                "asn": self.asn,
+                "country": self.country,
+                "hits": self.hits,
+                "api": self.api_hits,
+                "cell": self.cellular_hits,
+            },
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "SubnetBeaconCounts":
+        raw = json.loads(line)
+        return cls(
+            subnet=Prefix.parse(raw["subnet"]),
+            asn=raw["asn"],
+            country=raw["country"],
+            hits=raw["hits"],
+            api_hits=raw["api"],
+            cellular_hits=raw["cell"],
+        )
+
+
+class BeaconDataset:
+    """All BEACON observations for one collection month."""
+
+    def __init__(self, month: str) -> None:
+        self.month = month
+        self._by_subnet: Dict[Prefix, SubnetBeaconCounts] = {}
+        #: Global (hits, api_hits) per browser, for Figure 1.
+        self.browser_counts: Dict[Browser, Tuple[int, int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_subnet)
+
+    def __contains__(self, subnet: Prefix) -> bool:
+        return subnet in self._by_subnet
+
+    def __iter__(self) -> Iterator[SubnetBeaconCounts]:
+        return iter(self._by_subnet.values())
+
+    def get(self, subnet: Prefix) -> Optional[SubnetBeaconCounts]:
+        return self._by_subnet.get(subnet)
+
+    def add_counts(self, counts: SubnetBeaconCounts) -> None:
+        """Add (or merge) a subnet's counts."""
+        counts.validate()
+        existing = self._by_subnet.get(counts.subnet)
+        if existing is None:
+            self._by_subnet[counts.subnet] = counts
+            return
+        if (existing.asn, existing.country) != (counts.asn, counts.country):
+            raise ValueError(f"conflicting metadata for {counts.subnet}")
+        existing.hits += counts.hits
+        existing.api_hits += counts.api_hits
+        existing.cellular_hits += counts.cellular_hits
+
+    def observe_hit(
+        self,
+        subnet: Prefix,
+        asn: int,
+        country: str,
+        browser: Browser,
+        api_enabled: bool,
+        cellular_labeled: bool,
+    ) -> None:
+        """Accumulate one beacon hit."""
+        counts = self._by_subnet.get(subnet)
+        if counts is None:
+            counts = SubnetBeaconCounts(subnet, asn, country)
+            self._by_subnet[subnet] = counts
+        counts.hits += 1
+        if api_enabled:
+            counts.api_hits += 1
+            if cellular_labeled:
+                counts.cellular_hits += 1
+        elif cellular_labeled:
+            raise ValueError("cellular label without API data")
+        hits, api = self.browser_counts.get(browser, (0, 0))
+        self.browser_counts[browser] = (hits + 1, api + (1 if api_enabled else 0))
+
+    def observe_browser_batch(
+        self, browser: Browser, hits: int, api_hits: int
+    ) -> None:
+        """Accumulate aggregated per-browser counters (fast path)."""
+        if not 0 <= api_hits <= hits:
+            raise ValueError("need 0 <= api_hits <= hits")
+        prev_hits, prev_api = self.browser_counts.get(browser, (0, 0))
+        self.browser_counts[browser] = (prev_hits + hits, prev_api + api_hits)
+
+    @classmethod
+    def from_hits(cls, month: str, hits) -> "BeaconDataset":
+        """Aggregate an iterable of :class:`~repro.cdn.logs.BeaconHit`.
+
+        The ingestion path a real deployment uses: raw per-page-load
+        records stream in (e.g. via ``repro.cdn.logs.read_jsonl``) and
+        fold into per-subnet counts without ever being held in memory.
+        Hits from other months are rejected -- the BEACON dataset is a
+        monthly collection.
+        """
+        dataset = cls(month=month)
+        for hit in hits:
+            if hit.month != month:
+                raise ValueError(
+                    f"hit from {hit.month} in a {month} collection"
+                )
+            dataset.observe_hit(
+                subnet=hit.subnet,
+                asn=hit.asn,
+                country=hit.country,
+                browser=hit.browser,
+                api_enabled=hit.api_enabled,
+                cellular_labeled=hit.is_cellular_labeled,
+            )
+        return dataset
+
+    # ---- aggregate views -------------------------------------------------
+
+    def subnets(self, family: Optional[int] = None) -> List[SubnetBeaconCounts]:
+        """Subnets with any hits, optionally filtered by family."""
+        if family is None:
+            return list(self._by_subnet.values())
+        return [
+            counts
+            for counts in self._by_subnet.values()
+            if counts.subnet.family == family
+        ]
+
+    @property
+    def total_hits(self) -> int:
+        return sum(counts.hits for counts in self._by_subnet.values())
+
+    @property
+    def total_api_hits(self) -> int:
+        return sum(counts.api_hits for counts in self._by_subnet.values())
+
+    def hits_by_asn(self) -> Dict[int, int]:
+        """Total beacon hits per ASN (AS filtering rule 2 input)."""
+        totals: Dict[int, int] = {}
+        for counts in self._by_subnet.values():
+            totals[counts.asn] = totals.get(counts.asn, 0) + counts.hits
+        return totals
+
+    def api_share(self) -> float:
+        """Fraction of hits with functional API data (Figure 1 total)."""
+        hits = self.total_hits
+        return self.total_api_hits / hits if hits else 0.0
+
+    # ---- persistence -----------------------------------------------------
+
+    def dump(self, stream: IO[str]) -> int:
+        """Write the dataset as JSONL (header line + one line per subnet)."""
+        header = {
+            "month": self.month,
+            "browsers": {
+                browser.value: list(counts)
+                for browser, counts in self.browser_counts.items()
+            },
+        }
+        stream.write(json.dumps(header, separators=(",", ":")))
+        stream.write("\n")
+        count = 0
+        for counts in self._by_subnet.values():
+            stream.write(counts.to_json())
+            stream.write("\n")
+            count += 1
+        return count
+
+    @classmethod
+    def load(cls, stream: IO[str]) -> "BeaconDataset":
+        """Read a dataset back from :meth:`dump` output."""
+        header_line = stream.readline()
+        if not header_line.strip():
+            raise ValueError("missing BEACON header line")
+        header = json.loads(header_line)
+        dataset = cls(month=header["month"])
+        for name, (hits, api) in header.get("browsers", {}).items():
+            dataset.browser_counts[Browser(name)] = (hits, api)
+        for line in stream:
+            line = line.strip()
+            if line:
+                dataset.add_counts(SubnetBeaconCounts.from_json(line))
+        return dataset

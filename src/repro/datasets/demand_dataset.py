@@ -1,0 +1,177 @@
+"""The DEMAND dataset: per-subnet Demand Units.
+
+Section 3.2: daily request counts are aggregated per /24 and /48 over a
+seven-day window, then normalized into unit-less Demand Units (DU) out
+of 100,000 -- each DU is 0.001% of global request demand, so
+``1000 DU == 1%``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import IO, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.net.prefix import Prefix
+
+#: The normalization constant of section 3.2.
+DEMAND_UNIT_TOTAL = 100_000.0
+
+
+def fraction_to_du(fraction: float) -> float:
+    """Convert a fraction of global demand to Demand Units."""
+    return fraction * DEMAND_UNIT_TOTAL
+
+
+def du_to_fraction(du: float) -> float:
+    """Convert Demand Units to a fraction of global demand."""
+    return du / DEMAND_UNIT_TOTAL
+
+
+@dataclass
+class SubnetDemand:
+    """Demand Units attributed to one subnet."""
+
+    subnet: Prefix
+    asn: int
+    country: str
+    du: float
+
+    def __post_init__(self) -> None:
+        if self.du < 0:
+            raise ValueError(f"{self.subnet}: demand must be non-negative")
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "subnet": str(self.subnet),
+                "asn": self.asn,
+                "country": self.country,
+                "du": self.du,
+            },
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "SubnetDemand":
+        raw = json.loads(line)
+        return cls(
+            subnet=Prefix.parse(raw["subnet"]),
+            asn=raw["asn"],
+            country=raw["country"],
+            du=raw["du"],
+        )
+
+
+class DemandDataset:
+    """Normalized platform demand for one collection window."""
+
+    def __init__(self, window_days: int = 7) -> None:
+        if window_days <= 0:
+            raise ValueError("window must cover at least one day")
+        self.window_days = window_days
+        self._by_subnet: Dict[Prefix, SubnetDemand] = {}
+
+    # ---- construction ----------------------------------------------------
+
+    @classmethod
+    def from_request_totals(
+        cls,
+        totals: Iterable[Tuple[Prefix, int, str, float]],
+        window_days: int = 7,
+    ) -> "DemandDataset":
+        """Build from raw ``(subnet, asn, country, requests)`` totals.
+
+        Request totals are normalized so all subnets sum to
+        :data:`DEMAND_UNIT_TOTAL` Demand Units.
+        """
+        dataset = cls(window_days=window_days)
+        rows = list(totals)
+        grand_total = sum(row[3] for row in rows)
+        if grand_total <= 0:
+            raise ValueError("no requests to normalize")
+        for subnet, asn, country, requests in rows:
+            if requests < 0:
+                raise ValueError(f"{subnet}: negative request count")
+            if requests == 0:
+                continue
+            du = DEMAND_UNIT_TOTAL * requests / grand_total
+            dataset._add(SubnetDemand(subnet, asn, country, du))
+        return dataset
+
+    def _add(self, record: SubnetDemand) -> None:
+        if record.subnet in self._by_subnet:
+            raise ValueError(f"duplicate demand subnet {record.subnet}")
+        self._by_subnet[record.subnet] = record
+
+    # ---- lookups -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._by_subnet)
+
+    def __contains__(self, subnet: Prefix) -> bool:
+        return subnet in self._by_subnet
+
+    def __iter__(self) -> Iterator[SubnetDemand]:
+        return iter(self._by_subnet.values())
+
+    def get(self, subnet: Prefix) -> Optional[SubnetDemand]:
+        return self._by_subnet.get(subnet)
+
+    def du_of(self, subnet: Prefix) -> float:
+        """Demand Units of a subnet (0 if the subnet saw no requests)."""
+        record = self._by_subnet.get(subnet)
+        return record.du if record is not None else 0.0
+
+    def subnets(self, family: Optional[int] = None) -> List[SubnetDemand]:
+        if family is None:
+            return list(self._by_subnet.values())
+        return [
+            record
+            for record in self._by_subnet.values()
+            if record.subnet.family == family
+        ]
+
+    @property
+    def total_du(self) -> float:
+        return sum(record.du for record in self._by_subnet.values())
+
+    # ---- rollups -----------------------------------------------------------
+
+    def du_by_asn(self) -> Dict[int, float]:
+        totals: Dict[int, float] = {}
+        for record in self._by_subnet.values():
+            totals[record.asn] = totals.get(record.asn, 0.0) + record.du
+        return totals
+
+    def du_by_country(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for record in self._by_subnet.values():
+            totals[record.country] = totals.get(record.country, 0.0) + record.du
+        return totals
+
+    # ---- persistence ---------------------------------------------------------
+
+    def dump(self, stream: IO[str]) -> int:
+        header = {"window_days": self.window_days}
+        stream.write(json.dumps(header, separators=(",", ":")))
+        stream.write("\n")
+        count = 0
+        for record in self._by_subnet.values():
+            stream.write(record.to_json())
+            stream.write("\n")
+            count += 1
+        return count
+
+    @classmethod
+    def load(cls, stream: IO[str]) -> "DemandDataset":
+        header_line = stream.readline()
+        if not header_line.strip():
+            raise ValueError("missing DEMAND header line")
+        header = json.loads(header_line)
+        dataset = cls(window_days=header["window_days"])
+        for line in stream:
+            line = line.strip()
+            if line:
+                dataset._add(SubnetDemand.from_json(line))
+        return dataset

@@ -1,0 +1,117 @@
+"""Carrier ground truth for validation (section 4.2).
+
+The paper obtained per-subnet cellular / non-cellular labels from three
+operators: a large mixed European provider (Carrier A), a large
+dedicated U.S. MNO (Carrier B), and a large mixed Middle-East MNO
+(Carrier C).  We export equivalent prefix lists from the generated
+world for matching carrier archetypes.  Only validation code consumes
+these; the classifier never sees them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.net.asn import ASType
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+from repro.world.build import World
+from repro.world.geo import Continent
+
+
+@dataclass(frozen=True)
+class CarrierGroundTruth:
+    """Operator-provided subnet labels for one carrier."""
+
+    label: str
+    asn: int
+    country: str
+    mixed: bool
+    cellular: Tuple[Prefix, ...]
+    fixed: Tuple[Prefix, ...]
+
+    @property
+    def all_prefixes(self) -> Tuple[Prefix, ...]:
+        return self.cellular + self.fixed
+
+    def truth_trie(self, family: int = 4) -> PrefixTrie:
+        """Trie mapping the carrier's prefixes to their truth labels."""
+        trie = PrefixTrie(family)
+        for prefix in self.cellular:
+            if prefix.family == family:
+                trie.insert(prefix, True)
+        for prefix in self.fixed:
+            if prefix.family == family:
+                trie.insert(prefix, False)
+        return trie
+
+
+def ground_truth_for_asn(world: World, asn: int, label: str = "") -> CarrierGroundTruth:
+    """Export the ground-truth subnet lists of one AS."""
+    record = world.topology.registry.get(asn)
+    subnets = world.allocation.by_asn.get(asn, [])
+    cellular = tuple(s.prefix for s in subnets if s.is_cellular)
+    fixed = tuple(s.prefix for s in subnets if not s.is_cellular)
+    return CarrierGroundTruth(
+        label=label or record.name,
+        asn=asn,
+        country=record.country,
+        mixed=record.as_type is ASType.CELLULAR_MIXED,
+        cellular=cellular,
+        fixed=fixed,
+    )
+
+
+def _largest_carrier(
+    world: World,
+    continents: Tuple[Continent, ...],
+    as_type: ASType,
+    countries: Optional[Tuple[str, ...]] = None,
+) -> int:
+    """ASN of the highest-cellular-demand carrier matching the filter."""
+    best_asn, best_demand = None, -1.0
+    for plan in world.topology.cellular_plans():
+        record = plan.record
+        if record.as_type is not as_type:
+            continue
+        if countries is not None and record.country not in countries:
+            continue
+        continent = world.geography.get(record.country).continent
+        if continent not in continents:
+            continue
+        if plan.cellular_demand > best_demand:
+            best_asn, best_demand = record.asn, plan.cellular_demand
+    if best_asn is None:
+        raise LookupError("no carrier matches the archetype filter")
+    return best_asn
+
+
+#: Countries standing in for "the Middle East" in our geography.
+_MIDDLE_EAST = ("AE", "SA", "IR", "TR")
+
+
+def carrier_archetypes(world: World) -> Dict[str, CarrierGroundTruth]:
+    """The paper's three validation carriers, selected from the world.
+
+    - ``Carrier A``: large mixed European provider,
+    - ``Carrier B``: large dedicated U.S. MNO,
+    - ``Carrier C``: large mixed Middle-East MNO.
+    """
+    carrier_a = _largest_carrier(
+        world, (Continent.EUROPE,), ASType.CELLULAR_MIXED
+    )
+    carrier_b = _largest_carrier(
+        world,
+        (Continent.NORTH_AMERICA,),
+        ASType.CELLULAR_DEDICATED,
+        countries=("US",),
+    )
+    carrier_c = _largest_carrier(
+        world, (Continent.ASIA,), ASType.CELLULAR_MIXED, countries=_MIDDLE_EAST
+    )
+    return {
+        "Carrier A": ground_truth_for_asn(world, carrier_a, "Carrier A"),
+        "Carrier B": ground_truth_for_asn(world, carrier_b, "Carrier B"),
+        "Carrier C": ground_truth_for_asn(world, carrier_c, "Carrier C"),
+    }

@@ -1,0 +1,185 @@
+"""Client-subnet -> resolver affinities (after Chen et al., section 6.3).
+
+The CDN observes which recursive resolver asks for each client's
+content; joining that with demand gives a weighted association between
+client subnets and resolver addresses.  We generate the equivalent:
+every demand-active subnet of an access AS is assigned a resolver --
+one of the operator's own (honoring per-resolver serving policies) or
+a public service, with per-carrier public-DNS adoption from the
+calibration profiles.
+
+Client locations are drawn per subnet: fixed-line subnets cluster near
+the operator's resolver site, cellular subnets spread over the whole
+country (cellular cores are centralized), which reproduces the paper's
+finding that in some mixed carriers cellular clients sit ~1,500 miles
+from resolvers that are proximal to the fixed customers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.dns.public import normalized_popularity
+from repro.dns.resolvers import Resolver, deploy_resolvers
+from repro.datasets.demand_dataset import DemandDataset
+from repro.net.prefix import Prefix
+from repro.world.build import World
+from repro.world.geo import haversine_km
+
+#: Degrees of geographic spread for client draw (roughly country-sized
+#: for cellular clients, metro-sized for fixed ones).
+_CELLULAR_SPREAD_DEG = 12.0
+_FIXED_SPREAD_DEG = 0.8
+
+
+@dataclass(frozen=True)
+class AffinityRecord:
+    """One (client subnet, resolver) association with demand weight."""
+
+    subnet: Prefix
+    asn: int
+    country: str
+    resolver: Resolver
+    du: float
+    client_latitude: float
+    client_longitude: float
+
+    @property
+    def distance_km(self) -> Optional[float]:
+        """Great-circle distance to the resolver (None for anycast)."""
+        if self.resolver.is_public:
+            return None
+        return haversine_km(
+            self.client_latitude,
+            self.client_longitude,
+            self.resolver.latitude,
+            self.resolver.longitude,
+        )
+
+
+class ResolverAffinity:
+    """All affinity records plus lookup indices."""
+
+    def __init__(self, records: Iterable[AffinityRecord]) -> None:
+        self._records = list(records)
+        self._by_resolver: Dict[str, List[AffinityRecord]] = {}
+        self._by_asn: Dict[int, List[AffinityRecord]] = {}
+        for record in self._records:
+            self._by_resolver.setdefault(
+                record.resolver.resolver_id, []
+            ).append(record)
+            self._by_asn.setdefault(record.asn, []).append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[AffinityRecord]:
+        return iter(self._records)
+
+    def records_of_resolver(self, resolver_id: str) -> List[AffinityRecord]:
+        return self._by_resolver.get(resolver_id, [])
+
+    def records_of_asn(self, asn: int) -> List[AffinityRecord]:
+        return self._by_asn.get(asn, [])
+
+    def resolvers(self) -> List[Resolver]:
+        """Distinct resolvers with at least one client."""
+        seen: Dict[str, Resolver] = {}
+        for record in self._records:
+            seen.setdefault(record.resolver.resolver_id, record.resolver)
+        return list(seen.values())
+
+    def asns(self) -> List[int]:
+        return list(self._by_asn)
+
+
+def build_affinity(
+    world: World,
+    demand: DemandDataset,
+    seed_salt: str = "affinity",
+) -> ResolverAffinity:
+    """Generate affinities for every demand-active access-network subnet."""
+    operator_resolvers, public_resolvers = deploy_resolvers(world)
+    public_weights = normalized_popularity()
+    public_by_service: Dict[str, List[Resolver]] = {}
+    for resolver in public_resolvers:
+        public_by_service.setdefault(resolver.service, []).append(resolver)
+
+    records: List[AffinityRecord] = []
+    for subnet_demand in demand:
+        asn = subnet_demand.asn
+        resolvers = operator_resolvers.get(asn)
+        if not resolvers:
+            continue  # not an access network
+        plan = world.topology.plans[asn]
+        subnet_plan = world.allocation.by_prefix.get(subnet_demand.subnet)
+        if subnet_plan is None:
+            continue
+        rng = world.rng(f"{seed_salt}:{subnet_demand.subnet}")
+        cellular_client = subnet_plan.is_cellular
+        country = world.geography.get(subnet_plan.country)
+        spread = _CELLULAR_SPREAD_DEG if cellular_client else _FIXED_SPREAD_DEG
+        client_lat = _clamp_lat(country.latitude + rng.uniform(-spread, spread))
+        client_lon = _wrap_lon(country.longitude + rng.uniform(-spread, spread))
+
+        def emit(resolver: Resolver, du: float) -> None:
+            if du <= 0:
+                return
+            records.append(
+                AffinityRecord(
+                    subnet=subnet_demand.subnet,
+                    asn=asn,
+                    country=subnet_plan.country,
+                    resolver=resolver,
+                    du=du,
+                    client_latitude=client_lat,
+                    client_longitude=client_lon,
+                )
+            )
+
+        # A /24 holds many clients, so its demand is a *weighted
+        # association* over several resolvers, not a single pick.
+        public_rate = plan.public_dns_fraction if cellular_client else 0.02
+        public_du = subnet_demand.du * public_rate
+        if public_du > 0:
+            for service, weight in public_weights.items():
+                emit(rng.choice(public_by_service[service]), public_du * weight)
+
+        operator_du = subnet_demand.du - public_du
+        candidates = [r for r in resolvers if r.policy.serves(cellular_client)]
+        if not candidates:
+            candidates = resolvers
+        splits = [rng.random() + 0.2 for _ in candidates]
+        split_total = sum(splits)
+        for resolver, split in zip(candidates, splits):
+            emit(resolver, operator_du * split / split_total)
+    return ResolverAffinity(records)
+
+
+def _draw_public(
+    rng: random.Random,
+    by_service: Dict[str, List[Resolver]],
+    weights: Dict[str, float],
+) -> Resolver:
+    roll = rng.random()
+    running = 0.0
+    for service, weight in weights.items():
+        running += weight
+        if roll < running:
+            return rng.choice(by_service[service])
+    last_service = next(reversed(weights))
+    return rng.choice(by_service[last_service])
+
+
+def _clamp_lat(latitude: float) -> float:
+    return min(max(latitude, -90.0), 90.0)
+
+
+def _wrap_lon(longitude: float) -> float:
+    while longitude > 180.0:
+        longitude -= 360.0
+    while longitude < -180.0:
+        longitude += 360.0
+    return longitude

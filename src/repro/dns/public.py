@@ -1,0 +1,53 @@
+"""Public DNS services (section 6.3, Figure 10).
+
+The paper measures cellular demand resolved through three popular
+public services: GoogleDNS, OpenDNS, and Level3.  Each service is an
+anycast deployment, so from the CDN's perspective it appears as a
+small set of well-known resolver addresses used from everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.net.addr import parse_ipv4
+
+
+@dataclass(frozen=True)
+class PublicDNSService:
+    """One public anycast DNS service."""
+
+    name: str
+    #: Well-known resolver addresses (dotted quads).
+    addresses: Tuple[str, ...]
+    #: Relative popularity among clients that use public DNS at all.
+    popularity: float
+
+    def __post_init__(self) -> None:
+        if not self.addresses:
+            raise ValueError(f"{self.name}: needs at least one address")
+        if self.popularity <= 0:
+            raise ValueError(f"{self.name}: popularity must be positive")
+        for address in self.addresses:
+            parse_ipv4(address)  # raises on malformed input
+
+
+#: The three services of Figure 10, with Google dominating adoption.
+PUBLIC_SERVICES: Tuple[PublicDNSService, ...] = (
+    PublicDNSService("GoogleDNS", ("8.8.8.8", "8.8.4.4"), popularity=0.72),
+    PublicDNSService("OpenDNS", ("208.67.222.222", "208.67.220.220"), popularity=0.18),
+    PublicDNSService("Level3", ("4.2.2.1", "4.2.2.2"), popularity=0.10),
+)
+
+
+def service_by_name() -> Dict[str, PublicDNSService]:
+    return {service.name: service for service in PUBLIC_SERVICES}
+
+
+def normalized_popularity() -> Dict[str, float]:
+    """Service popularity normalized to sum to 1."""
+    total = sum(service.popularity for service in PUBLIC_SERVICES)
+    return {
+        service.name: service.popularity / total for service in PUBLIC_SERVICES
+    }

@@ -1,0 +1,143 @@
+"""Resolver records and per-AS resolver deployment.
+
+Every access network operates a handful of recursive resolvers.  In
+mixed ASes the paper finds ~60% of resolvers *shared* between cellular
+and fixed-line customers, ~20% dedicated to each side (Figure 9); we
+plant that structure via a per-resolver serving policy that the
+affinity builder honors.  Resolvers carry a location so the distance
+analysis (the Fortaleza/Sao Paulo case) can measure how far clients
+sit from their resolver.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dns.public import PUBLIC_SERVICES, PublicDNSService
+from repro.net.asn import ASType
+from repro.world.build import World
+
+
+class ServingPolicy(enum.Enum):
+    """Which customer classes an operator resolver serves."""
+
+    SHARED = "shared"
+    CELLULAR_ONLY = "cellular_only"
+    FIXED_ONLY = "fixed_only"
+
+    def serves(self, cellular_client: bool) -> bool:
+        if self is ServingPolicy.SHARED:
+            return True
+        if self is ServingPolicy.CELLULAR_ONLY:
+            return cellular_client
+        return not cellular_client
+
+
+@dataclass(frozen=True)
+class Resolver:
+    """One recursive resolver (operator-run or public anycast)."""
+
+    resolver_id: str
+    asn: Optional[int]
+    service: Optional[str]
+    country: Optional[str]
+    latitude: float
+    longitude: float
+    policy: ServingPolicy = ServingPolicy.SHARED
+
+    def __post_init__(self) -> None:
+        if (self.asn is None) == (self.service is None):
+            raise ValueError(
+                "resolver must be either operator-run (asn) or public (service)"
+            )
+
+    @property
+    def is_public(self) -> bool:
+        return self.service is not None
+
+
+#: Mixed-network policy mix targeted by the generator (Figure 9).
+_MIXED_POLICY_WEIGHTS = (
+    (ServingPolicy.SHARED, 0.60),
+    (ServingPolicy.CELLULAR_ONLY, 0.20),
+    (ServingPolicy.FIXED_ONLY, 0.20),
+)
+
+
+def _draw_policy(rng: random.Random) -> ServingPolicy:
+    roll = rng.random()
+    running = 0.0
+    for policy, weight in _MIXED_POLICY_WEIGHTS:
+        running += weight
+        if roll < running:
+            return policy
+    return ServingPolicy.SHARED
+
+
+def deploy_resolvers(
+    world: World, seed_salt: str = "resolvers"
+) -> Tuple[Dict[int, List[Resolver]], List[Resolver]]:
+    """Deploy resolvers for every access AS, plus the public services.
+
+    Returns ``(operator_resolvers_by_asn, public_resolvers)``.
+    Operator resolvers sit at their country's representative point
+    (the "capital" site), which is what makes the mixed-carrier
+    distance asymmetry measurable: fixed customers cluster near that
+    site while cellular clients are assigned from the whole country.
+    """
+    by_asn: Dict[int, List[Resolver]] = {}
+    for plan in world.topology.plans.values():
+        if not plan.record.as_type.is_access:
+            continue
+        country = world.geography.get(plan.record.country)
+        rng = world.rng(f"{seed_salt}:{plan.record.asn}")
+        count = rng.randint(2, 6)
+        mixed = plan.record.as_type is ASType.CELLULAR_MIXED
+        resolvers = []
+        for index in range(count):
+            policy = _draw_policy(rng) if mixed else ServingPolicy.SHARED
+            resolvers.append(
+                Resolver(
+                    resolver_id=f"AS{plan.record.asn}-r{index}",
+                    asn=plan.record.asn,
+                    service=None,
+                    country=country.iso2,
+                    latitude=country.latitude + rng.uniform(-0.4, 0.4),
+                    longitude=country.longitude + rng.uniform(-0.4, 0.4),
+                    policy=policy,
+                )
+            )
+        if mixed:
+            # Both customer classes must always have a usable resolver.
+            for cellular_client in (True, False):
+                if not any(r.policy.serves(cellular_client) for r in resolvers):
+                    first = resolvers[0]
+                    resolvers[0] = Resolver(
+                        resolver_id=first.resolver_id,
+                        asn=first.asn,
+                        service=None,
+                        country=first.country,
+                        latitude=first.latitude,
+                        longitude=first.longitude,
+                        policy=ServingPolicy.SHARED,
+                    )
+        by_asn[plan.record.asn] = resolvers
+
+    public: List[Resolver] = []
+    for service in PUBLIC_SERVICES:
+        for address in service.addresses:
+            public.append(
+                Resolver(
+                    resolver_id=f"{service.name}:{address}",
+                    asn=None,
+                    service=service.name,
+                    country=None,
+                    latitude=0.0,
+                    longitude=0.0,
+                    policy=ServingPolicy.SHARED,
+                )
+            )
+    return by_asn, public

@@ -1,0 +1,33 @@
+"""Temporal evolution: how cellular address space shifts over months.
+
+Section 8 of the paper names this as future work: "how cellular
+addresses evolve over time, both in their assignment to cellular
+end-users, and how demand shifts across cellular address space".  This
+package implements that study over the synthetic substrate:
+
+- :mod:`repro.evolution.drift` -- month-over-month world evolution:
+  demand drift, cellular block deactivation, reserve activation, and
+  occasional reassignment of blocks between access classes.
+- :mod:`repro.evolution.churn` -- monthly re-classification plus churn
+  metrics (Jaccard stability, additions/removals, demand-weighted
+  stability) over the detected cellular set.
+"""
+
+from repro.evolution.churn import (
+    ChurnReport,
+    MonthlyCensus,
+    churn_between,
+    prefix_list_staleness,
+    run_monthly_census,
+)
+from repro.evolution.drift import EvolutionConfig, evolve_world
+
+__all__ = [
+    "ChurnReport",
+    "EvolutionConfig",
+    "MonthlyCensus",
+    "churn_between",
+    "prefix_list_staleness",
+    "evolve_world",
+    "run_monthly_census",
+]

@@ -1,0 +1,151 @@
+"""Monthly census and churn metrics over detected cellular space.
+
+Re-runs the identification pipeline on each month's generated BEACON
+data and measures how stable the detected cellular set is -- the
+longitudinal question the paper leaves to future work, and the one a
+consumer of a cellular prefix list cares about most ("how stale is a
+one-month-old snapshot?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Set
+
+from repro.cdn.beacon import BeaconConfig, BeaconGenerator
+from repro.cdn.demand import DemandGenerator
+from repro.core.classifier import ClassificationResult, SubnetClassifier
+from repro.core.ratios import RatioTable
+from repro.datasets.demand_dataset import DemandDataset
+from repro.evolution.drift import EvolutionConfig, evolve_world
+from repro.net.prefix import Prefix
+from repro.world.build import World
+from repro.world.population import month_range
+
+
+@dataclass(frozen=True)
+class ChurnReport:
+    """Stability of the detected cellular set between two months."""
+
+    added: int
+    removed: int
+    stable: int
+    #: Jaccard similarity of the two detected sets.
+    jaccard: float
+    #: Fraction of the later month's cellular demand in stable subnets.
+    stable_demand_fraction: float
+
+    @property
+    def churn_rate(self) -> float:
+        """(added + removed) / union -- 0 means a frozen map."""
+        union = self.added + self.removed + self.stable
+        return (self.added + self.removed) / union if union else 0.0
+
+
+@dataclass
+class MonthlyCensus:
+    """Per-month pipeline outputs for one evolving world."""
+
+    months: List[int]
+    classifications: Dict[int, ClassificationResult]
+    demands: Dict[int, DemandDataset]
+
+    def cellular_set(self, month: int) -> Set[Prefix]:
+        return self.classifications[month].cellular_set()
+
+    def reports(self) -> List[ChurnReport]:
+        """Churn between each consecutive month pair."""
+        result = []
+        for earlier, later in zip(self.months, self.months[1:]):
+            result.append(
+                churn_between(
+                    self.cellular_set(earlier),
+                    self.cellular_set(later),
+                    self.demands[later],
+                )
+            )
+        return result
+
+
+def churn_between(
+    before: Set[Prefix],
+    after: Set[Prefix],
+    demand: Optional[DemandDataset] = None,
+) -> ChurnReport:
+    """Churn metrics between two detected cellular sets."""
+    stable = before & after
+    added = after - before
+    removed = before - after
+    union = before | after
+    if demand is not None:
+        after_du = sum(demand.du_of(prefix) for prefix in after)
+        stable_du = sum(demand.du_of(prefix) for prefix in stable)
+        stable_fraction = stable_du / after_du if after_du > 0 else 1.0
+    else:
+        stable_fraction = len(stable) / len(after) if after else 1.0
+    return ChurnReport(
+        added=len(added),
+        removed=len(removed),
+        stable=len(stable),
+        jaccard=len(stable) / len(union) if union else 1.0,
+        stable_demand_fraction=stable_fraction,
+    )
+
+
+def prefix_list_staleness(
+    census: "MonthlyCensus", base_month: int = 0
+) -> float:
+    """Demand coverage of a frozen cellular map at the final month.
+
+    The consumer question: if I exported the prefix list at
+    ``base_month`` and never refreshed it, what fraction of the final
+    month's cellular demand would it still cover?
+    """
+    if base_month not in census.classifications:
+        raise KeyError(f"no census for month {base_month}")
+    final_month = census.months[-1]
+    base = census.cellular_set(base_month)
+    final = census.cellular_set(final_month)
+    demand = census.demands[final_month]
+    total = sum(demand.du_of(prefix) for prefix in final)
+    if total <= 0:
+        return 1.0
+    covered = sum(
+        demand.du_of(prefix) for prefix in final if prefix in base
+    )
+    return covered / total
+
+
+def run_monthly_census(
+    world: World,
+    months: int = 3,
+    evolution: EvolutionConfig = EvolutionConfig(),
+    beacon_config: Optional[BeaconConfig] = None,
+    threshold: float = 0.5,
+) -> MonthlyCensus:
+    """Classify each month of an evolving world.
+
+    Month 0 is the base snapshot; months 1..N apply cumulative drift.
+    Each month gets freshly generated BEACON and DEMAND data.
+    """
+    if months < 1:
+        raise ValueError("need at least one month after the base snapshot")
+    classifier = SubnetClassifier(threshold=threshold)
+    indices = list(range(months + 1))
+    classifications: Dict[int, ClassificationResult] = {}
+    demands: Dict[int, DemandDataset] = {}
+    base_config = beacon_config or BeaconConfig()
+    # Advance the calendar month per snapshot so each month's beacon
+    # randomness is independent (the generator seeds on the month).
+    calendar = month_range("2016-12", "2019-12")
+    for month in indices:
+        snapshot = evolve_world(world, month, evolution)
+        config = replace(base_config, month=calendar[month])
+        beacons = BeaconGenerator(snapshot, config).summarize()
+        classifications[month] = classifier.classify(
+            RatioTable.from_beacons(beacons)
+        )
+        demands[month] = DemandGenerator(snapshot).build_dataset()
+    return MonthlyCensus(
+        months=indices, classifications=classifications, demands=demands
+    )

@@ -1,0 +1,115 @@
+"""Month-over-month world evolution.
+
+Evolution is *cumulative and deterministic*: month k's world is derived
+from the base world by applying k rounds of per-subnet transitions, each
+drawn from an RNG keyed on (seed, month, prefix), so any month can be
+rebuilt independently and two runs agree exactly.
+
+Transitions per month:
+
+- **demand drift** -- every demand-active subnet's weight takes a
+  lognormal step (carrier demand grows/shrinks smoothly);
+- **deactivation** -- a small fraction of active cellular blocks go
+  quiet (CGN pools rotate out of use);
+- **activation** -- a small fraction of the carrier's inactive reserve
+  blocks come alive (new CGN egresses), with a fresh tethering profile;
+- **reassignment** -- rarely, an active cellular block is repurposed to
+  fixed-line use or vice versa (the hard case for any static prefix
+  list, and the reason the paper wants longitudinal tracking).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.world.allocation import AllocationPlan, SubnetPlan
+from repro.world.build import World
+
+
+@dataclass(frozen=True)
+class EvolutionConfig:
+    """Monthly transition rates."""
+
+    demand_drift_sigma: float = 0.20
+    deactivation_rate: float = 0.04
+    activation_rate: float = 0.05
+    reassignment_rate: float = 0.01
+    seed_salt: str = "evolution"
+
+    def __post_init__(self) -> None:
+        for name in ("deactivation_rate", "activation_rate", "reassignment_rate"):
+            value = getattr(self, name)
+            if not 0 <= value < 1:
+                raise ValueError(f"{name} must be in [0, 1)")
+        if self.demand_drift_sigma < 0:
+            raise ValueError("demand_drift_sigma must be non-negative")
+
+
+def evolve_world(
+    world: World, months: int, config: EvolutionConfig = EvolutionConfig()
+) -> World:
+    """The world as it stands ``months`` steps after the base snapshot.
+
+    ``months=0`` returns the base world unchanged.
+    """
+    if months < 0:
+        raise ValueError("months must be non-negative")
+    if months == 0:
+        return world
+    subnets = list(world.subnets())
+    for month in range(1, months + 1):
+        subnets = [
+            _evolve_subnet(world, config, month, subnet) for subnet in subnets
+        ]
+    allocation = AllocationPlan()
+    for subnet in subnets:
+        allocation.add(subnet)
+    return replace(world, allocation=allocation, _truth_tries={})
+
+
+def _evolve_subnet(
+    world: World, config: EvolutionConfig, month: int, subnet: SubnetPlan
+) -> SubnetPlan:
+    rng = random.Random(
+        f"{world.params.seed}:{config.seed_salt}:{month}:{subnet.prefix}"
+    )
+    demand = subnet.demand_weight
+    coverage = subnet.beacon_coverage
+    is_cellular = subnet.is_cellular
+    label_rate = subnet.cellular_label_rate
+
+    if demand > 0 and config.demand_drift_sigma > 0:
+        demand *= rng.lognormvariate(0.0, config.demand_drift_sigma)
+
+    active = coverage > 0 or demand > 0
+    if subnet.is_cellular and active and rng.random() < config.deactivation_rate:
+        # CGN pool rotated out: block goes quiet but stays cellular.
+        demand = 0.0
+        coverage = 0.0
+    elif subnet.is_cellular and not active and rng.random() < config.activation_rate:
+        # Reserve block brought online as a fresh CGN egress.
+        demand = rng.uniform(1e-7, 5e-5)
+        coverage = 1.0
+        label_rate = rng.uniform(0.75, 0.97)
+    elif not subnet.proxy_like and rng.random() < config.reassignment_rate:
+        # Repurposed between access classes.
+        is_cellular = not is_cellular
+        label_rate = (
+            rng.uniform(0.75, 0.97) if is_cellular else rng.uniform(0.0, 0.005)
+        )
+
+    if (
+        demand == subnet.demand_weight
+        and coverage == subnet.beacon_coverage
+        and is_cellular == subnet.is_cellular
+        and label_rate == subnet.cellular_label_rate
+    ):
+        return subnet
+    return replace(
+        subnet,
+        demand_weight=demand,
+        beacon_coverage=coverage,
+        is_cellular=is_cellular,
+        cellular_label_rate=label_rate,
+    )

@@ -1,0 +1,85 @@
+"""Figure 10: public DNS usage in selected cellular operators.
+
+Paper anchors: U.S. operators resolve < 2% of cellular demand through
+public DNS; a large Indian operator ~40%; both Hong Kong operators
+> 55%; a Nigerian operator high; an Algerian operator ~97% (a DNS
+forwarder); GoogleDNS dominates the public share everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.dns.analysis import public_dns_usage
+from repro.experiments.base import Comparison, ExperimentResult, experiment
+from repro.lab import Lab
+
+#: country -> paper-reported public fraction for its featured operator.
+PAPER_FRACTIONS = {
+    "US": 0.015,
+    "BR": 0.12,
+    "VN": 0.22,
+    "SA": 0.32,
+    "IN": 0.40,
+    "HK": 0.58,
+    "NG": 0.70,
+    "DZ": 0.97,
+}
+
+
+@experiment("fig10")
+def run(lab: Lab) -> ExperimentResult:
+    result = lab.result
+    ranked = sorted(
+        result.operators.values(), key=lambda p: p.cellular_du, reverse=True
+    )
+    featured = {}
+    for country in PAPER_FRACTIONS:
+        candidates = [p for p in ranked if p.country == country]
+        if candidates:
+            featured[country] = candidates[0].asn
+    usage = public_dns_usage(
+        lab.affinity, result.classification, featured.values()
+    )
+    rows = []
+    comparisons = []
+    for country, asn in featured.items():
+        record = usage[asn]
+        rows.append(
+            [
+                f"{country} (AS{asn})",
+                f"{100 * record.service_fraction('GoogleDNS'):.1f}%",
+                f"{100 * record.service_fraction('OpenDNS'):.1f}%",
+                f"{100 * record.service_fraction('Level3'):.1f}%",
+                f"{100 * record.public_fraction:.1f}%",
+            ]
+        )
+        comparisons.append(
+            Comparison(
+                f"{country} public DNS fraction",
+                PAPER_FRACTIONS[country],
+                record.public_fraction,
+                0.6,
+            )
+        )
+    us_fraction = usage[featured["US"]].public_fraction
+    dz_fraction = usage[featured["DZ"]].public_fraction
+    comparisons.append(
+        Comparison("ordering: DZ far above US", 1.0,
+                   1.0 if dz_fraction > 10 * us_fraction else 0.0, 0.01)
+    )
+    google_dominates = all(
+        usage[asn].service_fraction("GoogleDNS")
+        >= usage[asn].service_fraction("OpenDNS")
+        for asn in featured.values()
+        if usage[asn].public_fraction > 0.01
+    )
+    comparisons.append(
+        Comparison("GoogleDNS dominates public share", 1.0,
+                   1.0 if google_dominates else 0.0, 0.01)
+    )
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Public DNS usage among cellular demand, featured operators",
+        headers=["operator", "GoogleDNS", "OpenDNS", "Level3", "total public"],
+        rows=rows,
+        comparisons=comparisons,
+    )

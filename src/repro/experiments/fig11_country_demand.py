@@ -1,0 +1,63 @@
+"""Figure 11: top countries per continent by share of global cellular
+demand.
+
+Paper anchors: the U.S. alone exceeds 30% of global cellular demand,
+the top 5 countries hold 55.7%, and the top 20 hold 80%.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.country import (
+    country_demand_stats,
+    top_countries_by_continent,
+    top_country_share,
+)
+from repro.experiments.base import Comparison, ExperimentResult, experiment
+from repro.lab import Lab
+from repro.world.geo import CONTINENT_NAMES, Continent
+
+PAPER_US_SHARE = 0.305
+PAPER_TOP5 = 0.557
+PAPER_TOP20 = 0.80
+
+
+@experiment("fig11")
+def run(lab: Lab) -> ExperimentResult:
+    result = lab.result
+    stats = country_demand_stats(
+        result.classification,
+        lab.demand,
+        lab.world.geography,
+        restrict_to_asns=set(result.operators),
+    )
+    grouped = top_countries_by_continent(stats, count=5)
+    rows = []
+    for continent in Continent:
+        top = grouped[continent]
+        rows.append(
+            [CONTINENT_NAMES[continent]]
+            + [
+                f"{row.iso2} {100 * row.global_cellular_share:.2f}%"
+                for row in top
+            ]
+            + [""] * (5 - len(top))
+        )
+    us_share = stats["US"].global_cellular_share if "US" in stats else 0.0
+    top_country = max(stats.values(), key=lambda r: r.global_cellular_share)
+    comparisons = [
+        Comparison("U.S. share of global cellular demand", PAPER_US_SHARE,
+                   us_share, 0.4),
+        Comparison("top-5 country share", PAPER_TOP5,
+                   top_country_share(stats, 5), 0.3),
+        Comparison("top-20 country share", PAPER_TOP20,
+                   top_country_share(stats, 20), 0.25),
+        Comparison("the U.S. is the top cellular country", 1.0,
+                   1.0 if top_country.iso2 == "US" else 0.0, 0.01),
+    ]
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Top countries per continent, share of global cellular demand",
+        headers=["Continent", "#1", "#2", "#3", "#4", "#5"],
+        rows=rows,
+        comparisons=comparisons,
+    )

@@ -1,0 +1,88 @@
+"""Figure 12: countries by cellular demand vs cellular fraction.
+
+The frontier countries the paper calls out: the U.S. (largest demand
+but only 16.6% cellular), Ghana (95.9% cellular), Laos (87.1%),
+Indonesia (63% cellular *and* a top-5 cellular market), with most of
+Europe and the Americas clustered below a 0.2 cellular fraction and
+Africa/Asia populating the cellular-dominant right side.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.country import country_demand_stats, frontier_countries
+from repro.experiments.base import Comparison, ExperimentResult, experiment
+from repro.lab import Lab
+from repro.world.geo import Continent
+
+PAPER_FRACTIONS = {
+    "GH": 0.959,
+    "LA": 0.871,
+    "ID": 0.63,
+    "US": 0.166,
+    "FR": 0.121,
+}
+
+
+@experiment("fig12")
+def run(lab: Lab) -> ExperimentResult:
+    result = lab.result
+    stats = country_demand_stats(
+        result.classification,
+        lab.demand,
+        lab.world.geography,
+        restrict_to_asns=set(result.operators),
+    )
+    frontier = frontier_countries(stats)
+    rows = [
+        [
+            row.iso2,
+            f"{100 * row.cellular_fraction:.1f}%",
+            f"{100 * row.global_cellular_share:.2f}%",
+        ]
+        for row in frontier[:15]
+    ]
+    comparisons = []
+    for iso2, paper_fraction in PAPER_FRACTIONS.items():
+        if iso2 in stats:
+            comparisons.append(
+                Comparison(
+                    f"{iso2} cellular fraction",
+                    paper_fraction,
+                    stats[iso2].cellular_fraction,
+                    0.35,
+                )
+            )
+    # Cluster check: most European + American countries sit below 0.25.
+    low_cluster = [
+        row
+        for row in stats.values()
+        if row.continent in (Continent.EUROPE, Continent.NORTH_AMERICA,
+                             Continent.SOUTH_AMERICA)
+    ]
+    below = sum(1 for row in low_cluster if row.cellular_fraction < 0.25)
+    comparisons.append(
+        Comparison(
+            "EU/NA/SA countries below 0.25 cellular fraction",
+            0.8,
+            below / len(low_cluster) if low_cluster else 0.0,
+            0.3,
+        )
+    )
+    comparisons.append(
+        Comparison(
+            "Ghana is the most cellular-reliant country",
+            1.0,
+            1.0
+            if max(stats.values(), key=lambda r: r.cellular_fraction).iso2
+            in ("GH", "LA")
+            else 0.0,
+            0.01,
+        )
+    )
+    return ExperimentResult(
+        experiment_id="fig12",
+        title="Frontier countries: cellular fraction vs demand share",
+        headers=["country", "cellular fraction", "global cellular share"],
+        rows=rows,
+        comparisons=comparisons,
+    )

@@ -1,0 +1,92 @@
+"""Figure 8: ranked /24 subnet demand, cellular vs fixed, in a large
+mixed European ISP.
+
+Paper anchors: ~25 cellular /24s capture 99.3% of the carrier's
+cellular demand, after which per-subnet demand drops by ~2 orders of
+magnitude; the fixed-line curve decays gradually over ~3 orders of
+magnitude more subnets; every top-25 cellular subnet out-demands the
+largest fixed subnet despite cellular being only ~5% of the AS's
+demand.  (At reduced world scale the covering set shrinks with subnet
+counts; we compare the scale-adjusted value and the shape checks.)
+"""
+
+from __future__ import annotations
+
+from repro.analysis.concentration import subnet_demand_concentration
+from repro.experiments.base import Comparison, ExperimentResult, experiment
+from repro.experiments.fig6_case_studies import _pick_case_studies
+from repro.lab import Lab
+
+PAPER_COVERING = 25
+
+
+@experiment("fig8")
+def run(lab: Lab) -> ExperimentResult:
+    _, mixed = _pick_case_studies(lab)
+    report = subnet_demand_concentration(
+        lab.result.classification, lab.demand, mixed.asn
+    )
+    ranks = (1, 2, 5, 10, 25, 100)
+    rows = []
+    for label, curve in (
+        ("cellular", report.cellular_curve),
+        ("fixed", report.fixed_curve),
+    ):
+        shares = dict(curve)
+        rows.append(
+            [label]
+            + [
+                f"{100 * shares[rank]:.3f}%" if rank in shares else "-"
+                for rank in ranks
+            ]
+        )
+    top_cellular_du = report.cellular_curve[0][1] * report.cellular_du
+    top_fixed_du = report.fixed_curve[0][1] * report.fixed_du
+    # Absolute covering-set sizes scale with subnet counts, so the
+    # scale-free statement is relative concentration: reaching 99.3% of
+    # fixed demand takes a far larger *fraction* of the fixed subnet
+    # population than it does of the cellular one (paper: 25/514 = 4.9%
+    # of cellular subnets vs a gradual fixed curve spanning ~3 orders
+    # of magnitude more blocks).
+    cellular_fraction = report.cellular_covering_993 / max(
+        report.cellular_subnet_count, 1
+    )
+    fixed_fraction = report.fixed_covering_993 / max(report.fixed_subnet_count, 1)
+    comparisons = [
+        Comparison(
+            "fixed/cellular covering-fraction ratio (cellular more concentrated)",
+            12.0,
+            fixed_fraction / cellular_fraction if cellular_fraction else float("inf"),
+            0.92,
+        ),
+        Comparison(
+            "fixed/cellular covering-set gap (orders of magnitude > 0)",
+            1000.0,
+            report.concentration_gap,
+            0.999,  # shape check: passes while gap > 1
+        ),
+        Comparison(
+            "cellular demand more concentrated (gini cell - gini fixed)",
+            0.3,
+            report.cellular_gini - report.fixed_gini,
+            1.2,
+        ),
+        Comparison(
+            "top cellular subnet out-demands top fixed subnet",
+            1.0,
+            1.0 if top_cellular_du > top_fixed_du else 0.0,
+            0.01,
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="fig8",
+        title=f"Ranked subnet demand shares in mixed AS{mixed.asn}",
+        headers=["class"] + [f"rank {rank}" for rank in ranks],
+        rows=rows,
+        comparisons=comparisons,
+        notes=[
+            f"cellular subnets: {report.cellular_subnet_count}, "
+            f"fixed subnets: {report.fixed_subnet_count}; covering set "
+            f"scales with world scale {lab.world.params.scale:g}"
+        ],
+    )

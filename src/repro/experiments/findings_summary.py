@@ -1,0 +1,38 @@
+"""Sections 6.4 & 7.3: the paper's summarized key findings.
+
+Nine claims, evaluated as executable checks against the lab -- the
+capstone experiment that confirms the individual reproductions add up
+to the paper's narrative.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import evaluate_key_findings
+from repro.experiments.base import Comparison, ExperimentResult, experiment
+from repro.lab import Lab
+
+
+@experiment("findings")
+def run(lab: Lab) -> ExperimentResult:
+    findings = evaluate_key_findings(lab)
+    rows = [
+        [finding.section, finding.claim, finding.measured,
+         "holds" if finding.holds else "FAILS"]
+        for finding in findings
+    ]
+    comparisons = [
+        Comparison(
+            f"{finding.section}: {finding.claim[:50]}",
+            1.0,
+            1.0 if finding.holds else 0.0,
+            0.01,
+        )
+        for finding in findings
+    ]
+    return ExperimentResult(
+        experiment_id="findings",
+        title="Summary of key findings (sections 6.4 and 7.3)",
+        headers=["section", "claim", "measured", "verdict"],
+        rows=rows,
+        comparisons=comparisons,
+    )

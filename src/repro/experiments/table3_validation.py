@@ -1,0 +1,88 @@
+"""Table 3: classification accuracy against carrier ground truth.
+
+Paper anchors (threshold 0.5): precision >= 0.97 everywhere; Carrier
+B (dedicated US) near-perfect in both scopes; Carrier A (mixed EU)
+has low CIDR recall (0.10 -- the method misses low-activity cellular
+subnets) but high demand-weighted recall (0.82); Carrier C in between
+(CIDR recall 0.79, demand 0.98).
+"""
+
+from __future__ import annotations
+
+from repro.core.validation import validate_many
+from repro.experiments.base import Comparison, ExperimentResult, experiment
+from repro.lab import Lab
+
+#: (carrier, scope) -> (paper precision, paper recall)
+PAPER = {
+    ("Carrier A", "cidr"): (0.97, 0.10),
+    ("Carrier A", "demand"): (0.99, 0.82),
+    ("Carrier B", "cidr"): (1.0, 0.99),
+    ("Carrier B", "demand"): (1.0, 0.99),
+    ("Carrier C", "cidr"): (0.98, 0.79),
+    ("Carrier C", "demand"): (0.98, 0.98),
+}
+
+
+@experiment("table3")
+def run(lab: Lab) -> ExperimentResult:
+    validations = validate_many(
+        lab.result.classification, lab.carriers.values(), lab.demand
+    )
+    rows = []
+    comparisons = []
+    for label in sorted(validations):
+        validation = validations[label]
+        for scope, confusion in (
+            ("cidr", validation.by_cidr),
+            ("demand", validation.by_demand),
+        ):
+            rows.append(
+                [
+                    label,
+                    scope.upper(),
+                    f"{confusion.tp:.2f}",
+                    f"{confusion.fp:.2f}",
+                    f"{confusion.tn:.2f}",
+                    f"{confusion.fn:.2f}",
+                    f"{confusion.precision:.2f}",
+                    f"{confusion.recall:.2f}",
+                    f"{confusion.f1:.2f}",
+                ]
+            )
+            paper_precision, paper_recall = PAPER[(label, scope)]
+            comparisons.append(
+                Comparison(
+                    f"{label} {scope} precision", paper_precision,
+                    confusion.precision, 0.08,
+                )
+            )
+            # CIDR recall is structurally a lower bound whose exact
+            # value tracks how much *inactive* address space a carrier
+            # lists (Carrier A listed ~90k CIDRs); compare within an
+            # order of magnitude rather than tightly.
+            comparisons.append(
+                Comparison(
+                    f"{label} {scope} recall", paper_recall,
+                    confusion.recall, 5.0 if scope == "cidr" else 0.25,
+                )
+            )
+    # The method's signature property: demand recall beats CIDR recall
+    # for mixed carriers (low-activity subnets are what it misses).
+    carrier_a = validations["Carrier A"]
+    comparisons.append(
+        Comparison(
+            "Carrier A: demand recall - CIDR recall",
+            0.72,
+            carrier_a.by_demand.recall - carrier_a.by_cidr.recall,
+            0.8,
+        )
+    )
+    return ExperimentResult(
+        experiment_id="table3",
+        title="Classification accuracy per ground-truth carrier",
+        headers=["carrier", "scope", "TP", "FP", "TN", "FN",
+                 "precision", "recall", "F1"],
+        rows=rows,
+        comparisons=comparisons,
+    )

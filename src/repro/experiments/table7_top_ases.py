@@ -1,0 +1,52 @@
+"""Table 7: the top ten cellular ASes by demand.
+
+Paper anchors: ranks 1-3 all U.S. (9.4%, 9.2%, 5.7%), India at rank 4
+(4.5%), 4 of the top 5 in the U.S., 7 of the top 10 in the U.S. or
+Japan, the top 6 all dedicated, and exactly 3 mixed operators in the
+top 10.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.operators import top_operators
+from repro.experiments.base import Comparison, ExperimentResult, experiment
+from repro.lab import Lab
+
+PAPER_RANK1_SHARE = 0.094
+PAPER_RANK2_SHARE = 0.092
+PAPER_US_IN_TOP5 = 4
+PAPER_US_JP_IN_TOP10 = 7
+PAPER_MIXED_IN_TOP10 = 3
+
+
+@experiment("table7")
+def run(lab: Lab) -> ExperimentResult:
+    top = top_operators(lab.result.operators.values(), count=10)
+    rows = [
+        [row.rank, row.country, f"{100 * row.demand_share:.1f}%",
+         "yes" if row.mixed else ""]
+        for row in top
+    ]
+    us_top5 = sum(1 for row in top[:5] if row.country == "US")
+    us_jp_top10 = sum(1 for row in top if row.country in ("US", "JP"))
+    mixed_top10 = sum(1 for row in top if row.mixed)
+    dedicated_top6 = sum(1 for row in top[:6] if not row.mixed)
+    comparisons = [
+        Comparison("rank-1 share", PAPER_RANK1_SHARE, top[0].demand_share, 0.35),
+        Comparison("rank-2 share", PAPER_RANK2_SHARE, top[1].demand_share, 0.35),
+        Comparison("rank 1 is a U.S. operator", 1.0,
+                   1.0 if top[0].country == "US" else 0.0, 0.01),
+        Comparison("U.S. operators in top 5", PAPER_US_IN_TOP5, us_top5, 0.3),
+        Comparison("U.S.+Japan operators in top 10", PAPER_US_JP_IN_TOP10,
+                   us_jp_top10, 0.45),
+        Comparison("mixed operators in top 10", PAPER_MIXED_IN_TOP10,
+                   mixed_top10, 0.7),
+        Comparison("dedicated operators in top 6", 6, dedicated_top6, 0.35),
+    ]
+    return ExperimentResult(
+        experiment_id="table7",
+        title="Top ten ASes by global cellular demand",
+        headers=["Rank", "Country", "Demand (%)", "Mixed"],
+        rows=rows,
+        comparisons=comparisons,
+    )

@@ -1,0 +1,108 @@
+"""Table 8: cellular demand statistics by continent (China excluded).
+
+Paper anchors: 16.2% of global demand is cellular overall; continent
+cellular fractions OC 23.4%, AF 25.5%, SA 12.5%, EU 11.8%, NA 16.6%,
+Asia 26.0%; global cellular shares Asia 38.9%, NA 35%, EU 15.9%,
+SA 4.1%, OC 3.0%, AF 2.9%; Oceania leads demand per subscriber and
+Africa trails.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.continent import (
+    continent_demand,
+    global_cellular_fraction,
+)
+from repro.experiments.base import Comparison, ExperimentResult, experiment
+from repro.lab import Lab
+from repro.world.geo import CONTINENT_NAMES, Continent
+
+#: continent -> (cellular fraction, global cellular share)
+PAPER = {
+    Continent.OCEANIA: (0.234, 0.030),
+    Continent.AFRICA: (0.255, 0.029),
+    Continent.SOUTH_AMERICA: (0.125, 0.041),
+    Continent.EUROPE: (0.118, 0.159),
+    Continent.NORTH_AMERICA: (0.166, 0.35),
+    Continent.ASIA: (0.260, 0.389),
+}
+PAPER_GLOBAL = 0.162
+
+
+@experiment("table8")
+def run(lab: Lab) -> ExperimentResult:
+    result = lab.result
+    accepted = set(result.operators)
+    rows_by_continent = continent_demand(
+        result.classification,
+        lab.demand,
+        lab.world.geography,
+        restrict_to_asns=accepted,
+    )
+    order = [
+        Continent.OCEANIA,
+        Continent.AFRICA,
+        Continent.SOUTH_AMERICA,
+        Continent.EUROPE,
+        Continent.NORTH_AMERICA,
+        Continent.ASIA,
+    ]
+    rows = []
+    comparisons = []
+    for continent in order:
+        row = rows_by_continent[continent]
+        rows.append(
+            [
+                CONTINENT_NAMES[continent],
+                f"{100 * row.cellular_fraction:.1f}%",
+                f"{100 * row.global_cellular_share:.1f}%",
+                f"{row.subscribers_m:,.0f}",
+                f"{row.demand_per_1000_subscribers:.4f}",
+            ]
+        )
+        paper_fraction, paper_share = PAPER[continent]
+        comparisons.append(
+            Comparison(
+                f"{CONTINENT_NAMES[continent]} cellular fraction",
+                paper_fraction, row.cellular_fraction, 0.45,
+            )
+        )
+        comparisons.append(
+            Comparison(
+                f"{CONTINENT_NAMES[continent]} global cellular share",
+                paper_share, row.global_cellular_share, 0.55,
+            )
+        )
+    measured_global = global_cellular_fraction(rows_by_continent)
+    rows.append(
+        ["Overall", f"{100 * measured_global:.1f}%", "100%", "", ""]
+    )
+    per_sub = {
+        continent: rows_by_continent[continent].demand_per_1000_subscribers
+        for continent in order
+    }
+    comparisons.extend(
+        [
+            Comparison("global cellular fraction", PAPER_GLOBAL, measured_global, 0.35),
+            Comparison(
+                "Oceania leads demand per subscriber",
+                1.0,
+                1.0 if per_sub[Continent.OCEANIA] == max(per_sub.values()) else 0.0,
+                0.01,
+            ),
+            Comparison(
+                "Africa trails demand per subscriber",
+                1.0,
+                1.0 if per_sub[Continent.AFRICA] == min(per_sub.values()) else 0.0,
+                0.01,
+            ),
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="table8",
+        title="Cellular demand statistics by continent (China excluded)",
+        headers=["Continent", "Cellular fraction", "Global cellular share",
+                 "Subscribers (M)", "DU / 1000 subscribers"],
+        rows=rows,
+        comparisons=comparisons,
+    )

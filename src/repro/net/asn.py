@@ -1,0 +1,136 @@
+"""Autonomous-system records and the AS-type taxonomy.
+
+The paper's AS-level filtering (section 5.1) distinguishes access
+networks from content/cloud/proxy networks using CAIDA's classification.
+:class:`ASType` is the superset of roles the world generator plants and
+the CAIDA-style dataset coarsens into Transit/Access vs Content vs
+Enterprise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class ASType(enum.Enum):
+    """Ground-truth role of an AS in the generated topology."""
+
+    #: Dedicated cellular carrier (only cellular access customers).
+    CELLULAR_DEDICATED = "cellular_dedicated"
+    #: Mixed carrier: cellular and fixed-line customers in one AS.
+    CELLULAR_MIXED = "cellular_mixed"
+    #: Fixed-line-only access ISP (DSL / cable / FTTH).
+    FIXED_ACCESS = "fixed_access"
+    #: Transit / backbone network.
+    TRANSIT = "transit"
+    #: Content / hosting network (CDN, portals).
+    CONTENT = "content"
+    #: Cloud infrastructure (looks cellular via VPN egress — a planted
+    #: false-positive source, cf. AWS / Digital Ocean in section 5).
+    CLOUD = "cloud"
+    #: Performance-enhancing proxy network for mobile browsers
+    #: (cf. Google's Flywheel and Opera Mini in section 5).
+    PROXY = "proxy"
+    #: Enterprise network.
+    ENTERPRISE = "enterprise"
+
+    @property
+    def is_cellular(self) -> bool:
+        """True for ASes that genuinely house cellular access customers."""
+        return self in (ASType.CELLULAR_DEDICATED, ASType.CELLULAR_MIXED)
+
+    @property
+    def is_access(self) -> bool:
+        """True for end-user access networks of any technology."""
+        return self.is_cellular or self is ASType.FIXED_ACCESS
+
+
+class CAIDAClass(enum.Enum):
+    """CAIDA-style AS classification labels (section 5.1, heuristic 3)."""
+
+    TRANSIT_ACCESS = "Transit/Access"
+    CONTENT = "Content"
+    ENTERPRISE = "Enterprise"
+    UNKNOWN = "Unknown"
+
+
+#: How ground-truth roles coarsen into CAIDA classes (before dataset noise).
+CAIDA_CLASS_OF_TYPE = {
+    ASType.CELLULAR_DEDICATED: CAIDAClass.TRANSIT_ACCESS,
+    ASType.CELLULAR_MIXED: CAIDAClass.TRANSIT_ACCESS,
+    ASType.FIXED_ACCESS: CAIDAClass.TRANSIT_ACCESS,
+    ASType.TRANSIT: CAIDAClass.TRANSIT_ACCESS,
+    ASType.CONTENT: CAIDAClass.CONTENT,
+    ASType.CLOUD: CAIDAClass.CONTENT,
+    ASType.PROXY: CAIDAClass.CONTENT,
+    ASType.ENTERPRISE: CAIDAClass.ENTERPRISE,
+}
+
+
+@dataclass(frozen=True)
+class ASRecord:
+    """One autonomous system in the generated world.
+
+    ``asn`` is the AS number, ``country`` an ISO-3166 alpha-2 code, and
+    ``as_type`` the *hidden* ground-truth role: the identification
+    pipeline never reads it, only validation code does.
+    """
+
+    asn: int
+    name: str
+    country: str
+    as_type: ASType
+    #: Optional operator brand shared by sibling ASes of one carrier.
+    org: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"AS number must be positive: {self.asn}")
+        if len(self.country) != 2 or not self.country.isupper():
+            raise ValueError(f"country must be ISO alpha-2: {self.country!r}")
+
+    @property
+    def is_cellular(self) -> bool:
+        """Ground truth: does this AS house cellular customers?"""
+        return self.as_type.is_cellular
+
+
+@dataclass
+class ASRegistry:
+    """Index of :class:`ASRecord` by ASN with by-country/type queries."""
+
+    _records: dict = field(default_factory=dict)
+
+    def add(self, record: ASRecord) -> None:
+        if record.asn in self._records:
+            raise ValueError(f"duplicate ASN {record.asn}")
+        self._records[record.asn] = record
+
+    def get(self, asn: int) -> ASRecord:
+        return self._records[asn]
+
+    def find(self, asn: int) -> Optional[ASRecord]:
+        return self._records.get(asn)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records.values())
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._records
+
+    def by_country(self, country: str):
+        """All ASes registered in ``country`` (ISO alpha-2)."""
+        return [rec for rec in self._records.values() if rec.country == country]
+
+    def by_type(self, as_type: ASType):
+        """All ASes with the given ground-truth role."""
+        return [rec for rec in self._records.values() if rec.as_type is as_type]
+
+    def cellular_asns(self):
+        """Ground-truth set of cellular ASNs (dedicated + mixed)."""
+        return {rec.asn for rec in self._records.values() if rec.is_cellular}

@@ -1,0 +1,196 @@
+"""Binary radix trie over prefixes with longest-prefix match.
+
+Ground-truth carrier lists (section 4.2) and the world generator's
+allocation plans are sets of CIDR blocks; classification and validation
+need "which block does this address/subnet fall in" lookups.  A binary
+trie keyed on prefix bits gives exact insert/lookup/delete plus
+longest-prefix match in O(prefix length).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.net.prefix import Prefix
+
+
+#: Sentinel distinguishing "stored None" from "absent" in lookups.
+_MISSING = object()
+
+
+class _Node:
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children = [None, None]
+        self.value = None
+        self.has_value = False
+
+
+class PrefixTrie:
+    """Map from :class:`Prefix` to arbitrary values, per address family.
+
+    A single trie instance holds one family; mixing families raises.
+    """
+
+    def __init__(self, family: int) -> None:
+        if family not in (4, 6):
+            raise ValueError(f"unknown address family: {family}")
+        self.family = family
+        self._root = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return self.get(prefix, default=_MISSING) is not _MISSING
+
+    def _check_family(self, family: int) -> None:
+        if family != self.family:
+            raise ValueError(
+                f"IPv{family} key in IPv{self.family} trie"
+            )
+
+    def insert(self, prefix: Prefix, value) -> None:
+        """Insert or replace the value stored at ``prefix``."""
+        self._check_family(prefix.family)
+        node = self._root
+        for bit in prefix.key_bits():
+            index = int(bit)
+            if node.children[index] is None:
+                node.children[index] = _Node()
+            node = node.children[index]
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def get(self, prefix: Prefix, default=None):
+        """Exact-match lookup of ``prefix``."""
+        self._check_family(prefix.family)
+        node = self._root
+        for bit in prefix.key_bits():
+            node = node.children[int(bit)]
+            if node is None:
+                return default
+        return node.value if node.has_value else default
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Delete ``prefix`` if present; returns whether it was there.
+
+        Nodes left empty are pruned so memory tracks live entries.
+        """
+        self._check_family(prefix.family)
+        path = []
+        node = self._root
+        for bit in prefix.key_bits():
+            index = int(bit)
+            child = node.children[index]
+            if child is None:
+                return False
+            path.append((node, index))
+            node = child
+        if not node.has_value:
+            return False
+        node.value = None
+        node.has_value = False
+        self._size -= 1
+        for parent, index in reversed(path):
+            child = parent.children[index]
+            if child.has_value or child.children[0] or child.children[1]:
+                break
+            parent.children[index] = None
+        return True
+
+    def longest_match(
+        self, family: int, address: int
+    ) -> Optional[Tuple[Prefix, object]]:
+        """The most-specific stored prefix containing ``address``, or None."""
+        self._check_family(family)
+        bits = 32 if family == 4 else 128
+        node = self._root
+        best: Optional[Tuple[Prefix, object]] = None
+        if node.has_value:
+            best = (Prefix.make(family, 0, 0), node.value)
+        value_bits = 0
+        for depth in range(1, bits + 1):
+            index = (address >> (bits - depth)) & 1
+            node = node.children[index]
+            if node is None:
+                break
+            value_bits = (value_bits << 1) | index
+            if node.has_value:
+                prefix = Prefix.make(family, value_bits << (bits - depth), depth)
+                best = (prefix, node.value)
+        return best
+
+    def match_prefix(self, prefix: Prefix) -> Optional[Tuple[Prefix, object]]:
+        """The most-specific stored prefix covering all of ``prefix``."""
+        result = self.longest_match(prefix.family, prefix.value)
+        while result is not None:
+            found, value = result
+            if found.contains_prefix(prefix):
+                return found, value
+            if found.length == 0:
+                return None
+            result = self._match_shorter(prefix.value, found.length - 1)
+        return None
+
+    def _match_shorter(self, address: int, max_length: int):
+        """Longest match for ``address`` restricted to length <= max_length."""
+        bits = 32 if self.family == 4 else 128
+        node = self._root
+        best = None
+        if node.has_value:
+            best = (Prefix.make(self.family, 0, 0), node.value)
+        value_bits = 0
+        for depth in range(1, max_length + 1):
+            index = (address >> (bits - depth)) & 1
+            node = node.children[index]
+            if node is None:
+                break
+            value_bits = (value_bits << 1) | index
+            if node.has_value:
+                prefix = Prefix.make(self.family, value_bits << (bits - depth), depth)
+                best = (prefix, node.value)
+        return best
+
+    def items(self) -> Iterator[Tuple[Prefix, object]]:
+        """Iterate ``(prefix, value)`` pairs in bit order."""
+        bits = 32 if self.family == 4 else 128
+        stack = [(self._root, 0, 0)]
+        while stack:
+            node, value_bits, depth = stack.pop()
+            if node.has_value:
+                yield (
+                    Prefix.make(self.family, value_bits << (bits - depth), depth),
+                    node.value,
+                )
+            for index in (1, 0):
+                child = node.children[index]
+                if child is not None:
+                    stack.append((child, (value_bits << 1) | index, depth + 1))
+
+    def covered_by(self, prefix: Prefix) -> Iterator[Tuple[Prefix, object]]:
+        """Iterate stored entries nested inside (or equal to) ``prefix``."""
+        self._check_family(prefix.family)
+        node = self._root
+        for bit in prefix.key_bits():
+            node = node.children[int(bit)]
+            if node is None:
+                return
+        bits = prefix.bits
+        value_bits = prefix.value >> (bits - prefix.length) if prefix.length else 0
+        stack = [(node, value_bits, prefix.length)]
+        while stack:
+            current, current_bits, depth = stack.pop()
+            if current.has_value:
+                yield (
+                    Prefix.make(self.family, current_bits << (bits - depth), depth),
+                    current.value,
+                )
+            for index in (1, 0):
+                child = current.children[index]
+                if child is not None:
+                    stack.append((child, (current_bits << 1) | index, depth + 1))

@@ -1,0 +1,40 @@
+"""Small statistics toolkit shared by the generator and the analyses.
+
+- :mod:`repro.stats.cdf` -- empirical (optionally weighted) CDFs, the
+  workhorse behind every "CDF of ..." figure in the paper.
+- :mod:`repro.stats.sampling` -- deterministic heavy-tail samplers
+  (Zipf, lognormal, bounded Pareto) used by the demand model.
+- :mod:`repro.stats.confusion` -- binary confusion matrices with
+  precision / recall / F1, supporting both counts and demand weights
+  (Table 3 reports both).
+- :mod:`repro.stats.concentration` -- top-k shares, Gini coefficient,
+  and rank-demand curves (Figures 7 and 8).
+"""
+
+from repro.stats.cdf import EmpiricalCDF
+from repro.stats.concentration import (
+    gini_coefficient,
+    rank_share_curve,
+    top_k_share,
+)
+from repro.stats.confusion import BinaryConfusion
+from repro.stats.sampling import (
+    binomial,
+    bounded_pareto,
+    lognormal_weights,
+    poisson,
+    zipf_weights,
+)
+
+__all__ = [
+    "BinaryConfusion",
+    "EmpiricalCDF",
+    "binomial",
+    "poisson",
+    "bounded_pareto",
+    "gini_coefficient",
+    "lognormal_weights",
+    "rank_share_curve",
+    "top_k_share",
+    "zipf_weights",
+]

@@ -1,0 +1,129 @@
+"""Empirical cumulative distribution functions, optionally weighted.
+
+Every distribution figure in the paper (Figures 2, 4, 5, 6, 9) is an
+empirical CDF, several of them *demand-weighted* (each subnet counts by
+its Demand Units rather than once).  :class:`EmpiricalCDF` covers both.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+class EmpiricalCDF:
+    """An empirical CDF over real values with optional per-value weights.
+
+    ``F(x)`` is the weight fraction of samples with value <= x.  Values
+    are stored sorted; evaluation is a binary search.
+    """
+
+    def __init__(
+        self,
+        values: Iterable[float],
+        weights: Optional[Iterable[float]] = None,
+    ) -> None:
+        values = list(values)
+        if weights is None:
+            weights = [1.0] * len(values)
+        else:
+            weights = list(weights)
+        if len(values) != len(weights):
+            raise ValueError("values and weights must have equal length")
+        if not values:
+            raise ValueError("empty CDF")
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("total weight must be positive")
+        pairs = sorted(zip(values, weights))
+        self._values: List[float] = []
+        self._cumulative: List[float] = []
+        running = 0.0
+        for value, weight in pairs:
+            running += weight
+            if self._values and self._values[-1] == value:
+                self._cumulative[-1] = running
+            else:
+                self._values.append(value)
+                self._cumulative.append(running)
+        self._total = total
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def total_weight(self) -> float:
+        return self._total
+
+    @property
+    def min(self) -> float:
+        return self._values[0]
+
+    @property
+    def max(self) -> float:
+        return self._values[-1]
+
+    def evaluate(self, x: float) -> float:
+        """F(x): fraction of total weight at values <= x."""
+        index = bisect.bisect_right(self._values, x)
+        if index == 0:
+            return 0.0
+        return self._cumulative[index - 1] / self._total
+
+    __call__ = evaluate
+
+    def fraction_below(self, x: float) -> float:
+        """Fraction of weight at values strictly < x."""
+        index = bisect.bisect_left(self._values, x)
+        if index == 0:
+            return 0.0
+        return self._cumulative[index - 1] / self._total
+
+    def fraction_above(self, x: float) -> float:
+        """Fraction of weight at values strictly > x."""
+        return 1.0 - self.evaluate(x)
+
+    def fraction_between(self, low: float, high: float) -> float:
+        """Fraction of weight at values in the closed interval [low, high]."""
+        if high < low:
+            raise ValueError("high must be >= low")
+        return self.evaluate(high) - self.fraction_below(low)
+
+    def quantile(self, q: float) -> float:
+        """Smallest value x with F(x) >= q, for q in (0, 1]."""
+        if not 0 < q <= 1:
+            raise ValueError("quantile level must be in (0, 1]")
+        target = q * self._total
+        # First cumulative weight >= target.
+        low, high = 0, len(self._cumulative) - 1
+        while low < high:
+            mid = (low + high) // 2
+            if self._cumulative[mid] < target - 1e-12:
+                low = mid + 1
+            else:
+                high = mid
+        return self._values[low]
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def points(self) -> Sequence[Tuple[float, float]]:
+        """The CDF as ``(value, F(value))`` steps — ready to plot/print."""
+        return [
+            (value, cum / self._total)
+            for value, cum in zip(self._values, self._cumulative)
+        ]
+
+    def sampled_points(self, count: int) -> Sequence[Tuple[float, float]]:
+        """At most ``count`` evenly spaced steps of the CDF (for display)."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        steps = self.points()
+        if len(steps) <= count:
+            return list(steps)
+        stride = (len(steps) - 1) / (count - 1) if count > 1 else 1
+        indices = sorted({round(i * stride) for i in range(count)})
+        return [steps[i] for i in indices]

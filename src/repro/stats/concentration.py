@@ -1,0 +1,96 @@
+"""Concentration measures for rank-demand analyses.
+
+Sections 6.2 and 7 repeatedly quantify how concentrated demand is:
+"the top 10 cellular ASes account for 38% of global demand", "24 out of
+514 active cellular /24s account for 99.5% of cellular demand", "the
+top 5 countries account for 55.7%".  These helpers compute exactly
+those statistics from weight collections.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def top_k_share(weights: Iterable[float], k: int) -> float:
+    """Fraction of total weight held by the k largest weights.
+
+    >>> top_k_share([5, 3, 1, 1], 2)
+    0.8
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    ordered = sorted((float(w) for w in weights), reverse=True)
+    if any(w < 0 for w in ordered):
+        raise ValueError("weights must be non-negative")
+    total = sum(ordered)
+    if total <= 0:
+        raise ValueError("total weight must be positive")
+    return sum(ordered[:k]) / total
+
+
+def smallest_covering(weights: Iterable[float], fraction: float) -> int:
+    """Minimum number of largest weights needed to cover ``fraction``.
+
+    Used for statements like "25 /24 subnets capture 99.3% of cellular
+    demand": ``smallest_covering(subnet_demands, 0.993)``.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    ordered = sorted((float(w) for w in weights), reverse=True)
+    total = sum(ordered)
+    if total <= 0:
+        raise ValueError("total weight must be positive")
+    target = fraction * total
+    running = 0.0
+    for count, weight in enumerate(ordered, start=1):
+        running += weight
+        if running >= target - 1e-12:
+            return count
+    return len(ordered)
+
+
+def rank_share_curve(weights: Iterable[float]) -> List[Tuple[int, float]]:
+    """``(rank, share_of_total)`` sorted descending — Figures 7 and 8."""
+    ordered = sorted((float(w) for w in weights), reverse=True)
+    total = sum(ordered)
+    if total <= 0:
+        raise ValueError("total weight must be positive")
+    return [(rank, weight / total) for rank, weight in enumerate(ordered, 1)]
+
+
+def cumulative_share_curve(weights: Iterable[float]) -> List[Tuple[int, float]]:
+    """``(rank, cumulative_share)`` sorted descending."""
+    curve = rank_share_curve(weights)
+    running = 0.0
+    result = []
+    for rank, share in curve:
+        running += share
+        result.append((rank, min(running, 1.0)))
+    return result
+
+
+def gini_coefficient(weights: Sequence[float]) -> float:
+    """Gini coefficient of a weight vector, in [0, 1).
+
+    0 = perfectly even; values near 1 = extreme concentration.  Used by
+    the ablation benches to summarize how concentrated cellular demand
+    is compared to fixed-line demand.
+    """
+    ordered = sorted(float(w) for w in weights)
+    if any(w < 0 for w in ordered):
+        raise ValueError("weights must be non-negative")
+    n = len(ordered)
+    if n == 0:
+        raise ValueError("weights must be non-empty")
+    total = sum(ordered)
+    if total <= 0:
+        return 0.0
+    cumulative = 0.0
+    weighted_sum = 0.0
+    for index, weight in enumerate(ordered, start=1):
+        cumulative += weight
+        weighted_sum += cumulative
+    # Standard formula: G = (n + 1 - 2 * sum(cum_i)/total) / n,
+    # clamped against floating-point dust on uniform inputs.
+    return max(0.0, (n + 1 - 2 * weighted_sum / total) / n)

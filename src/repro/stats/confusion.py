@@ -1,0 +1,94 @@
+"""Binary confusion matrices with count and weight accumulation.
+
+Table 3 of the paper reports classification accuracy twice per carrier:
+once counting CIDRs and once weighting each CIDR by its traffic demand.
+:class:`BinaryConfusion` supports both by accepting a weight per
+observation (default 1.0 = plain counting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BinaryConfusion:
+    """Accumulator for a binary classifier's outcomes.
+
+    The "positive" class is *cellular* throughout this library: a true
+    positive is a cellular subnet labeled cellular, a false positive a
+    fixed-line subnet labeled cellular (section 4.2).
+    """
+
+    tp: float = 0.0
+    fp: float = 0.0
+    tn: float = 0.0
+    fn: float = 0.0
+
+    def observe(self, truth: bool, predicted: bool, weight: float = 1.0) -> None:
+        """Record one observation with the given weight."""
+        if weight < 0:
+            raise ValueError("weight must be non-negative")
+        if truth and predicted:
+            self.tp += weight
+        elif truth and not predicted:
+            self.fn += weight
+        elif not truth and predicted:
+            self.fp += weight
+        else:
+            self.tn += weight
+
+    def merge(self, other: "BinaryConfusion") -> "BinaryConfusion":
+        """Element-wise sum of two confusion matrices."""
+        return BinaryConfusion(
+            tp=self.tp + other.tp,
+            fp=self.fp + other.fp,
+            tn=self.tn + other.tn,
+            fn=self.fn + other.fn,
+        )
+
+    @property
+    def total(self) -> float:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def precision(self) -> float:
+        """tp / (tp + fp); 0 when nothing was labeled positive."""
+        denominator = self.tp + self.fp
+        return self.tp / denominator if denominator > 0 else 0.0
+
+    @property
+    def recall(self) -> float:
+        """tp / (tp + fn); 0 when there are no true positives to find."""
+        denominator = self.tp + self.fn
+        return self.tp / denominator if denominator > 0 else 0.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (the paper's accuracy metric)."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """(tp + tn) / total; 0 on an empty matrix."""
+        return (self.tp + self.tn) / self.total if self.total > 0 else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        """fp / (fp + tn); 0 when there are no negatives."""
+        denominator = self.fp + self.tn
+        return self.fp / denominator if denominator > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        """Flat dict of cells and derived metrics (for table rendering)."""
+        return {
+            "tp": self.tp,
+            "fp": self.fp,
+            "tn": self.tn,
+            "fn": self.fn,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "accuracy": self.accuracy,
+        }

@@ -1,0 +1,656 @@
+"""Prefix allocation: turning AS plans into concrete /24 and /48 subnets.
+
+Every subnet carries the hidden truth label (cellular / fixed-line), a
+demand weight (fraction of global demand), and the beacon behaviour
+parameters that drive the Network Information API noise model:
+
+- ``cellular_label_rate`` -- probability an API-enabled beacon hit from
+  the subnet reports ``cellular``.  In truly cellular subnets this is
+  1 minus the tethering/hotspot rate (section 3.1's dominant noise
+  source); in fixed subnets it is the small interface-change noise.
+- ``beacon_coverage`` -- probability the subnet emits beacons at all;
+  the BEACON dataset only covers 73% of DEMAND subnets but 92% of
+  demand (section 3.2), so low-demand subnets lose coverage first.
+  Terminating-proxy subnets have demand but no beacons (section 6.1).
+
+Demand concentration follows the paper's observations: a handful of
+CGN /24s carry ~99% of a carrier's cellular demand (Figure 8), while
+fixed-line demand decays gradually; dedicated carriers also hold many
+near-zero-demand subnets (Figure 6a).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.asn import ASType
+from repro.net.prefix import Prefix
+from repro.stats.sampling import split_integer, zipf_weights
+from repro.world.geo import Continent, Geography
+from repro.world.profiles import (
+    ACTIVE_SLASH24_BY_CONTINENT,
+    ACTIVE_SLASH48_BY_CONTINENT,
+    CELLULAR_SLASH24_BY_CONTINENT,
+    CELLULAR_SLASH48_BY_CONTINENT,
+    CountryProfile,
+)
+from repro.world.topology import ASPlan, Topology
+
+
+@dataclass(frozen=True)
+class AllocationModel:
+    """Knobs of the cellular/fixed demand-and-noise model.
+
+    Defaults reproduce the paper's observations; alternative instances
+    express counterfactuals (``no_cgn`` flattens cellular demand, for
+    ablating how much of the paper's concentration findings are CGN
+    artifacts).
+    """
+
+    #: Fraction of a carrier's cellular subnets that are hot CGN blocks.
+    hot_fraction: float = 0.08
+    #: Share of cellular demand carried by the hot set.
+    hot_share_dedicated: float = 0.95
+    hot_share_mixed: float = 0.993
+    hot_zipf_exponent: float = 1.6
+    #: Tethering-diluted label range of hot blocks (Figure 6a).
+    hot_label_low: float = 0.75
+    hot_label_high: float = 0.93
+    #: Near-pure label range of the cold tail.
+    cold_label_low: float = 0.93
+    cold_label_high: float = 1.0
+    #: Probability a cold block carries zero demand / emits no beacons.
+    cold_zero_demand: float = 0.5
+    cold_no_coverage: float = 0.35
+    #: Zipf exponent of fixed-line subnet demand (flat decay).
+    fixed_zipf_exponent: float = 0.55
+
+    def __post_init__(self) -> None:
+        if not 0 < self.hot_fraction <= 1:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        for name in ("hot_share_dedicated", "hot_share_mixed",
+                     "cold_zero_demand", "cold_no_coverage"):
+            value = getattr(self, name)
+            if not 0 <= value <= 1:
+                raise ValueError(f"{name} must be in [0, 1]")
+        for low, high in (
+            (self.hot_label_low, self.hot_label_high),
+            (self.cold_label_low, self.cold_label_high),
+        ):
+            if not 0 <= low <= high <= 1:
+                raise ValueError("label ranges must satisfy 0<=low<=high<=1")
+        if self.hot_label_low < 0.5:
+            raise ValueError(
+                "hot labels below 0.5 would break the majority rule"
+            )
+
+    @classmethod
+    def no_cgn(cls) -> "AllocationModel":
+        """Counterfactual: cellular demand as flat as fixed-line demand."""
+        return cls(
+            hot_fraction=1.0,
+            hot_share_dedicated=1.0,
+            hot_share_mixed=1.0,
+            hot_zipf_exponent=0.55,
+        )
+
+
+@dataclass(frozen=True)
+class SubnetPlan:
+    """One active /24 or /48 with hidden truth and beacon behaviour."""
+
+    prefix: Prefix
+    asn: int
+    country: str
+    is_cellular: bool
+    demand_weight: float
+    cellular_label_rate: float
+    beacon_coverage: float = 1.0
+    proxy_like: bool = False
+
+    @property
+    def family(self) -> int:
+        return self.prefix.family
+
+
+@dataclass
+class AllocationPlan:
+    """All allocated subnets plus lookup indices."""
+
+    subnets: List[SubnetPlan] = field(default_factory=list)
+    by_prefix: Dict[Prefix, SubnetPlan] = field(default_factory=dict)
+    by_asn: Dict[int, List[SubnetPlan]] = field(default_factory=dict)
+
+    def add(self, plan: SubnetPlan) -> None:
+        if plan.prefix in self.by_prefix:
+            raise ValueError(f"duplicate subnet {plan.prefix}")
+        self.subnets.append(plan)
+        self.by_prefix[plan.prefix] = plan
+        self.by_asn.setdefault(plan.asn, []).append(plan)
+
+    def of_family(self, family: int) -> List[SubnetPlan]:
+        return [s for s in self.subnets if s.family == family]
+
+    def cellular_subnets(self, family: Optional[int] = None) -> List[SubnetPlan]:
+        return [
+            s
+            for s in self.subnets
+            if s.is_cellular and (family is None or s.family == family)
+        ]
+
+    def total_demand(self) -> float:
+        return sum(s.demand_weight for s in self.subnets)
+
+
+class _AddressAllocator:
+    """Hands out non-overlapping per-AS blocks of /24s and /48s."""
+
+    def __init__(self) -> None:
+        # IPv4 /16 blocks starting at 1.0.0.0; IPv6 /32s under 2a00::/12.
+        self._next_slash16 = 1 << 24
+        self._next_slash32 = 0x2A00 << 112
+
+    def take_slash24s(self, count: int) -> List[Prefix]:
+        """Allocate ``count`` consecutive /24s from fresh /16 blocks."""
+        blocks_needed = max(1, math.ceil(count / 256))
+        base = self._next_slash16
+        self._next_slash16 += blocks_needed << 16
+        return [Prefix(4, base + (index << 8), 24) for index in range(count)]
+
+    def take_slash48s(self, count: int) -> List[Prefix]:
+        """Allocate ``count`` consecutive /48s from fresh /32 blocks."""
+        blocks_needed = max(1, math.ceil(count / 65536))
+        base = self._next_slash32
+        self._next_slash32 += blocks_needed << 96
+        return [Prefix(6, base + (index << 80), 48) for index in range(count)]
+
+
+def build_allocation(
+    geography: Geography,
+    profiles: Dict[str, CountryProfile],
+    topology: Topology,
+    scale: float = 0.01,
+    seed: int = 0,
+    model: Optional[AllocationModel] = None,
+) -> AllocationPlan:
+    """Allocate all active subnets of the world at the given scale.
+
+    ``scale`` multiplies the full-scale continent subnet totals; 1.0
+    reproduces the paper's absolute counts (4.8M active /24s), the
+    default 0.01 keeps worlds laptop-sized while preserving fractions.
+    """
+    if not 0 < scale <= 1:
+        raise ValueError("scale must be in (0, 1]")
+    model = model or AllocationModel()
+    plan = AllocationPlan()
+    allocator = _AddressAllocator()
+    rng = random.Random(f"{seed}:allocation")
+
+    cell24 = _country_counts(
+        geography, profiles, CELLULAR_SLASH24_BY_CONTINENT, scale,
+        weight=lambda c, p: geography.get(c).subscribers_m,
+    )
+    fixed24 = _country_counts(
+        geography, profiles,
+        _subtract(ACTIVE_SLASH24_BY_CONTINENT, CELLULAR_SLASH24_BY_CONTINENT),
+        scale,
+        weight=lambda c, p: max(p.demand_share, 0.01),
+    )
+    cell48 = _country_counts(
+        geography, profiles, CELLULAR_SLASH48_BY_CONTINENT, scale,
+        weight=lambda c, p: p.ipv6_as_count * math.sqrt(
+            geography.get(c).subscribers_m + 1.0
+        ),
+    )
+    fixed48 = _country_counts(
+        geography, profiles,
+        _subtract(ACTIVE_SLASH48_BY_CONTINENT, CELLULAR_SLASH48_BY_CONTINENT),
+        scale,
+        weight=lambda c, p: max(p.demand_share, 0.01),
+    )
+
+    for iso2 in sorted(profiles):
+        country_rng = random.Random(f"{seed}:allocation:{iso2}")
+        _allocate_country(
+            plan,
+            allocator,
+            country_rng,
+            topology,
+            iso2,
+            cell24.get(iso2, 0),
+            fixed24.get(iso2, 0),
+            cell48.get(iso2, 0),
+            fixed48.get(iso2, 0),
+            model,
+        )
+
+    _allocate_special_ases(plan, allocator, rng, topology, scale)
+    _allocate_background(plan, allocator, rng, topology)
+    return plan
+
+
+def _subtract(totals: Dict, minus: Dict) -> Dict:
+    return {key: max(totals[key] - minus.get(key, 0), 0) for key in totals}
+
+
+def _country_counts(
+    geography: Geography,
+    profiles: Dict[str, CountryProfile],
+    continent_totals: Dict[Continent, int],
+    scale: float,
+    weight,
+) -> Dict[str, int]:
+    """Split scaled continent subnet totals across profiled countries."""
+    counts: Dict[str, int] = {}
+    rng = random.Random("country-counts")
+    for continent, total in continent_totals.items():
+        scaled_total = round(total * scale)
+        members = [
+            iso2
+            for iso2, profile in profiles.items()
+            if iso2 in geography
+            and geography.get(iso2).continent is continent
+        ]
+        if not members or scaled_total <= 0:
+            continue
+        weights = [max(weight(iso2, profiles[iso2]), 1e-9) for iso2 in members]
+        parts = split_integer(rng, scaled_total, weights)
+        for iso2, part in zip(members, parts):
+            counts[iso2] = part
+    return counts
+
+
+def _allocate_country(
+    plan: AllocationPlan,
+    allocator: _AddressAllocator,
+    rng: random.Random,
+    topology: Topology,
+    iso2: str,
+    n_cell24: int,
+    n_fixed24: int,
+    n_cell48: int,
+    n_fixed48: int,
+    model: AllocationModel,
+) -> None:
+    country_plans = topology.plans_in_country(iso2)
+    cellular = [p for p in country_plans if p.record.is_cellular]
+    fixed_isps = [
+        p for p in country_plans if p.record.as_type is ASType.FIXED_ACCESS
+    ]
+    mixed = [
+        p for p in cellular if p.record.as_type is ASType.CELLULAR_MIXED
+    ]
+
+    # Decide IPv6 subnet counts up front so the IPv4 pass knows which
+    # carriers really carry IPv6 traffic (demand is split only then).
+    cell48_parts: Dict[int, int] = {}
+    ipv6_cellular = [p for p in cellular if p.ipv6_deployed]
+    if ipv6_cellular:
+        weights = [max(p.cellular_demand, 1e-12) for p in ipv6_cellular]
+        for carrier, count in zip(
+            ipv6_cellular, split_integer(rng, max(n_cell48, 0), weights)
+        ):
+            # Every IPv6-deployed carrier announces at least one /48,
+            # even when a small continent's scaled quota rounds away.
+            cell48_parts[carrier.asn] = max(count, 1)
+
+    fixed48_parts: Dict[int, int] = {}
+    ipv6_fixed = [p for p in fixed_isps if p.ipv6_deployed]
+    if not ipv6_fixed and fixed_isps and n_fixed48 > 0:
+        # Nobody rolled IPv6: the country's /48s still exist somewhere,
+        # so hand them to the largest fixed ISP.
+        ipv6_fixed = [max(fixed_isps, key=lambda p: p.fixed_demand)]
+    if ipv6_fixed and n_fixed48 > 0:
+        weights = [max(p.fixed_demand, 1e-12) for p in ipv6_fixed]
+        for holder, count in zip(
+            ipv6_fixed, split_integer(rng, n_fixed48, weights)
+        ):
+            fixed48_parts[holder.asn] = count
+
+    if cellular:
+        # Even when a small country's scaled quota rounds to zero,
+        # every carrier holds at least two active cellular /24s.
+        weights = [
+            max(p.cellular_demand, 1e-12) ** 0.6 for p in cellular
+        ]
+        parts = split_integer(rng, max(n_cell24, 0), weights)
+        for carrier, count in zip(cellular, parts):
+            _allocate_cellular_subnets(
+                plan, allocator, rng, carrier, max(count, 2), family=4,
+                has_ipv6=cell48_parts.get(carrier.asn, 0) > 0, model=model,
+            )
+
+    if n_fixed24 > 0 and (fixed_isps or mixed):
+        recipients = fixed_isps + mixed
+        weights = [max(p.fixed_demand, 1e-12) for p in recipients]
+        parts = split_integer(rng, n_fixed24, weights)
+        for holder, count in zip(recipients, parts):
+            # Mixed carriers always hold substantial fixed-line space:
+            # their cellular subnets are a thin slice of the AS
+            # (Figures 5 and 6b), even for small operators.
+            floor = 6 if holder.record.is_cellular else 1
+            _allocate_fixed_subnets(
+                plan, allocator, rng, holder, max(count, floor), family=4,
+                has_ipv6=fixed48_parts.get(holder.asn, 0) > 0, model=model,
+            )
+
+    for carrier in ipv6_cellular:
+        count = cell48_parts.get(carrier.asn, 0)
+        if count > 0:
+            _allocate_cellular_subnets(
+                plan, allocator, rng, carrier, count, family=6,
+                has_ipv6=True, model=model,
+            )
+    for holder in ipv6_fixed:
+        count = fixed48_parts.get(holder.asn, 0)
+        if count > 0:
+            _allocate_fixed_subnets(
+                plan, allocator, rng, holder, count, family=6,
+                has_ipv6=True, model=model,
+            )
+
+
+#: Fraction of demand carried over IPv6 when deployed.  Cellular IPv6
+#: carries less of its carriers' demand than fixed-line IPv6 does:
+#: globally only 6.4% of IPv6 demand sits in high-cellular-ratio
+#: subnets (Figure 2) even though U.S. carriers deploy IPv6 widely.
+_IPV6_CELLULAR_DEMAND_SHARE = 0.10
+_IPV6_FIXED_DEMAND_SHARE = 0.32
+
+
+def _demand_split(
+    carrier: ASPlan, family: int, cellular: bool, has_ipv6: bool
+) -> float:
+    """Demand of the carrier attributable to this family and class.
+
+    ``has_ipv6`` must reflect whether the carrier actually received /48
+    subnets, so no demand is diverted to a family that has no blocks.
+    """
+    base = carrier.cellular_demand if cellular else carrier.fixed_demand
+    if not has_ipv6:
+        return base if family == 4 else 0.0
+    share = (
+        _IPV6_CELLULAR_DEMAND_SHARE if cellular else _IPV6_FIXED_DEMAND_SHARE
+    )
+    if family == 6:
+        return base * share
+    return base * (1.0 - share)
+
+
+def _allocate_cellular_subnets(
+    plan: AllocationPlan,
+    allocator: _AddressAllocator,
+    rng: random.Random,
+    carrier: ASPlan,
+    count: int,
+    family: int,
+    has_ipv6: bool = False,
+    model: AllocationModel = AllocationModel(),
+) -> None:
+    """Allocate a carrier's cellular subnets with CGN demand concentration.
+
+    A small "hot" set (CGN egress blocks) carries ~99% of the carrier's
+    cellular demand with moderate tethering noise (ratio 0.7-0.95);
+    the long cold tail is nearly pure cellular but nearly demandless
+    (Figure 6a); and dedicated carriers additionally hold low-demand
+    non-cellular infrastructure blocks.
+    """
+    prefixes = (
+        allocator.take_slash24s(count)
+        if family == 4
+        else allocator.take_slash48s(count)
+    )
+    demand = _demand_split(carrier, family, cellular=True, has_ipv6=has_ipv6)
+    n_hot = max(1, round(model.hot_fraction * count))
+    # Mixed operators concentrate essentially all cellular demand in
+    # their CGN blocks (99.3% in 25 subnets, Figure 8); dedicated
+    # carriers leave a ~5% tail on their cold blocks, which is why
+    # about half of their near-pure subnets still show *some* demand
+    # (Figure 6a).
+    dedicated = carrier.record.as_type is ASType.CELLULAR_DEDICATED
+    hot_share = (
+        model.hot_share_dedicated if dedicated else model.hot_share_mixed
+    )
+    hot_weights = zipf_weights(n_hot, exponent=model.hot_zipf_exponent)
+    n_cold = count - n_hot
+    cold_weights = zipf_weights(n_cold, exponent=1.0) if n_cold else []
+
+    for index, prefix in enumerate(prefixes):
+        if index < n_hot:
+            subnet_demand = demand * hot_share * hot_weights[index]
+            # CGN egresses are diluted by tethering.
+            label_rate = rng.uniform(model.hot_label_low, model.hot_label_high)
+            coverage = 1.0 if rng.random() > 0.02 else 0.0
+        else:
+            subnet_demand = demand * (1 - hot_share) * cold_weights[index - n_hot]
+            if rng.random() < model.cold_zero_demand:
+                subnet_demand = 0.0
+            label_rate = rng.uniform(model.cold_label_low, model.cold_label_high)
+            coverage = 1.0 if rng.random() > model.cold_no_coverage else 0.0
+        plan.add(
+            SubnetPlan(
+                prefix=prefix,
+                asn=carrier.asn,
+                country=carrier.record.country,
+                is_cellular=True,
+                demand_weight=subnet_demand,
+                cellular_label_rate=label_rate,
+                beacon_coverage=coverage,
+            )
+        )
+
+    if family == 4:
+        _allocate_inactive_cellular(plan, allocator, rng, carrier, count)
+    if (
+        family == 4
+        and carrier.record.as_type is ASType.CELLULAR_DEDICATED
+    ):
+        _allocate_dedicated_extras(plan, allocator, rng, carrier, count)
+
+
+def _allocate_inactive_cellular(
+    plan: AllocationPlan,
+    allocator: _AddressAllocator,
+    rng: random.Random,
+    carrier: ASPlan,
+    active_count: int,
+) -> None:
+    """Ground-truth-only cellular blocks that never appear in any log.
+
+    Carriers list far more cellular address space than is active --
+    the paper's Carrier A provided ~5.1k cellular CIDRs of which only
+    ~500 were ever observed, which is why its CIDR-count recall floors
+    at 0.10 (Table 3).  Mixed carriers hold large inactive reserves;
+    dedicated ones run their space hot.
+    """
+    if carrier.record.as_type is ASType.CELLULAR_MIXED:
+        factor = rng.choice([0.5, 1.5, 3.0, 6.0])
+    else:
+        factor = 0.05
+    count = round(active_count * factor)
+    if count <= 0:
+        return
+    for prefix in allocator.take_slash24s(count):
+        plan.add(
+            SubnetPlan(
+                prefix=prefix,
+                asn=carrier.asn,
+                country=carrier.record.country,
+                is_cellular=True,
+                demand_weight=0.0,
+                cellular_label_rate=1.0,
+                beacon_coverage=0.0,
+            )
+        )
+
+
+def _allocate_dedicated_extras(
+    plan: AllocationPlan,
+    allocator: _AddressAllocator,
+    rng: random.Random,
+    carrier: ASPlan,
+    cellular_count: int,
+) -> None:
+    """Dedicated-carrier non-cellular blocks (Figure 6a's 40% ratio-0 tail,
+    plus terminating-proxy subnets carrying the AS's fixed demand)."""
+    n_infra = max(1, round(0.66 * cellular_count))
+    prefixes = allocator.take_slash24s(n_infra)
+    proxy_count = 2 if carrier.has_terminating_proxy else 0
+    proxy_demand = carrier.fixed_demand
+    infra_weights = zipf_weights(n_infra, exponent=1.0)
+    for index, prefix in enumerate(prefixes):
+        if index < proxy_count:
+            subnet_demand = proxy_demand / proxy_count
+            coverage = 0.0  # proxies run no client Javascript
+            proxy_like = True
+        else:
+            subnet_demand = 0.0 if rng.random() < 0.8 else (
+                carrier.fixed_demand * 0.01 * infra_weights[index]
+            )
+            coverage = 1.0 if rng.random() > 0.5 else 0.0
+            proxy_like = False
+        plan.add(
+            SubnetPlan(
+                prefix=prefix,
+                asn=carrier.asn,
+                country=carrier.record.country,
+                is_cellular=False,
+                demand_weight=subnet_demand,
+                cellular_label_rate=rng.uniform(0.0, 0.004),
+                beacon_coverage=coverage,
+                proxy_like=proxy_like,
+            )
+        )
+
+
+def _allocate_fixed_subnets(
+    plan: AllocationPlan,
+    allocator: _AddressAllocator,
+    rng: random.Random,
+    holder: ASPlan,
+    count: int,
+    family: int,
+    has_ipv6: bool = False,
+    model: AllocationModel = AllocationModel(),
+) -> None:
+    """Fixed-line subnets: gradual demand decay, low cellular noise."""
+    prefixes = (
+        allocator.take_slash24s(count)
+        if family == 4
+        else allocator.take_slash48s(count)
+    )
+    demand = _demand_split(holder, family, cellular=False, has_ipv6=has_ipv6)
+    # Fixed-line demand decays far more gradually than cellular demand
+    # (Figure 8): no CGN concentration, so the top fixed subnet holds
+    # only a few percent of the class's demand.
+    weights = zipf_weights(count, exponent=model.fixed_zipf_exponent)
+    for prefix, weight in zip(prefixes, weights):
+        subnet_demand = demand * weight
+        if rng.random() < 0.08:
+            subnet_demand = 0.0
+        plan.add(
+            SubnetPlan(
+                prefix=prefix,
+                asn=holder.asn,
+                country=holder.record.country,
+                is_cellular=False,
+                demand_weight=subnet_demand,
+                cellular_label_rate=rng.uniform(0.0, 0.005),
+                beacon_coverage=1.0 if rng.random() > 0.2 else 0.0,
+            )
+        )
+
+
+def _allocate_special_ases(
+    plan: AllocationPlan,
+    allocator: _AddressAllocator,
+    rng: random.Random,
+    topology: Topology,
+    scale: float,
+) -> None:
+    """Proxy / cloud / content ASes.
+
+    Proxy and cloud ASes emit beacons whose connection labels reflect
+    the *client-side* cellular link (section 5's false-positive
+    mechanism); content ASes look ordinary.
+    """
+    for carrier in topology.plans.values():
+        as_type = carrier.record.as_type
+        if as_type not in (ASType.PROXY, ASType.CLOUD, ASType.CONTENT):
+            continue
+        count = max(3, round(600 * scale))
+        prefixes = allocator.take_slash24s(count)
+        weights = zipf_weights(count, exponent=1.1)
+        for prefix, weight in zip(prefixes, weights):
+            label_rate = (
+                rng.uniform(0.55, 0.95)
+                if carrier.emits_cellular_beacons
+                else rng.uniform(0.0, 0.01)
+            )
+            plan.add(
+                SubnetPlan(
+                    prefix=prefix,
+                    asn=carrier.asn,
+                    country=carrier.record.country,
+                    is_cellular=False,
+                    demand_weight=carrier.fixed_demand * weight,
+                    cellular_label_rate=label_rate,
+                    beacon_coverage=1.0,
+                )
+            )
+
+
+def _allocate_background(
+    plan: AllocationPlan,
+    allocator: _AddressAllocator,
+    rng: random.Random,
+    topology: Topology,
+) -> None:
+    """Background ASes: 1-3 subnets each, some with stray cellular labels.
+
+    Two planted false-positive populations mirror Table 5's filter
+    victims: "tether" enterprises (a hotspot-fed subnet with
+    majority-cellular labels at negligible demand -- removed by rule
+    1's 0.1 DU floor) and "m2m" enterprises (real demand from non-web
+    devices, so almost no beacons -- removed by rule 2's hit floor).
+    """
+    for carrier in topology.plans.values():
+        if carrier.record.as_type not in (ASType.ENTERPRISE, ASType.TRANSIT):
+            continue
+        count = rng.randint(1, 3)
+        prefixes = allocator.take_slash24s(count)
+        weights = zipf_weights(count, exponent=1.0)
+        stray_kind = None
+        if carrier.record.as_type is ASType.ENTERPRISE:
+            roll = rng.random()
+            if roll < 0.16:
+                stray_kind = "tether"
+            elif roll < 0.22:
+                stray_kind = "m2m"
+        for index, (prefix, weight) in enumerate(zip(prefixes, weights)):
+            is_stray = stray_kind is not None and index == 0
+            demand = carrier.fixed_demand * weight
+            label_rate = rng.uniform(0.0, 0.01)
+            coverage = 1.0 if rng.random() > 0.3 else 0.0
+            if is_stray and stray_kind == "tether":
+                label_rate = rng.uniform(0.55, 0.9)
+                coverage = 1.0
+                demand = demand * 0.3
+            elif is_stray and stray_kind == "m2m":
+                label_rate = rng.uniform(0.55, 0.9)
+                coverage = 0.1
+                demand = rng.uniform(1.5e-6, 6e-6)  # 0.15-0.6 DU
+            plan.add(
+                SubnetPlan(
+                    prefix=prefix,
+                    asn=carrier.asn,
+                    country=carrier.record.country,
+                    is_cellular=False,
+                    demand_weight=demand,
+                    cellular_label_rate=label_rate,
+                    beacon_coverage=coverage,
+                )
+            )

@@ -1,0 +1,249 @@
+"""Per-country calibration profiles for the world generator.
+
+Each :class:`CountryProfile` sets the *inputs* the generator needs:
+how much of global CDN demand the country originates, what fraction of
+that demand is cellular, how many cellular/fixed ASes it hosts, how far
+IPv6 has been deployed in its carriers, and how much of its cellular
+DNS load goes to public resolvers.
+
+The values are calibrated from the paper's published aggregates
+(Tables 4, 6, 7, 8 and Figures 10-12): e.g. Ghana's cellular fraction
+is 0.959, Laos 0.871, Indonesia 0.63, the U.S. 0.166, France 0.121;
+the U.S. hosts 40 cellular ASes, Russia 29, China 25, Japan 17, India
+13; public-DNS adoption is ~0.97 in Algeria and < 0.02 in the U.S.
+China is profiled but excluded from demand analyses, as in section 7.1.
+
+These are generator *inputs*, not outputs: the pipeline re-derives all
+reported numbers from raw synthetic logs without reading this table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.world.geo import Continent
+
+#: Full-scale active /24 totals per continent, derived from Table 4
+#: (cellular /24 counts divided by the "% active IPv4" column).
+ACTIVE_SLASH24_BY_CONTINENT = {
+    Continent.AFRICA: 148_667,
+    Continent.ASIA: 1_519_614,
+    Continent.EUROPE: 1_363_375,
+    Continent.NORTH_AMERICA: 1_313_095,
+    Continent.OCEANIA: 80_593,
+    Continent.SOUTH_AMERICA: 387_562,
+}
+
+#: Full-scale cellular /24 totals per continent (Table 4).
+CELLULAR_SLASH24_BY_CONTINENT = {
+    Continent.AFRICA: 79_091,
+    Continent.ASIA: 86_618,
+    Continent.EUROPE: 65_442,
+    Continent.NORTH_AMERICA: 27_595,
+    Continent.OCEANIA: 4_352,
+    Continent.SOUTH_AMERICA: 87_589,
+}
+
+#: Full-scale active /48 totals per continent (Table 4, IPv6 column).
+ACTIVE_SLASH48_BY_CONTINENT = {
+    Continent.AFRICA: 1_400,
+    Continent.ASIA: 922_600,
+    Continent.EUROPE: 705_667,
+    Continent.NORTH_AMERICA: 163_293,
+    Continent.OCEANIA: 50_000,
+    Continent.SOUTH_AMERICA: 30_111,
+}
+
+#: Full-scale cellular /48 totals per continent (Table 4).
+CELLULAR_SLASH48_BY_CONTINENT = {
+    Continent.AFRICA: 28,
+    Continent.ASIA: 4_613,
+    Continent.EUROPE: 2_117,
+    Continent.NORTH_AMERICA: 16_166,
+    Continent.OCEANIA: 35,
+    Continent.SOUTH_AMERICA: 271,
+}
+
+#: Fraction of cellular ASes that are mixed, per continent (section 6.1).
+MIXED_FRACTION_BY_CONTINENT = {
+    Continent.AFRICA: 0.51,
+    Continent.ASIA: 0.53,
+    Continent.OCEANIA: 0.56,
+    Continent.EUROPE: 0.61,
+    Continent.NORTH_AMERICA: 0.69,
+    Continent.SOUTH_AMERICA: 0.71,
+}
+
+
+@dataclass(frozen=True)
+class CountryProfile:
+    """Generator inputs for one country.
+
+    ``demand_share`` is an unnormalized weight of global CDN demand;
+    the builder normalizes across all profiled countries.
+    ``top_as_shares`` optionally pins the within-country cellular demand
+    share and dedicated/mixed status of the country's largest carriers
+    (used to reproduce Table 7's top-10 list); remaining carriers split
+    the residual share by a Zipf law.
+    """
+
+    iso2: str
+    demand_share: float
+    cellular_fraction: float
+    cellular_as_count: int
+    #: ((within-country cellular demand share, is_dedicated), ...)
+    top_as_shares: Tuple[Tuple[float, bool], ...] = ()
+    #: Continent default applies when None.
+    mixed_as_fraction: Optional[float] = None
+    ipv6_as_count: int = 0
+    public_dns_fraction: float = 0.08
+    excluded_from_demand: bool = False
+
+    def __post_init__(self) -> None:
+        if self.demand_share < 0:
+            raise ValueError(f"{self.iso2}: demand share must be >= 0")
+        if not 0 <= self.cellular_fraction <= 1:
+            raise ValueError(f"{self.iso2}: cellular fraction not in [0,1]")
+        if self.cellular_as_count < 0:
+            raise ValueError(f"{self.iso2}: AS count must be >= 0")
+        if self.ipv6_as_count > self.cellular_as_count:
+            raise ValueError(f"{self.iso2}: more IPv6 ASes than cellular ASes")
+        pinned = sum(share for share, _ in self.top_as_shares)
+        if pinned > 1.0 + 1e-9:
+            raise ValueError(f"{self.iso2}: pinned AS shares exceed 1")
+        if not 0 <= self.public_dns_fraction <= 1:
+            raise ValueError(f"{self.iso2}: public DNS fraction not in [0,1]")
+
+
+_D = True   # dedicated
+_M = False  # mixed
+
+# Calibration table.  Columns:
+#   iso2, demand_share, cellular_fraction, cellular_as_count,
+#   top_as_shares, mixed_override, ipv6_as_count, public_dns_fraction
+_PROFILE_ROWS: List[CountryProfile] = [
+    # --- North America (paper: 16.6% cellular fraction, 35% of cell demand)
+    CountryProfile("US", 29.5, 0.166, 40,
+                   top_as_shares=((0.30, _D), (0.295, _D), (0.185, _D), (0.125, _D)),
+                   ipv6_as_count=5, public_dns_fraction=0.015),
+    CountryProfile("CA", 2.6, 0.12, 8, ipv6_as_count=2, public_dns_fraction=0.02),
+    CountryProfile("MX", 1.2, 0.21, 9),
+    CountryProfile("GT", 0.12, 0.35, 5),
+    CountryProfile("PR", 0.10, 0.30, 4),
+    CountryProfile("PA", 0.08, 0.32, 4),
+    CountryProfile("DO", 0.10, 0.38, 6),
+    CountryProfile("CR", 0.08, 0.28, 5),
+    CountryProfile("SV", 0.05, 0.40, 6),
+    CountryProfile("HN", 0.05, 0.45, 6),
+    # --- Europe (11.8% cellular fraction, 15.9% of cell demand)
+    CountryProfile("GB", 4.5, 0.14, 12, ipv6_as_count=2),
+    CountryProfile("RU", 2.5, 0.16, 29),
+    CountryProfile("FR", 3.0, 0.121, 10, ipv6_as_count=1),
+    CountryProfile("DE", 3.5, 0.10, 11, ipv6_as_count=2),
+    CountryProfile("IT", 2.0, 0.13, 9),
+    CountryProfile("ES", 1.6, 0.12, 8),
+    CountryProfile("PL", 1.2, 0.11, 10),
+    CountryProfile("FI", 0.7, 0.22, 5, ipv6_as_count=1),
+    CountryProfile("NL", 1.4, 0.06, 7, ipv6_as_count=1),
+    CountryProfile("SE", 1.0, 0.09, 7, ipv6_as_count=1),
+    CountryProfile("CZ", 0.5, 0.10, 7),
+    CountryProfile("RO", 0.5, 0.15, 9),
+    CountryProfile("CH", 0.8, 0.07, 5, ipv6_as_count=1),
+    CountryProfile("AT", 0.6, 0.09, 6),
+    CountryProfile("BE", 0.7, 0.07, 5),
+    CountryProfile("NO", 0.6, 0.10, 5, ipv6_as_count=1),
+    CountryProfile("PT", 0.5, 0.12, 6),
+    CountryProfile("GR", 0.4, 0.16, 7),
+    CountryProfile("IE", 0.4, 0.10, 4),
+    CountryProfile("UA", 0.5, 0.18, 23),
+    # --- South America (12.5% cellular fraction, 4.1% of cell demand)
+    CountryProfile("BR", 3.0, 0.13, 9, ipv6_as_count=6, public_dns_fraction=0.12),
+    CountryProfile("CO", 0.55, 0.15, 6),
+    CountryProfile("AR", 0.65, 0.12, 6),
+    CountryProfile("BO", 0.10, 0.45, 4),
+    CountryProfile("EC", 0.20, 0.18, 4, ipv6_as_count=1),
+    CountryProfile("CL", 0.45, 0.10, 5),
+    CountryProfile("VE", 0.20, 0.15, 4),
+    CountryProfile("PE", 0.25, 0.20, 5, ipv6_as_count=1),
+    CountryProfile("UY", 0.08, 0.12, 2),
+    CountryProfile("PY", 0.07, 0.30, 3),
+    # --- Africa (25.5% cellular fraction, 2.9% of cell demand)
+    CountryProfile("EG", 0.40, 0.18, 12),
+    CountryProfile("ZA", 0.45, 0.12, 12, ipv6_as_count=1),
+    CountryProfile("DZ", 0.15, 0.35, 8, public_dns_fraction=0.97),
+    CountryProfile("TN", 0.10, 0.30, 6),
+    CountryProfile("NG", 0.15, 0.50, 16, public_dns_fraction=0.70),
+    CountryProfile("GH", 0.08, 0.959, 10),
+    CountryProfile("CI", 0.06, 0.50, 9),
+    CountryProfile("CM", 0.05, 0.45, 10),
+    CountryProfile("MA", 0.20, 0.25, 10),
+    CountryProfile("GN", 0.03, 0.65, 9),
+    CountryProfile("KE", 0.06, 0.55, 12, ipv6_as_count=1),
+    # --- Asia (26.0% cellular fraction, 38.9% of cell demand; China excluded)
+    CountryProfile("IN", 4.2, 0.37, 13, top_as_shares=((0.45, _D),),
+                   ipv6_as_count=4, public_dns_fraction=0.40),
+    CountryProfile("JP", 7.0, 0.18, 17,
+                   top_as_shares=((0.44, _D), (0.32, _M), (0.13, _M)),
+                   ipv6_as_count=5),
+    CountryProfile("ID", 1.6, 0.63, 20, top_as_shares=((0.26, _D),)),
+    CountryProfile("TW", 1.6, 0.18, 8, ipv6_as_count=1),
+    CountryProfile("TH", 1.1, 0.25, 15, ipv6_as_count=1),
+    CountryProfile("AE", 0.6, 0.42, 5),
+    CountryProfile("IR", 0.7, 0.32, 16),
+    CountryProfile("TR", 1.1, 0.22, 11, ipv6_as_count=1),
+    CountryProfile("SG", 0.9, 0.17, 6, ipv6_as_count=1),
+    CountryProfile("KR", 2.2, 0.08, 8, ipv6_as_count=2),
+    CountryProfile("VN", 0.8, 0.27, 14, public_dns_fraction=0.22),
+    CountryProfile("HK", 1.0, 0.15, 7, public_dns_fraction=0.58),
+    CountryProfile("PH", 0.5, 0.50, 12),
+    CountryProfile("MY", 0.6, 0.26, 12, ipv6_as_count=1),
+    CountryProfile("SA", 0.5, 0.42, 8, public_dns_fraction=0.32),
+    CountryProfile("LA", 0.08, 0.871, 4),
+    CountryProfile("MM", 0.08, 0.80, 12, ipv6_as_count=5),
+    CountryProfile("CN", 2.0, 0.30, 25, excluded_from_demand=True),
+    # --- Oceania (23.4% cellular fraction, 3.0% of cell demand)
+    CountryProfile("AU", 1.7, 0.25, 4, top_as_shares=((0.65, _M),),
+                   ipv6_as_count=2),
+    CountryProfile("NZ", 0.35, 0.20, 2, ipv6_as_count=1),
+    CountryProfile("FJ", 0.04, 0.60, 1),
+    CountryProfile("GU", 0.03, 0.40, 1),
+    CountryProfile("NC", 0.03, 0.35, 1),
+    CountryProfile("WS", 0.01, 0.65, 1),
+    CountryProfile("PF", 0.02, 0.40, 1),
+    CountryProfile("PG", 0.02, 0.70, 2),
+    CountryProfile("TL", 0.01, 0.75, 1),
+    CountryProfile("SB", 0.01, 0.70, 2),
+]
+
+
+def default_profiles() -> Dict[str, CountryProfile]:
+    """The built-in calibration table, keyed by ISO code."""
+    profiles = {}
+    for profile in _PROFILE_ROWS:
+        if profile.iso2 in profiles:
+            raise ValueError(f"duplicate profile {profile.iso2}")
+        profiles[profile.iso2] = profile
+    return profiles
+
+
+def total_cellular_as_count(profiles: Sequence[CountryProfile]) -> int:
+    """Ground-truth cellular AS count across profiles (paper: 668)."""
+    return sum(profile.cellular_as_count for profile in profiles)
+
+
+def normalized_demand_shares(
+    profiles: Sequence[CountryProfile],
+) -> Dict[str, float]:
+    """Demand shares normalized to sum to 1 over all countries.
+
+    ``excluded_from_demand`` countries (China) still generate traffic --
+    the CDN sees it -- but the *analyses* drop them, as the paper drops
+    China from its demand statistics (section 7.1).
+    """
+    total = sum(profile.demand_share for profile in profiles)
+    if total <= 0:
+        raise ValueError("profiles have no demand")
+    return {
+        profile.iso2: profile.demand_share / total for profile in profiles
+    }

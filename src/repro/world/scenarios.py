@@ -1,0 +1,70 @@
+"""What-if scenarios: counterfactual calibrations of the world.
+
+The calibration profiles are inputs, so counterfactuals are just
+profile transforms.  Each scenario returns a fresh profile table (the
+default geography still applies) that can be handed to
+:func:`repro.world.build.build_world`; the pipeline and every analysis
+run unchanged on top.
+
+Shipped scenarios:
+
+- :func:`mobile_first_world` -- the trajectory the paper's §7
+  discussion points at: every country's cellular fraction moves toward
+  the cellular-dominant frontier (Ghana/Laos levels for developing
+  markets, Indonesia levels elsewhere).
+- :func:`ipv6_everywhere` -- the §4.3 counterfactual: every carrier
+  deploys IPv6 instead of 7.7% of them.
+- :func:`demand_shift` -- scale one country's demand share (market
+  growth/decline studies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict
+
+from repro.world.profiles import CountryProfile, default_profiles
+
+
+def mobile_first_world(
+    floor: float = 0.5, developing_floor: float = 0.8
+) -> Dict[str, CountryProfile]:
+    """Cellular fractions lifted toward a mobile-first Internet.
+
+    Countries already above ``floor`` keep their value; developing
+    markets (those currently above 0.3 cellular) jump to at least
+    ``developing_floor``.
+    """
+    if not 0 < floor <= 1 or not 0 < developing_floor <= 1:
+        raise ValueError("floors must be in (0, 1]")
+    profiles = {}
+    for iso2, profile in default_profiles().items():
+        current = profile.cellular_fraction
+        target = max(current, developing_floor if current > 0.3 else floor)
+        profiles[iso2] = replace(profile, cellular_fraction=min(target, 0.99))
+    return profiles
+
+
+def ipv6_everywhere() -> Dict[str, CountryProfile]:
+    """Every cellular carrier deploys IPv6 (§4.3 counterfactual)."""
+    return {
+        iso2: replace(profile, ipv6_as_count=profile.cellular_as_count)
+        for iso2, profile in default_profiles().items()
+    }
+
+
+def demand_shift(iso2: str, factor: float) -> Dict[str, CountryProfile]:
+    """Scale one country's demand share by ``factor``.
+
+    Shares renormalize inside the generator, so a factor of 2 roughly
+    doubles the country's weight at everyone else's expense.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    profiles = default_profiles()
+    if iso2 not in profiles:
+        raise KeyError(f"no profile for {iso2}")
+    profiles[iso2] = replace(
+        profiles[iso2], demand_share=profiles[iso2].demand_share * factor
+    )
+    return profiles

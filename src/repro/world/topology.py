@@ -1,0 +1,379 @@
+"""AS topology generation.
+
+Turns the per-country calibration profiles into a concrete set of
+autonomous systems with hidden ground-truth roles and demand plans:
+
+- cellular carriers (dedicated or mixed, per the continent mixed
+  fractions of section 6.1, with Table 7's top carriers pinned),
+- fixed-line access ISPs,
+- globally placed content / cloud / proxy networks -- the planted
+  sources of AS-level false positives that section 5's filtering
+  heuristics must remove (Google-style and Opera-style mobile proxies,
+  AWS-/DigitalOcean-style VPN egress),
+- transit and background enterprise ASes that fill out the registry
+  denominator (the paper observes 46,936 ASes but detects cellular
+  subnets in only 1,263 of them).
+
+Demand here is planned as *fractions of global demand*; the CDN
+substrate later realizes request logs from these plans.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.net.asn import ASRecord, ASRegistry, ASType
+from repro.stats.sampling import zipf_weights
+from repro.world.geo import Continent, Geography
+from repro.world.profiles import (
+    MIXED_FRACTION_BY_CONTINENT,
+    CountryProfile,
+    normalized_demand_shares,
+)
+
+
+@dataclass(frozen=True)
+class ASPlan:
+    """One generated AS plus its demand plan (fractions of global demand)."""
+
+    record: ASRecord
+    cellular_demand: float
+    fixed_demand: float
+    ipv6_deployed: bool = False
+    public_dns_fraction: float = 0.0
+    #: Dedicated-carrier HTTP-proxy subnets: demand without beacons
+    #: (the Asian dedicated operator of section 6.1).
+    has_terminating_proxy: bool = False
+    #: Proxy/cloud AS whose beacons carry client-side cellular labels.
+    emits_cellular_beacons: bool = False
+
+    @property
+    def asn(self) -> int:
+        return self.record.asn
+
+    @property
+    def total_demand(self) -> float:
+        return self.cellular_demand + self.fixed_demand
+
+    @property
+    def cellular_fraction_of_demand(self) -> float:
+        """Planned CFD; the pipeline must re-derive this from logs."""
+        total = self.total_demand
+        return self.cellular_demand / total if total > 0 else 0.0
+
+
+@dataclass
+class Topology:
+    """The generated AS-level world."""
+
+    registry: ASRegistry
+    plans: Dict[int, ASPlan]
+    #: Normalized per-country demand shares actually used.
+    country_demand: Dict[str, float]
+
+    def plan(self, asn: int) -> ASPlan:
+        return self.plans[asn]
+
+    def cellular_plans(self) -> List[ASPlan]:
+        return [p for p in self.plans.values() if p.record.is_cellular]
+
+    def plans_in_country(self, iso2: str) -> List[ASPlan]:
+        return [p for p in self.plans.values() if p.record.country == iso2]
+
+
+# Operator name fragments for generated carrier names.
+_CARRIER_WORDS = [
+    "Tele", "Mobi", "Cell", "Net", "Wave", "Link", "Star", "Air",
+    "Uni", "Glo", "Voda", "Ora", "Digi", "Sky", "Metro", "Pulse",
+]
+
+_SPECIAL_AS_SPECS = [
+    # (name, country, as_type, demand, emits_cellular_beacons)
+    ("SearchCo Mobile Proxy", "US", ASType.PROXY, 0.0045, True),
+    ("MiniBrowser Proxy", "NO", ASType.PROXY, 0.0025, True),
+    ("BigCloud Web Services", "US", ASType.CLOUD, 0.0080, True),
+    ("Droplet Ocean", "US", ASType.CLOUD, 0.0020, True),
+    ("MegaCDN Platform", "US", ASType.CONTENT, 0.0120, False),
+    ("EuroHost Content", "DE", ASType.CONTENT, 0.0040, False),
+    ("AsiaPortal Content", "SG", ASType.CONTENT, 0.0030, False),
+]
+
+
+def _carrier_name(rng: random.Random, iso2: str, dedicated: bool, index: int) -> str:
+    word_a = rng.choice(_CARRIER_WORDS)
+    word_b = rng.choice(_CARRIER_WORDS)
+    kind = "Mobile" if dedicated else "Telecom"
+    return f"{word_a}{word_b.lower()} {kind} {iso2}-{index + 1}"
+
+
+def _fixed_as_count(demand_share_pct: float) -> int:
+    """Default fixed-ISP count for a country from its demand share (%)."""
+    return max(2, round(3.0 * math.sqrt(max(demand_share_pct, 0.0) * 100)))
+
+
+def build_topology(
+    geography: Geography,
+    profiles: Dict[str, CountryProfile],
+    seed: int = 0,
+    background_as_count: int = 2000,
+) -> Topology:
+    """Generate the AS-level world from calibration profiles.
+
+    ``background_as_count`` scales the registry filler (enterprise and
+    small transit ASes with negligible demand); the paper's full-scale
+    equivalent is ~45k.
+    """
+    registry = ASRegistry()
+    plans: Dict[int, ASPlan] = {}
+    shares = normalized_demand_shares(list(profiles.values()))
+    next_asn = [100]
+
+    def allocate_asn() -> int:
+        asn = next_asn[0]
+        next_asn[0] += 1
+        return asn
+
+    def add_plan(plan: ASPlan) -> None:
+        registry.add(plan.record)
+        plans[plan.record.asn] = plan
+
+    for name, iso2, as_type, demand, emits in _SPECIAL_AS_SPECS:
+        record = ASRecord(allocate_asn(), name, iso2, as_type)
+        add_plan(
+            ASPlan(
+                record,
+                cellular_demand=0.0,
+                fixed_demand=demand,
+                emits_cellular_beacons=emits,
+            )
+        )
+
+    for iso2 in sorted(profiles):
+        profile = profiles[iso2]
+        if iso2 not in geography:
+            raise ValueError(f"profile {iso2} has no geography entry")
+        country = geography.get(iso2)
+        rng = random.Random(f"{seed}:topology:{iso2}")
+        country_share = shares[iso2]
+        _build_country(
+            add_plan,
+            allocate_asn,
+            rng,
+            profile,
+            country.continent,
+            country_share,
+        )
+
+    _build_background(
+        add_plan, allocate_asn, seed, geography, background_as_count, shares
+    )
+    return Topology(registry=registry, plans=plans, country_demand=shares)
+
+
+def _build_country(
+    add_plan,
+    allocate_asn,
+    rng: random.Random,
+    profile: CountryProfile,
+    continent: Continent,
+    country_share: float,
+) -> None:
+    """Generate the carriers and fixed ISPs of one country."""
+    iso2 = profile.iso2
+    cellular_total = country_share * profile.cellular_fraction
+    fixed_total = country_share - cellular_total
+
+    n_cell = profile.cellular_as_count
+    statuses = _dedicated_flags(rng, profile, continent, n_cell)
+    cell_shares = _cellular_shares(rng, profile, n_cell)
+    # Give the larger unpinned shares to dedicated carriers: globally,
+    # mixed ASes outnumber dedicated ones but carry only ~1/3 of
+    # cellular demand (section 6.1).
+    pinned_n = min(len(profile.top_as_shares), n_cell)
+    free_slots = list(range(pinned_n, n_cell))
+    free_shares = sorted((cell_shares[i] for i in free_slots), reverse=True)
+
+    def _share_rank(index: int):
+        # Mixed carriers mostly rank behind dedicated ones, but ~40%
+        # compete at the top so mixed ASes still hold ~1/3 of demand.
+        mixed_carrier = not statuses[index]
+        demoted = mixed_carrier and rng.random() > 0.40
+        return (demoted, rng.random())
+
+    for slot, share in zip(sorted(free_slots, key=_share_rank), free_shares):
+        cell_shares[slot] = share
+    ipv6_carriers = _ipv6_flags(rng, profile, n_cell, cell_shares)
+
+    fixed_budget = fixed_total
+    mixed_fixed: List[float] = []
+    for index in range(n_cell):
+        cell_demand = cellular_total * cell_shares[index]
+        if statuses[index]:
+            # Dedicated: tiny non-cellular tail (terminating proxies etc.).
+            cfd = rng.choice([0.999, 0.995, 0.99, 0.97, 0.95, 0.92])
+            fixed_demand = cell_demand * (1.0 - cfd) / cfd
+        else:
+            # Mixed: CFD spread across (0.05, 0.81) as in section 6.1.
+            cfd = rng.uniform(0.06, 0.80)
+            fixed_demand = cell_demand * (1.0 - cfd) / cfd
+        mixed_fixed.append(fixed_demand)
+    claimed = sum(mixed_fixed)
+    if claimed > 0.85 * fixed_budget and claimed > 0:
+        scale = (0.85 * fixed_budget) / claimed
+        mixed_fixed = [value * scale for value in mixed_fixed]
+
+    for index in range(n_cell):
+        dedicated = statuses[index]
+        # The mixed/dedicated distinction is *defined* by the demand
+        # split (CFD >= 0.9 = dedicated, section 6.1).  In cellular-
+        # dominated countries the fixed budget cap can leave a
+        # nominally mixed carrier with almost no fixed demand; its
+        # ground-truth label follows the realized split.
+        cell_demand = cellular_total * cell_shares[index]
+        realized_total = cell_demand + mixed_fixed[index]
+        if not dedicated and realized_total > 0:
+            dedicated = cell_demand / realized_total >= 0.9
+        as_type = ASType.CELLULAR_DEDICATED if dedicated else ASType.CELLULAR_MIXED
+        record = ASRecord(
+            allocate_asn(),
+            _carrier_name(rng, iso2, dedicated, index),
+            iso2,
+            as_type,
+            org=f"{iso2}-carrier-{index + 1}",
+        )
+        add_plan(
+            ASPlan(
+                record,
+                cellular_demand=cellular_total * cell_shares[index],
+                fixed_demand=mixed_fixed[index],
+                ipv6_deployed=ipv6_carriers[index],
+                public_dns_fraction=_public_dns_rate(rng, profile),
+                has_terminating_proxy=dedicated and rng.random() < 0.15,
+            )
+        )
+
+    remaining_fixed = max(fixed_budget - sum(mixed_fixed), 0.0)
+    n_fixed = _fixed_as_count(country_share)
+    fixed_shares = zipf_weights(n_fixed, exponent=1.2)
+    for index in range(n_fixed):
+        record = ASRecord(
+            allocate_asn(),
+            _carrier_name(rng, iso2, False, n_cell + index).replace(
+                "Telecom", "Broadband"
+            ),
+            iso2,
+            ASType.FIXED_ACCESS,
+        )
+        add_plan(
+            ASPlan(
+                record,
+                cellular_demand=0.0,
+                fixed_demand=remaining_fixed * fixed_shares[index],
+                ipv6_deployed=rng.random() < 0.25,
+            )
+        )
+
+
+def _dedicated_flags(
+    rng: random.Random,
+    profile: CountryProfile,
+    continent: Continent,
+    n_cell: int,
+) -> List[bool]:
+    """Per-carrier dedicated flags hitting the country's mixed fraction."""
+    mixed_fraction = profile.mixed_as_fraction
+    if mixed_fraction is None:
+        mixed_fraction = MIXED_FRACTION_BY_CONTINENT[continent]
+    target_mixed = round(mixed_fraction * n_cell)
+    flags: List[Optional[bool]] = [None] * n_cell
+    for index, (_, dedicated) in enumerate(profile.top_as_shares):
+        if index < n_cell:
+            flags[index] = dedicated
+    pinned_mixed = sum(1 for value in flags if value is False)
+    open_slots = [index for index, value in enumerate(flags) if value is None]
+    need_mixed = min(max(target_mixed - pinned_mixed, 0), len(open_slots))
+    rng.shuffle(open_slots)
+    mixed_slots = set(open_slots[:need_mixed])
+    return [
+        value if value is not None else (index not in mixed_slots)
+        for index, value in enumerate(flags)
+    ]
+
+
+def _cellular_shares(
+    rng: random.Random, profile: CountryProfile, n_cell: int
+) -> List[float]:
+    """Within-country cellular demand shares, honoring pinned carriers."""
+    if n_cell == 0:
+        return []
+    pinned = [share for share, _ in profile.top_as_shares[:n_cell]]
+    residual = max(1.0 - sum(pinned), 0.0)
+    n_free = n_cell - len(pinned)
+    if n_free <= 0:
+        total = sum(pinned)
+        return [share / total for share in pinned] if total else pinned
+    free = zipf_weights(n_free, exponent=1.4)
+    return pinned + [residual * weight for weight in free]
+
+
+def _ipv6_flags(
+    rng: random.Random,
+    profile: CountryProfile,
+    n_cell: int,
+    shares: List[float],
+) -> List[bool]:
+    """Which carriers deploy IPv6: the largest ones first (cf. section 4.3)."""
+    count = min(profile.ipv6_as_count, n_cell)
+    ranked = sorted(range(n_cell), key=lambda index: shares[index], reverse=True)
+    chosen = set(ranked[:count])
+    return [index in chosen for index in range(n_cell)]
+
+
+def _public_dns_rate(rng: random.Random, profile: CountryProfile) -> float:
+    """Per-carrier public DNS adoption around the country level."""
+    base = profile.public_dns_fraction
+    jitter = rng.uniform(-0.25, 0.25) * base
+    return min(max(base + jitter, 0.0), 1.0)
+
+
+def _build_background(
+    add_plan,
+    allocate_asn,
+    seed: int,
+    geography: Geography,
+    count: int,
+    shares: Dict[str, float],
+) -> None:
+    """Registry filler: enterprise/transit ASes with negligible demand.
+
+    Countries get background ASes roughly in proportion to the square
+    root of their demand share -- big Internet economies host most of
+    the long tail, but small countries still get a few.
+    """
+    rng = random.Random(f"{seed}:background")
+    countries = [country.iso2 for country in geography]
+    weights = [
+        math.sqrt(shares.get(iso2, 0.0)) + 0.01 for iso2 in countries
+    ]
+    for index in range(count):
+        iso2 = rng.choices(countries, weights=weights, k=1)[0]
+        if index % 17 == 0:
+            as_type = ASType.TRANSIT
+            name = f"Transit Backbone {index}"
+        elif index % 5 == 0:
+            as_type = ASType.CONTENT
+            name = f"Hosting Platform {index}"
+        else:
+            as_type = ASType.ENTERPRISE
+            name = f"Enterprise Net {index}"
+        record = ASRecord(allocate_asn(), name, iso2, as_type)
+        add_plan(
+            ASPlan(
+                record,
+                cellular_demand=0.0,
+                fixed_demand=rng.uniform(0.0, 2e-6),
+            )
+        )

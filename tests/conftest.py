@@ -1,0 +1,40 @@
+"""Shared fixtures.
+
+A full lab (world + datasets + pipeline) costs several seconds, so
+integration-level tests share one session-scoped instance; unit tests
+that only need a world use the smaller ``tiny_world``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.lab import Lab
+from repro.world.build import WorldParams, build_world
+
+#: Seed used by all shared fixtures; individual tests may build their own.
+SHARED_SEED = 1
+
+
+@pytest.fixture(scope="session")
+def lab() -> Lab:
+    """One shared medium world with datasets and pipeline output."""
+    return Lab.create(scale=0.005, seed=SHARED_SEED)
+
+
+@pytest.fixture(scope="session")
+def world(lab):
+    return lab.world
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    """A small, quickly built world for structural unit tests."""
+    return build_world(WorldParams(seed=3, scale=0.002, background_as_count=400))
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(1234)

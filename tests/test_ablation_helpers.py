@@ -1,0 +1,67 @@
+"""Unit tests for the ablation helpers."""
+
+import pytest
+
+from repro.analysis.ablation import reaggregate_beacons
+from repro.datasets.beacon_dataset import BeaconDataset, SubnetBeaconCounts
+from repro.net.prefix import Prefix
+from repro.world.population import Browser
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+def dataset():
+    beacons = BeaconDataset("2016-12")
+    beacons.add_counts(SubnetBeaconCounts(p("10.0.0.0/24"), 1, "US", 10, 5, 4))
+    beacons.add_counts(SubnetBeaconCounts(p("10.0.1.0/24"), 1, "US", 6, 3, 0))
+    beacons.add_counts(SubnetBeaconCounts(p("10.8.0.0/24"), 2, "DE", 4, 2, 2))
+    beacons.add_counts(
+        SubnetBeaconCounts(p("2001:db8::/48"), 3, "JP", 8, 4, 4)
+    )
+    beacons.observe_browser_batch(Browser.CHROME_MOBILE, 28, 14)
+    return beacons
+
+
+class TestReaggregate:
+    def test_merges_within_key(self):
+        coarse = reaggregate_beacons(dataset(), ipv4_length=16)
+        merged = coarse.get(p("10.0.0.0/16"))
+        assert merged is not None
+        assert (merged.hits, merged.api_hits, merged.cellular_hits) == (16, 8, 4)
+        # Different /16 stays separate.
+        assert coarse.get(p("10.8.0.0/16")).hits == 4
+
+    def test_identity_at_24(self):
+        coarse = reaggregate_beacons(dataset(), ipv4_length=24)
+        assert len(coarse) == len(dataset())
+
+    def test_ipv6_keys(self):
+        coarse = reaggregate_beacons(dataset(), ipv4_length=24, ipv6_length=32)
+        assert coarse.get(p("2001:db8::/32")) is not None
+
+    def test_browser_counters_carried(self):
+        coarse = reaggregate_beacons(dataset(), ipv4_length=16)
+        assert coarse.browser_counts[Browser.CHROME_MOBILE] == (28, 14)
+
+    def test_totals_preserved(self):
+        original = dataset()
+        coarse = reaggregate_beacons(original, ipv4_length=16)
+        assert coarse.total_hits == original.total_hits
+        assert coarse.total_api_hits == original.total_api_hits
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reaggregate_beacons(dataset(), ipv4_length=0)
+        with pytest.raises(ValueError):
+            reaggregate_beacons(dataset(), ipv4_length=25)
+        with pytest.raises(ValueError):
+            reaggregate_beacons(dataset(), ipv4_length=24, ipv6_length=64)
+
+    def test_cross_as_merge_rejected(self):
+        beacons = BeaconDataset("2016-12")
+        beacons.add_counts(SubnetBeaconCounts(p("10.0.0.0/24"), 1, "US", 1, 1, 1))
+        beacons.add_counts(SubnetBeaconCounts(p("10.0.1.0/24"), 2, "US", 1, 1, 1))
+        with pytest.raises(ValueError):
+            reaggregate_beacons(beacons, ipv4_length=16)

@@ -1,0 +1,123 @@
+"""Unit tests for repro.net.addr: IPv4/IPv6 parsing and formatting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addr import (
+    AddressError,
+    format_ip,
+    format_ipv4,
+    format_ipv6,
+    parse_ip,
+    parse_ipv4,
+    parse_ipv6,
+)
+
+
+class TestIPv4:
+    def test_parse_simple(self):
+        assert parse_ipv4("0.0.0.0") == 0
+        assert parse_ipv4("255.255.255.255") == (1 << 32) - 1
+        assert parse_ipv4("192.0.2.1") == (192 << 24) | (2 << 8) | 1
+
+    def test_format_simple(self):
+        assert format_ipv4(0) == "0.0.0.0"
+        assert format_ipv4((10 << 24) + 1) == "10.0.0.1"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "1.2.3", "1.2.3.4.5", "256.1.1.1", "01.2.3.4", "a.b.c.d", "1..2.3"],
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            parse_ipv4(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            format_ipv4(-1)
+        with pytest.raises(AddressError):
+            format_ipv4(1 << 32)
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_round_trip(self, value):
+        assert parse_ipv4(format_ipv4(value)) == value
+
+
+class TestIPv6:
+    def test_parse_full_form(self):
+        assert parse_ipv6("0:0:0:0:0:0:0:1") == 1
+
+    def test_parse_compressed(self):
+        assert parse_ipv6("::1") == 1
+        assert parse_ipv6("::") == 0
+        assert parse_ipv6("2001:db8::") == 0x20010DB8 << 96
+
+    def test_parse_embedded_ipv4(self):
+        assert parse_ipv6("::ffff:192.0.2.1") == (0xFFFF << 32) | parse_ipv4(
+            "192.0.2.1"
+        )
+
+    def test_format_rfc5952_compression(self):
+        # Longest zero run is compressed; single zero group is not.
+        assert format_ipv6(1) == "::1"
+        assert format_ipv6(0) == "::"
+        assert format_ipv6(parse_ipv6("2001:db8:0:1:1:1:1:1")) == (
+            "2001:db8:0:1:1:1:1:1"
+        )
+        assert format_ipv6(parse_ipv6("2001:0:0:1:0:0:0:1")) == "2001:0:0:1::1"
+
+    def test_format_lowercase_hex(self):
+        text = format_ipv6(0xABCD << 112)
+        assert text == text.lower()
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", ":::", "1:2", "1:2:3:4:5:6:7:8:9", "g::1", "1::2::3",
+         "12345::", "::ffff:1.2.3.4:5"],
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            parse_ipv6(bad)
+
+    def test_embedded_ipv4_must_be_last(self):
+        with pytest.raises(AddressError):
+            parse_ipv6("1.2.3.4::1")
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_round_trip(self, value):
+        assert parse_ipv6(format_ipv6(value)) == value
+
+
+class TestDispatch:
+    def test_parse_ip_detects_family(self):
+        assert parse_ip("10.0.0.1") == (4, (10 << 24) + 1)
+        assert parse_ip("::1") == (6, 1)
+
+    def test_format_ip_dispatches(self):
+        assert format_ip(4, 0) == "0.0.0.0"
+        assert format_ip(6, 0) == "::"
+
+    def test_format_ip_rejects_unknown_family(self):
+        with pytest.raises(AddressError):
+            format_ip(5, 0)
+
+
+class TestFuzzing:
+    """Arbitrary junk must raise AddressError, never crash."""
+
+    @given(st.text(max_size=40))
+    def test_parse_ip_total(self, text):
+        try:
+            family, value = parse_ip(text)
+        except AddressError:
+            return
+        # Whatever parsed must round-trip.
+        assert parse_ip(format_ip(family, value)) == (family, value)
+
+    @given(st.text(alphabet="0123456789abcdef:.%/", max_size=50))
+    def test_parse_ipv6_structured_junk(self, text):
+        try:
+            parse_ipv6(text)
+        except AddressError:
+            pass

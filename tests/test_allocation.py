@@ -1,0 +1,213 @@
+"""Unit tests for prefix allocation."""
+
+import pytest
+
+from repro.net.asn import ASType
+from repro.world.profiles import (
+    ACTIVE_SLASH24_BY_CONTINENT,
+    CELLULAR_SLASH24_BY_CONTINENT,
+    CELLULAR_SLASH48_BY_CONTINENT,
+)
+
+
+class TestStructure:
+    def test_no_duplicate_prefixes(self, tiny_world):
+        prefixes = [s.prefix for s in tiny_world.subnets()]
+        assert len(prefixes) == len(set(prefixes))
+
+    def test_no_overlapping_blocks(self, tiny_world):
+        # All /24s are distinct and allocated from disjoint /16 pools,
+        # so sorted neighbours must never contain one another.
+        v4 = sorted(
+            (s.prefix for s in tiny_world.allocation.of_family(4)),
+            key=lambda p: p.value,
+        )
+        for left, right in zip(v4, v4[1:]):
+            assert not left.overlaps(right)
+
+    def test_by_asn_index_consistent(self, tiny_world):
+        allocation = tiny_world.allocation
+        counted = sum(len(subnets) for subnets in allocation.by_asn.values())
+        assert counted == len(allocation.subnets)
+        for asn, subnets in allocation.by_asn.items():
+            assert all(s.asn == asn for s in subnets)
+
+    def test_families_use_paper_granularity(self, tiny_world):
+        for subnet in tiny_world.subnets():
+            if subnet.family == 4:
+                assert subnet.prefix.length == 24
+            else:
+                assert subnet.prefix.length == 48
+
+
+class TestCounts:
+    def test_active_cellular_scaled_counts(self, tiny_world):
+        scale = tiny_world.params.scale
+        # Active (demand- or beacon-capable) cellular /24s track the
+        # scaled continent totals; ground-truth-only inactive blocks
+        # come on top.
+        active_cellular = [
+            s
+            for s in tiny_world.allocation.of_family(4)
+            if s.is_cellular and (s.beacon_coverage > 0 or s.demand_weight > 0)
+        ]
+        expected = sum(CELLULAR_SLASH24_BY_CONTINENT.values()) * scale
+        # Per-carrier minimums (2 cellular /24s each) put a floor under
+        # the count that dominates at very small scales.
+        carriers = len(tiny_world.topology.cellular_plans())
+        assert len(active_cellular) >= expected * 0.6
+        assert len(active_cellular) <= expected + 2.5 * carriers
+
+    def test_cellular_v6_fraction(self, tiny_world):
+        v6 = tiny_world.allocation.of_family(6)
+        cellular = [s for s in v6 if s.is_cellular]
+        assert 0.004 <= len(cellular) / len(v6) <= 0.03  # paper: 1.2%
+
+    def test_every_carrier_holds_cellular_space(self, tiny_world):
+        for plan in tiny_world.topology.cellular_plans():
+            subnets = tiny_world.allocation.by_asn.get(plan.record.asn, [])
+            cellular = [s for s in subnets if s.is_cellular]
+            assert len(cellular) >= 2, plan.record
+
+
+class TestDemand:
+    def test_total_demand_near_one(self, tiny_world):
+        assert 0.85 <= tiny_world.allocation.total_demand() <= 1.05
+
+    def test_cgn_concentration(self, tiny_world):
+        # Inside each large carrier, the top 10% of cellular subnets by
+        # demand carry the overwhelming majority of cellular demand.
+        plans = sorted(
+            tiny_world.topology.cellular_plans(),
+            key=lambda p: p.cellular_demand,
+            reverse=True,
+        )
+        for plan in plans[:5]:
+            subnets = [
+                s
+                for s in tiny_world.allocation.by_asn[plan.record.asn]
+                if s.is_cellular and s.family == 4
+            ]
+            weights = sorted((s.demand_weight for s in subnets), reverse=True)
+            total = sum(weights)
+            if total <= 0:
+                continue
+            top = max(1, len(weights) // 10)
+            assert sum(weights[:top]) / total > 0.75
+
+    def test_inactive_cellular_blocks_exist(self, tiny_world):
+        inactive = [
+            s
+            for s in tiny_world.allocation.cellular_subnets(4)
+            if s.beacon_coverage == 0 and s.demand_weight == 0
+        ]
+        assert inactive  # ground-truth-only reserves (Table 3 FN source)
+
+    def test_proxy_subnets_have_demand_but_no_beacons(self, tiny_world):
+        proxies = [s for s in tiny_world.subnets() if s.proxy_like]
+        assert proxies
+        for subnet in proxies:
+            assert subnet.beacon_coverage == 0
+            assert subnet.demand_weight > 0
+            assert not subnet.is_cellular
+
+
+class TestLabelRates:
+    def test_cellular_label_rates_high_in_cellular_subnets(self, tiny_world):
+        for subnet in tiny_world.allocation.cellular_subnets():
+            assert subnet.cellular_label_rate >= 0.7
+
+    def test_fixed_subnets_nearly_noise_free(self, tiny_world):
+        fixed_access_asns = {
+            p.record.asn
+            for p in tiny_world.topology.plans.values()
+            if p.record.as_type is ASType.FIXED_ACCESS
+        }
+        for subnet in tiny_world.subnets():
+            if subnet.asn in fixed_access_asns:
+                assert subnet.cellular_label_rate < 0.02
+
+    def test_proxy_as_subnets_emit_cellular_labels(self, tiny_world):
+        proxy_asns = {
+            p.record.asn
+            for p in tiny_world.topology.plans.values()
+            if p.record.as_type is ASType.PROXY
+        }
+        rates = [
+            s.cellular_label_rate
+            for s in tiny_world.subnets()
+            if s.asn in proxy_asns
+        ]
+        assert rates and max(rates) > 0.5  # planted AS-level false positives
+
+
+class TestScaleParameter:
+    def test_rejects_bad_scale(self):
+        from repro.world.build import WorldParams
+
+        with pytest.raises(ValueError):
+            WorldParams(scale=0)
+        with pytest.raises(ValueError):
+            WorldParams(scale=1.5)
+
+    def test_scale_changes_subnet_count(self, tiny_world, world):
+        # world fixture uses scale 0.005, tiny 0.002.
+        assert len(world.subnets()) > len(tiny_world.subnets())
+
+
+class TestAllocationModel:
+    def test_defaults_valid(self):
+        from repro.world.allocation import AllocationModel
+
+        AllocationModel()  # must not raise
+
+    def test_validation(self):
+        from repro.world.allocation import AllocationModel
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            AllocationModel(hot_fraction=0)
+        with _pytest.raises(ValueError):
+            AllocationModel(hot_share_mixed=1.5)
+        with _pytest.raises(ValueError):
+            AllocationModel(hot_label_low=0.9, hot_label_high=0.5)
+        with _pytest.raises(ValueError):
+            AllocationModel(hot_label_low=0.2, hot_label_high=0.9)
+
+    def test_no_cgn_flattens_demand(self):
+        from repro.stats.concentration import gini_coefficient
+        from repro.world.allocation import AllocationModel
+        from repro.world.build import WorldParams, build_world
+
+        params = WorldParams(seed=6, scale=0.0015, background_as_count=50)
+        cgn = build_world(params)
+        flat = build_world(params, allocation_model=AllocationModel.no_cgn())
+
+        def top_carrier_gini(world):
+            biggest = max(
+                world.topology.cellular_plans(),
+                key=lambda p: p.cellular_demand,
+            )
+            weights = [
+                s.demand_weight
+                for s in world.allocation.by_asn[biggest.record.asn]
+                if s.is_cellular and s.demand_weight > 0
+            ]
+            return gini_coefficient(weights)
+
+        assert top_carrier_gini(cgn) > top_carrier_gini(flat) + 0.15
+
+    def test_default_model_matches_legacy_world(self, tiny_world):
+        # Explicitly passing the default model reproduces the default
+        # world exactly (the refactor changed no behaviour).
+        from repro.world.allocation import AllocationModel
+        from repro.world.build import build_world
+
+        rebuilt = build_world(
+            tiny_world.params, allocation_model=AllocationModel()
+        )
+        assert len(rebuilt.subnets()) == len(tiny_world.subnets())
+        for left, right in zip(rebuilt.subnets()[:300], tiny_world.subnets()[:300]):
+            assert left.prefix == right.prefix
+            assert left.demand_weight == right.demand_weight
+            assert left.cellular_label_rate == right.cellular_label_rate

@@ -1,0 +1,135 @@
+"""Unit tests for continent-level analyses (Tables 4, 6, 8)."""
+
+import pytest
+
+from repro.analysis.continent import (
+    ases_by_continent,
+    continent_demand,
+    global_cellular_fraction,
+    subnets_by_continent,
+)
+from repro.core.classifier import SubnetClassifier
+from repro.core.mixed import OperatorClass, OperatorProfile
+from repro.core.ratios import RatioRecord, RatioTable
+from repro.datasets.demand_dataset import DemandDataset
+from repro.net.prefix import Prefix
+from repro.world.geo import Continent, default_geography
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+@pytest.fixture()
+def geography():
+    return default_geography()
+
+
+@pytest.fixture()
+def classification():
+    table = RatioTable(
+        [
+            RatioRecord(p("10.0.0.0/24"), 1, "US", 10, 10, 10),
+            RatioRecord(p("10.0.1.0/24"), 1, "US", 10, 0, 10),
+            RatioRecord(p("10.0.2.0/24"), 2, "GH", 10, 10, 10),
+            RatioRecord(p("2001:db8::/48"), 3, "JP", 10, 10, 10),
+            RatioRecord(p("10.0.3.0/24"), 9, "CN", 10, 10, 10),
+        ]
+    )
+    return SubnetClassifier(0.5).classify(table)
+
+
+@pytest.fixture()
+def demand():
+    return DemandDataset.from_request_totals(
+        [
+            (p("10.0.0.0/24"), 1, "US", 500),
+            (p("10.0.1.0/24"), 1, "US", 400),
+            (p("10.0.2.0/24"), 2, "GH", 50),
+            (p("2001:db8::/48"), 3, "JP", 30),
+            (p("10.0.3.0/24"), 9, "CN", 20),
+        ]
+    )
+
+
+class TestSubnetCensus:
+    def test_counts(self, classification, geography):
+        census = subnets_by_continent(classification, geography)
+        assert census[Continent.NORTH_AMERICA].cellular_slash24 == 1
+        assert census[Continent.NORTH_AMERICA].active_slash24 == 2
+        assert census[Continent.AFRICA].cellular_slash24 == 1
+        assert census[Continent.ASIA].cellular_slash48 == 1
+        assert census[Continent.NORTH_AMERICA].pct_active_ipv4 == 0.5
+
+    def test_restriction(self, classification, geography):
+        census = subnets_by_continent(
+            classification, geography, restrict_to_asns={2}
+        )
+        assert census[Continent.NORTH_AMERICA].cellular_slash24 == 0
+        assert census[Continent.AFRICA].cellular_slash24 == 1
+        # Active counts are unaffected by the restriction.
+        assert census[Continent.NORTH_AMERICA].active_slash24 == 2
+
+
+class TestASCensus:
+    def test_counts_and_average(self, geography):
+        profiles = [
+            OperatorProfile(1, "US", 1, 1, 1, 1, 1, OperatorClass.DEDICATED),
+            OperatorProfile(2, "US", 1, 1, 1, 1, 1, OperatorClass.MIXED),
+            OperatorProfile(3, "CA", 1, 1, 1, 1, 1, OperatorClass.MIXED),
+            OperatorProfile(4, "GH", 1, 1, 1, 1, 1, OperatorClass.DEDICATED),
+        ]
+        census = ases_by_continent(profiles, geography)
+        na = census[Continent.NORTH_AMERICA]
+        assert na.as_count == 3
+        assert na.average_per_country == pytest.approx(1.5)
+        assert census[Continent.AFRICA].as_count == 1
+        assert census[Continent.EUROPE].as_count == 0
+        assert census[Continent.EUROPE].average_per_country == 0.0
+
+
+class TestContinentDemand:
+    def test_china_excluded_by_default(self, classification, demand, geography):
+        rows = continent_demand(classification, demand, geography)
+        asia = rows[Continent.ASIA]
+        # JP only: CN's demand is dropped from both cellular and total.
+        assert asia.total_du == pytest.approx(demand.du_of(p("2001:db8::/48")))
+
+    def test_fractions(self, classification, demand, geography):
+        rows = continent_demand(classification, demand, geography)
+        na = rows[Continent.NORTH_AMERICA]
+        assert na.cellular_fraction == pytest.approx(5 / 9)
+        assert rows[Continent.AFRICA].cellular_fraction == pytest.approx(1.0)
+        shares = sum(r.global_cellular_share for r in rows.values())
+        assert shares == pytest.approx(1.0)
+
+    def test_restriction_drops_foreign_asns(
+        self, classification, demand, geography
+    ):
+        rows = continent_demand(
+            classification, demand, geography, restrict_to_asns={2, 3}
+        )
+        assert rows[Continent.NORTH_AMERICA].cellular_du == 0.0
+        assert rows[Continent.AFRICA].cellular_du > 0
+
+    def test_global_fraction(self, classification, demand, geography):
+        rows = continent_demand(classification, demand, geography)
+        value = global_cellular_fraction(rows)
+        # Cellular: US 500 + GH 50 + JP 30 = 580 of 980 (CN excluded).
+        assert value == pytest.approx(580 / 980)
+
+    def test_subscribers_attached(self, classification, demand, geography):
+        rows = continent_demand(classification, demand, geography)
+        assert rows[Continent.ASIA].subscribers_m > 0
+        # China excluded from the subscriber denominator too.
+        total_asia = sum(
+            country.subscribers_m
+            for country in geography.by_continent(Continent.ASIA)
+        )
+        assert rows[Continent.ASIA].subscribers_m < total_asia
+
+    def test_demand_per_subscriber(self, classification, demand, geography):
+        rows = continent_demand(classification, demand, geography)
+        na = rows[Continent.NORTH_AMERICA]
+        expected = na.cellular_du / (na.subscribers_m * 1000)
+        assert na.demand_per_1000_subscribers == pytest.approx(expected)

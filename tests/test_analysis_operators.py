@@ -1,0 +1,147 @@
+"""Unit tests for operator-level analyses (Table 7, Figures 5-8)."""
+
+import pytest
+
+from repro.analysis.concentration import subnet_demand_concentration
+from repro.analysis.operators import (
+    case_study_cdfs,
+    case_study_distribution,
+    per_operator_fraction_cdfs,
+    ranked_operator_demand,
+    top_operators,
+    top_share,
+)
+from repro.core.classifier import SubnetClassifier
+from repro.core.mixed import OperatorClass, OperatorProfile
+from repro.core.ratios import RatioRecord, RatioTable
+from repro.datasets.demand_dataset import DemandDataset
+from repro.net.prefix import Prefix
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+def profile(asn, cellular_du, total_du, country="US", mixed=False,
+            cell_subnets=5, total_subnets=20):
+    return OperatorProfile(
+        asn=asn,
+        country=country,
+        cellular_du=cellular_du,
+        total_du=total_du,
+        cellular_fraction_of_demand=cellular_du / total_du if total_du else 0,
+        cellular_subnet_count=cell_subnets,
+        total_subnet_count=total_subnets,
+        operator_class=OperatorClass.MIXED if mixed else OperatorClass.DEDICATED,
+    )
+
+
+PROFILES = [
+    profile(1, 50, 52),
+    profile(2, 30, 35, country="IN"),
+    profile(3, 15, 100, country="JP", mixed=True),
+    profile(4, 5, 6, country="DE"),
+]
+
+
+class TestRanking:
+    def test_ranked_order(self):
+        ranked = ranked_operator_demand(PROFILES)
+        assert [rank for rank, _, _ in ranked] == [1, 2, 3, 4]
+        assert ranked[0][1].asn == 1
+        shares = [share for _, _, share in ranked]
+        assert sum(shares) == pytest.approx(1.0)
+        assert shares == sorted(shares, reverse=True)
+
+    def test_top_share(self):
+        assert top_share(PROFILES, 2) == pytest.approx(0.8)
+        assert top_share(PROFILES, 100) == pytest.approx(1.0)
+
+    def test_top_operators_rows(self):
+        rows = top_operators(PROFILES, count=3)
+        assert [row.country for row in rows] == ["US", "IN", "JP"]
+        assert rows[2].mixed
+        with pytest.raises(ValueError):
+            top_operators(PROFILES, count=0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ranked_operator_demand([])
+
+
+class TestFractionCDFs:
+    def test_cdfs(self):
+        demand_cdf, subnet_cdf = per_operator_fraction_cdfs(PROFILES)
+        assert demand_cdf.evaluate(1.0) == 1.0
+        assert subnet_cdf.evaluate(1.0) == 1.0
+        # All subnet fractions are 0.25 here.
+        assert subnet_cdf.median == pytest.approx(0.25)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            per_operator_fraction_cdfs([])
+
+
+@pytest.fixture()
+def case_setup():
+    table = RatioTable(
+        [
+            RatioRecord(p("10.0.0.0/24"), 7, "US", 100, 80, 100),
+            RatioRecord(p("10.0.1.0/24"), 7, "US", 100, 0, 100),
+            RatioRecord(p("10.0.2.0/24"), 7, "US", 100, 99, 100),
+            RatioRecord(p("2001:db8::/48"), 7, "US", 100, 99, 100),
+            RatioRecord(p("10.0.3.0/24"), 8, "DE", 100, 0, 100),
+        ]
+    )
+    classification = SubnetClassifier(0.5).classify(table)
+    demand = DemandDataset.from_request_totals(
+        [
+            (p("10.0.0.0/24"), 7, "US", 900),
+            (p("10.0.2.0/24"), 7, "US", 50),
+            (p("10.0.3.0/24"), 8, "DE", 50),
+            (p("10.0.9.0/24"), 7, "US", 100),  # demand-only, no beacons
+        ]
+    )
+    return classification, demand
+
+
+class TestCaseStudies:
+    def test_distribution_family_filtered(self, case_setup):
+        classification, demand = case_setup
+        points = case_study_distribution(classification, demand, 7)
+        assert len(points) == 3  # the /48 is excluded by default
+        ratios = sorted(point.ratio for point in points)
+        assert ratios == [0.0, 0.8, 0.99]
+
+    def test_unknown_asn_raises(self, case_setup):
+        classification, demand = case_setup
+        with pytest.raises(ValueError):
+            case_study_distribution(classification, demand, 999)
+
+    def test_cdfs(self, case_setup):
+        classification, demand = case_setup
+        points = case_study_distribution(classification, demand, 7)
+        subnet_cdf, demand_cdf = case_study_cdfs(points)
+        assert subnet_cdf.evaluate(0.5) == pytest.approx(1 / 3)
+        assert demand_cdf is not None
+        # 900 of 950 DU sits at ratio 0.8.
+        assert demand_cdf.evaluate(0.8) == pytest.approx(900 / 950, rel=0.01)
+
+
+class TestConcentration:
+    def test_report(self, case_setup):
+        classification, demand = case_setup
+        report = subnet_demand_concentration(classification, demand, 7)
+        assert report.cellular_subnet_count == 2
+        # Fixed curve includes the demand-only subnet 10.0.9.0.
+        assert report.fixed_subnet_count == 1
+        assert report.cellular_du == pytest.approx(
+            demand.du_of(p("10.0.0.0/24")) + demand.du_of(p("10.0.2.0/24"))
+        )
+        assert report.cellular_covering_993 == 2
+        assert 0 <= report.cellular_gini < 1
+
+    def test_requires_both_classes(self, case_setup):
+        classification, demand = case_setup
+        with pytest.raises(ValueError):
+            subnet_demand_concentration(classification, demand, 8)

@@ -1,0 +1,83 @@
+"""Unit tests for AS records, registry, and CAIDA class mapping."""
+
+import pytest
+
+from repro.net.asn import (
+    CAIDA_CLASS_OF_TYPE,
+    ASRecord,
+    ASRegistry,
+    ASType,
+    CAIDAClass,
+)
+
+
+def record(asn=100, as_type=ASType.CELLULAR_DEDICATED, country="US"):
+    return ASRecord(asn, f"AS {asn}", country, as_type)
+
+
+class TestASType:
+    def test_cellular_types(self):
+        assert ASType.CELLULAR_DEDICATED.is_cellular
+        assert ASType.CELLULAR_MIXED.is_cellular
+        assert not ASType.FIXED_ACCESS.is_cellular
+        assert not ASType.PROXY.is_cellular
+
+    def test_access_types(self):
+        assert ASType.FIXED_ACCESS.is_access
+        assert ASType.CELLULAR_MIXED.is_access
+        assert not ASType.CONTENT.is_access
+        assert not ASType.CLOUD.is_access
+
+    def test_every_type_has_caida_class(self):
+        for as_type in ASType:
+            assert as_type in CAIDA_CLASS_OF_TYPE
+
+    def test_proxy_and_cloud_map_to_content(self):
+        # That mapping is what makes filtering rule 3 effective.
+        assert CAIDA_CLASS_OF_TYPE[ASType.PROXY] is CAIDAClass.CONTENT
+        assert CAIDA_CLASS_OF_TYPE[ASType.CLOUD] is CAIDAClass.CONTENT
+
+
+class TestASRecord:
+    def test_valid(self):
+        rec = record()
+        assert rec.is_cellular
+
+    def test_rejects_nonpositive_asn(self):
+        with pytest.raises(ValueError):
+            ASRecord(0, "x", "US", ASType.TRANSIT)
+
+    @pytest.mark.parametrize("bad", ["us", "USA", "u", ""])
+    def test_rejects_bad_country(self, bad):
+        with pytest.raises(ValueError):
+            ASRecord(1, "x", bad, ASType.TRANSIT)
+
+
+class TestASRegistry:
+    def test_add_get(self):
+        registry = ASRegistry()
+        registry.add(record(1))
+        assert registry.get(1).asn == 1
+        assert registry.find(2) is None
+        assert 1 in registry
+        assert len(registry) == 1
+
+    def test_rejects_duplicates(self):
+        registry = ASRegistry()
+        registry.add(record(1))
+        with pytest.raises(ValueError):
+            registry.add(record(1))
+
+    def test_queries(self):
+        registry = ASRegistry()
+        registry.add(record(1, ASType.CELLULAR_DEDICATED, "US"))
+        registry.add(record(2, ASType.CELLULAR_MIXED, "DE"))
+        registry.add(record(3, ASType.FIXED_ACCESS, "US"))
+        assert {r.asn for r in registry.by_country("US")} == {1, 3}
+        assert [r.asn for r in registry.by_type(ASType.CELLULAR_MIXED)] == [2]
+        assert registry.cellular_asns() == {1, 2}
+
+    def test_iteration(self):
+        registry = ASRegistry()
+        registry.add(record(5))
+        assert [r.asn for r in registry] == [5]

@@ -1,0 +1,27 @@
+"""Tests for the world invariant audit."""
+
+from dataclasses import replace
+
+from repro.world.audit import audit_world
+
+
+class TestAudit:
+    def test_healthy_world_clean(self, tiny_world):
+        assert audit_world(tiny_world) == []
+
+    def test_detects_planted_violation(self, tiny_world):
+        # Corrupt one cellular subnet's label rate below the floor.
+        broken = tiny_world
+        victim = next(
+            s for s in broken.subnets() if s.is_cellular
+        )
+        index = broken.allocation.subnets.index(victim)
+        corrupted = replace(victim, cellular_label_rate=0.1)
+        broken.allocation.subnets[index] = corrupted
+        broken.allocation.by_prefix[victim.prefix] = corrupted
+        try:
+            findings = audit_world(broken)
+            assert any(f.check == "cellular-label-floor" for f in findings)
+        finally:
+            broken.allocation.subnets[index] = victim
+            broken.allocation.by_prefix[victim.prefix] = victim

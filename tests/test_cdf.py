@@ -1,0 +1,108 @@
+"""Unit and property tests for EmpiricalCDF."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.cdf import EmpiricalCDF
+
+
+class TestBasics:
+    def test_unweighted_steps(self):
+        cdf = EmpiricalCDF([1, 2, 3, 4])
+        assert cdf.evaluate(0) == 0.0
+        assert cdf.evaluate(1) == 0.25
+        assert cdf.evaluate(2.5) == 0.5
+        assert cdf.evaluate(4) == 1.0
+        assert cdf.evaluate(100) == 1.0
+
+    def test_duplicates_merge(self):
+        cdf = EmpiricalCDF([1, 1, 2])
+        assert len(cdf) == 2
+        assert cdf.evaluate(1) == pytest.approx(2 / 3)
+
+    def test_weighted(self):
+        cdf = EmpiricalCDF([0, 1], weights=[3, 1])
+        assert cdf.evaluate(0) == 0.75
+        assert cdf.total_weight == 4
+
+    def test_fraction_helpers(self):
+        cdf = EmpiricalCDF([1, 2, 3, 4])
+        assert cdf.fraction_below(2) == 0.25
+        assert cdf.fraction_above(2) == 0.5
+        assert cdf.fraction_between(2, 3) == 0.5
+        with pytest.raises(ValueError):
+            cdf.fraction_between(3, 2)
+
+    def test_min_max_median(self):
+        cdf = EmpiricalCDF([5, 1, 3])
+        assert cdf.min == 1
+        assert cdf.max == 5
+        assert cdf.median == 3
+
+    def test_quantile(self):
+        cdf = EmpiricalCDF([10, 20, 30, 40])
+        assert cdf.quantile(0.25) == 10
+        assert cdf.quantile(0.26) == 20
+        assert cdf.quantile(1.0) == 40
+        with pytest.raises(ValueError):
+            cdf.quantile(0)
+        with pytest.raises(ValueError):
+            cdf.quantile(1.1)
+
+    def test_points(self):
+        cdf = EmpiricalCDF([1, 2])
+        assert cdf.points() == [(1, 0.5), (2, 1.0)]
+
+    def test_sampled_points(self):
+        cdf = EmpiricalCDF(range(100))
+        sampled = cdf.sampled_points(5)
+        assert len(sampled) == 5
+        assert sampled[0][0] == 0
+        assert sampled[-1][0] == 99
+        with pytest.raises(ValueError):
+            cdf.sampled_points(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1], weights=[1, 2])
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1], weights=[-1])
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1, 2], weights=[0, 0])
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=60))
+def test_monotonic_and_bounded(values):
+    cdf = EmpiricalCDF(values)
+    probes = sorted(values) + [min(values) - 1, max(values) + 1]
+    previous = 0.0
+    for probe in sorted(probes):
+        result = cdf.evaluate(probe)
+        assert 0.0 <= result <= 1.0 + 1e-9
+        assert result >= previous - 1e-9
+        previous = result
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=1, max_size=40),
+    st.floats(min_value=0.01, max_value=1.0),
+)
+def test_quantile_inverts_cdf(values, level):
+    cdf = EmpiricalCDF(values)
+    value = cdf.quantile(level)
+    assert cdf.evaluate(value) >= level - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=40))
+def test_buckets_partition_weight(values):
+    cdf = EmpiricalCDF(values)
+    below = cdf.fraction_below(50)
+    between = cdf.fraction_between(50, 75)
+    above = cdf.fraction_above(75)
+    assert below + between + above == pytest.approx(1.0)

@@ -1,0 +1,108 @@
+"""Unit and property tests for concentration measures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.concentration import (
+    cumulative_share_curve,
+    gini_coefficient,
+    rank_share_curve,
+    smallest_covering,
+    top_k_share,
+)
+
+POSITIVE_WEIGHTS = st.lists(
+    st.floats(min_value=0.001, max_value=1e6), min_size=1, max_size=60
+)
+
+
+class TestTopKShare:
+    def test_basic(self):
+        assert top_k_share([5, 3, 1, 1], 2) == pytest.approx(0.8)
+
+    def test_k_zero(self):
+        assert top_k_share([1, 2], 0) == 0.0
+
+    def test_k_exceeds_length(self):
+        assert top_k_share([1, 2], 10) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            top_k_share([1], -1)
+        with pytest.raises(ValueError):
+            top_k_share([0, 0], 1)
+        with pytest.raises(ValueError):
+            top_k_share([-1, 2], 1)
+
+
+class TestSmallestCovering:
+    def test_paper_style(self):
+        # One dominant subnet: covering 90% takes just it.
+        weights = [90] + [1] * 10
+        assert smallest_covering(weights, 0.9) == 1
+        assert smallest_covering(weights, 0.95) == 6
+
+    def test_full_coverage(self):
+        assert smallest_covering([1, 1, 1], 1.0) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            smallest_covering([1], 0)
+        with pytest.raises(ValueError):
+            smallest_covering([1], 1.5)
+        with pytest.raises(ValueError):
+            smallest_covering([0.0], 0.5)
+
+
+class TestCurves:
+    def test_rank_share_sorted(self):
+        curve = rank_share_curve([1, 3, 2])
+        assert [rank for rank, _ in curve] == [1, 2, 3]
+        assert [share for _, share in curve] == pytest.approx([0.5, 1 / 3, 1 / 6])
+
+    def test_cumulative_reaches_one(self):
+        curve = cumulative_share_curve([4, 3, 2, 1])
+        assert curve[-1][1] == pytest.approx(1.0)
+        shares = [share for _, share in curve]
+        assert shares == sorted(shares)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_extreme_concentration(self):
+        assert gini_coefficient([0, 0, 0, 100]) == pytest.approx(0.75)
+
+    def test_all_zero(self):
+        assert gini_coefficient([0, 0]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([])
+        with pytest.raises(ValueError):
+            gini_coefficient([-1, 2])
+
+
+@settings(max_examples=60, deadline=None)
+@given(POSITIVE_WEIGHTS)
+def test_gini_bounded(weights):
+    value = gini_coefficient(weights)
+    assert 0.0 <= value < 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(POSITIVE_WEIGHTS, st.integers(min_value=1, max_value=60))
+def test_top_k_monotone_in_k(weights, k):
+    assert top_k_share(weights, k) <= top_k_share(weights, k + 1) + 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(POSITIVE_WEIGHTS, st.floats(min_value=0.05, max_value=1.0))
+def test_covering_actually_covers(weights, fraction):
+    count = smallest_covering(weights, fraction)
+    assert 1 <= count <= len(weights)
+    assert top_k_share(weights, count) >= fraction - 1e-9
+    if count > 1:
+        assert top_k_share(weights, count - 1) < fraction

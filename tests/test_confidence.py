@@ -1,0 +1,114 @@
+"""Tests for confidence-aware classification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.confidence import (
+    ConfidentClassifier,
+    Verdict,
+    wilson_interval,
+)
+from repro.core.classifier import SubnetClassifier
+from repro.core.ratios import RatioRecord, RatioTable
+from repro.net.prefix import Prefix
+
+
+def record(subnet, api, cell):
+    return RatioRecord(Prefix.parse(subnet), 1, "US", api, cell, api)
+
+
+class TestWilsonInterval:
+    def test_contains_proportion(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.3 < high
+
+    def test_narrows_with_evidence(self):
+        narrow = wilson_interval(500, 1000)
+        wide = wilson_interval(5, 10)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_extremes_clamped(self):
+        low, high = wilson_interval(0, 10)
+        assert low == 0.0 and high < 0.35
+        low, high = wilson_interval(10, 10)
+        assert low > 0.65 and high == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 2, z=0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(min_value=1, max_value=5000), st.data())
+    def test_properties(self, trials, data):
+        successes = data.draw(st.integers(min_value=0, max_value=trials))
+        low, high = wilson_interval(successes, trials)
+        assert 0.0 <= low <= successes / trials <= high <= 1.0
+
+
+class TestConfidentClassifier:
+    def test_three_way_split(self):
+        classifier = ConfidentClassifier(threshold=0.5)
+        assert classifier.label(record("10.0.0.0/24", 200, 190)).verdict is (
+            Verdict.CELLULAR
+        )
+        assert classifier.label(record("10.0.1.0/24", 200, 5)).verdict is (
+            Verdict.FIXED
+        )
+        # 2 of 3: the point estimate clears 0.5 but the evidence doesn't.
+        assert classifier.label(record("10.0.2.0/24", 3, 2)).verdict is (
+            Verdict.UNCERTAIN
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConfidentClassifier(threshold=0)
+        with pytest.raises(ValueError):
+            ConfidentClassifier(z=-1)
+
+    def test_classification_container(self):
+        table = RatioTable(
+            [
+                record("10.0.0.0/24", 200, 190),
+                record("10.0.1.0/24", 200, 5),
+                record("10.0.2.0/24", 3, 2),
+            ]
+        )
+        result = ConfidentClassifier().classify(table)
+        counts = result.verdict_counts()
+        assert counts[Verdict.CELLULAR] == 1
+        assert counts[Verdict.FIXED] == 1
+        assert counts[Verdict.UNCERTAIN] == 1
+        assert result.uncertain_fraction() == pytest.approx(1 / 3)
+        assert result.cellular_set() == {Prefix.parse("10.0.0.0/24")}
+
+    def test_confident_subset_of_plain(self, lab):
+        """Confident cellular set is a subset of the plain classifier's."""
+        ratios = lab.result.ratios
+        plain = SubnetClassifier().classify(ratios).cellular_set()
+        confident = ConfidentClassifier().classify(ratios).cellular_set()
+        assert confident <= plain
+        assert len(confident) > 0
+
+    def test_precision_improves_on_lab(self, lab):
+        """Dropping uncertain subnets buys subnet-level precision."""
+        ratios = lab.result.ratios
+        world = lab.world
+
+        def precision(cellular_set):
+            tp = fp = 0
+            for subnet in cellular_set:
+                truth = world.truth_is_cellular(subnet)
+                if truth:
+                    tp += 1
+                elif truth is False:
+                    fp += 1
+            return tp / (tp + fp)
+
+        plain = SubnetClassifier().classify(ratios).cellular_set()
+        confident = ConfidentClassifier().classify(ratios).cellular_set()
+        assert precision(confident) >= precision(plain)

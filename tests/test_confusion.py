@@ -1,0 +1,106 @@
+"""Unit and property tests for BinaryConfusion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.confusion import BinaryConfusion
+
+
+class TestObserve:
+    def test_cells(self):
+        confusion = BinaryConfusion()
+        confusion.observe(True, True)
+        confusion.observe(True, False)
+        confusion.observe(False, True)
+        confusion.observe(False, False)
+        assert (confusion.tp, confusion.fn, confusion.fp, confusion.tn) == (
+            1, 1, 1, 1,
+        )
+        assert confusion.total == 4
+
+    def test_weights(self):
+        confusion = BinaryConfusion()
+        confusion.observe(True, True, weight=2.5)
+        confusion.observe(False, True, weight=0.5)
+        assert confusion.tp == 2.5
+        assert confusion.precision == pytest.approx(2.5 / 3.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryConfusion().observe(True, True, weight=-1)
+
+
+class TestMetrics:
+    def test_perfect(self):
+        confusion = BinaryConfusion(tp=10, tn=5)
+        assert confusion.precision == 1.0
+        assert confusion.recall == 1.0
+        assert confusion.f1 == 1.0
+        assert confusion.accuracy == 1.0
+        assert confusion.false_positive_rate == 0.0
+
+    def test_paper_carrier_b_shape(self):
+        # Table 3 Carrier B: TP 2937, FN 35, no negatives at all.
+        confusion = BinaryConfusion(tp=2937, fn=35)
+        assert confusion.precision == 1.0
+        assert confusion.recall == pytest.approx(0.988, abs=0.001)
+
+    def test_empty_is_all_zero(self):
+        confusion = BinaryConfusion()
+        assert confusion.precision == 0.0
+        assert confusion.recall == 0.0
+        assert confusion.f1 == 0.0
+        assert confusion.accuracy == 0.0
+
+    def test_f1_harmonic_mean(self):
+        confusion = BinaryConfusion(tp=1, fp=1, fn=1)
+        # precision = recall = 0.5 -> f1 = 0.5
+        assert confusion.f1 == pytest.approx(0.5)
+
+    def test_as_dict(self):
+        data = BinaryConfusion(tp=1, fp=2, tn=3, fn=4).as_dict()
+        assert data["tp"] == 1
+        assert set(data) == {
+            "tp", "fp", "tn", "fn", "precision", "recall", "f1", "accuracy",
+        }
+
+
+class TestMerge:
+    def test_merge_adds(self):
+        merged = BinaryConfusion(tp=1, fp=2).merge(BinaryConfusion(tp=3, tn=4))
+        assert (merged.tp, merged.fp, merged.tn, merged.fn) == (4, 2, 4, 0)
+
+    def test_merge_leaves_operands(self):
+        a = BinaryConfusion(tp=1)
+        a.merge(BinaryConfusion(tp=9))
+        assert a.tp == 1
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.booleans(),
+                  st.floats(min_value=0, max_value=10)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_metrics_always_bounded(observations):
+    confusion = BinaryConfusion()
+    for truth, predicted, weight in observations:
+        confusion.observe(truth, predicted, weight)
+    for value in (confusion.precision, confusion.recall, confusion.f1,
+                  confusion.accuracy, confusion.false_positive_rate):
+        assert 0.0 <= value <= 1.0
+    assert confusion.total == pytest.approx(sum(w for _, _, w in observations))
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(0, 50), st.integers(0, 50), st.integers(0, 50),
+       st.integers(0, 50))
+def test_f1_between_precision_and_recall(tp, fp, tn, fn):
+    confusion = BinaryConfusion(tp=tp, fp=fp, tn=tn, fn=fn)
+    low = min(confusion.precision, confusion.recall)
+    high = max(confusion.precision, confusion.recall)
+    assert low - 1e-9 <= confusion.f1 <= high + 1e-9

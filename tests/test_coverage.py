@@ -1,0 +1,66 @@
+"""Unit tests for BEACON/DEMAND coverage analysis."""
+
+import pytest
+
+from repro.analysis.coverage import beacon_coverage
+from repro.datasets.beacon_dataset import BeaconDataset, SubnetBeaconCounts
+from repro.datasets.demand_dataset import DemandDataset
+from repro.net.prefix import Prefix
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+@pytest.fixture()
+def datasets():
+    beacons = BeaconDataset("2016-12")
+    beacons.add_counts(SubnetBeaconCounts(p("10.0.0.0/24"), 1, "US", 10, 5, 2))
+    beacons.add_counts(SubnetBeaconCounts(p("2001:db8::/48"), 2, "JP", 5, 2, 2))
+    demand = DemandDataset.from_request_totals(
+        [
+            (p("10.0.0.0/24"), 1, "US", 900),   # covered, heavy
+            (p("10.0.1.0/24"), 1, "US", 50),    # uncovered tail
+            (p("10.0.2.0/24"), 1, "US", 30),    # uncovered tail
+            (p("2001:db8::/48"), 2, "JP", 20),  # covered v6
+        ]
+    )
+    return beacons, demand
+
+
+class TestCoverage:
+    def test_subnet_coverage(self, datasets):
+        beacons, demand = datasets
+        report = beacon_coverage(beacons, demand)
+        assert report.demand_subnets == 4
+        assert report.covered_subnets == 2
+        assert report.subnet_coverage == 0.5
+
+    def test_demand_coverage_favors_heavy(self, datasets):
+        beacons, demand = datasets
+        report = beacon_coverage(beacons, demand)
+        assert report.demand_coverage == pytest.approx(920 / 1000)
+        assert report.tail_bias > 0  # the paper's 92% vs 73% structure
+
+    def test_family_split(self, datasets):
+        beacons, demand = datasets
+        v4 = beacon_coverage(beacons, demand, family=4)
+        v6 = beacon_coverage(beacons, demand, family=6)
+        assert v4.demand_subnets == 3 and v4.covered_subnets == 1
+        assert v6.demand_subnets == 1 and v6.covered_subnets == 1
+        assert v6.subnet_coverage == 1.0
+
+    def test_empty_demand(self):
+        beacons = BeaconDataset("2016-12")
+        demand = DemandDataset.from_request_totals(
+            [(p("10.0.0.0/24"), 1, "US", 1)]
+        )
+        report = beacon_coverage(beacons, demand, family=6)
+        assert report.subnet_coverage == 0.0
+        assert report.demand_coverage == 0.0
+
+    def test_lab_coverage_matches_paper_shape(self, lab):
+        report = beacon_coverage(lab.beacons, lab.demand)
+        assert 0.6 <= report.subnet_coverage <= 0.95
+        assert report.demand_coverage > report.subnet_coverage
+        assert report.demand_coverage > 0.8

@@ -1,0 +1,75 @@
+"""Tests for the platform demand generator and DEMAND aggregation."""
+
+import pytest
+
+from repro.cdn.demand import DemandConfig, DemandGenerator
+from repro.datasets.demand_dataset import DEMAND_UNIT_TOTAL
+from repro.world.build import WorldParams, build_world
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    return build_world(WorldParams(seed=13, scale=0.002, background_as_count=200))
+
+
+@pytest.fixture(scope="module")
+def dataset(small_world):
+    return DemandGenerator(small_world, DemandConfig()).build_dataset()
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DemandConfig(days=0)
+        with pytest.raises(ValueError):
+            DemandConfig(daily_requests=0)
+        with pytest.raises(ValueError):
+            DemandConfig(day_jitter_sigma=-1)
+
+
+class TestRecords:
+    def test_window_days(self, small_world):
+        config = DemandConfig(days=3)
+        days = {r.day for r in DemandGenerator(small_world, config).iter_records()}
+        assert days <= {0, 1, 2}
+
+    def test_zero_demand_subnets_emit_nothing(self, small_world):
+        generator = DemandGenerator(small_world, DemandConfig(days=1))
+        demandless = {
+            s.prefix for s in small_world.subnets() if s.demand_weight == 0
+        }
+        for record in generator.iter_records():
+            assert record.subnet not in demandless
+
+
+class TestDataset:
+    def test_normalized_to_du_total(self, dataset):
+        assert dataset.total_du == pytest.approx(DEMAND_UNIT_TOTAL)
+
+    def test_proxy_subnets_present(self, small_world, dataset):
+        # Terminating proxies have demand despite emitting no beacons.
+        proxies = [s for s in small_world.subnets() if s.proxy_like]
+        assert proxies
+        with_demand = [s for s in proxies if dataset.du_of(s.prefix) > 0]
+        assert len(with_demand) >= len(proxies) * 0.8
+
+    def test_demand_tracks_plan_weights(self, small_world, dataset):
+        plans = sorted(
+            (s for s in small_world.subnets() if s.demand_weight > 0),
+            key=lambda s: s.demand_weight,
+        )
+        heavy, light = plans[-1], plans[len(plans) // 2]
+        assert dataset.du_of(heavy.prefix) > dataset.du_of(light.prefix)
+
+    def test_rollups_consistent(self, dataset):
+        by_asn = dataset.du_by_asn()
+        by_country = dataset.du_by_country()
+        assert sum(by_asn.values()) == pytest.approx(dataset.total_du)
+        assert sum(by_country.values()) == pytest.approx(dataset.total_du)
+
+    def test_deterministic(self, small_world):
+        a = DemandGenerator(small_world, DemandConfig()).build_dataset()
+        b = DemandGenerator(small_world, DemandConfig()).build_dataset()
+        assert len(a) == len(b)
+        for record in a:
+            assert b.du_of(record.subnet) == pytest.approx(record.du)

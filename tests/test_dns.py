@@ -1,0 +1,184 @@
+"""Tests for the DNS substrate: resolvers, affinities, analyses."""
+
+import pytest
+
+from repro.dns.affinity import build_affinity
+from repro.dns.analysis import (
+    public_dns_usage,
+    resolver_cellular_fractions,
+    resolver_distance_report,
+    shared_resolver_fraction,
+)
+from repro.dns.public import (
+    PUBLIC_SERVICES,
+    PublicDNSService,
+    normalized_popularity,
+    service_by_name,
+)
+from repro.dns.resolvers import Resolver, ServingPolicy, deploy_resolvers
+from repro.net.asn import ASType
+
+
+class TestPublicServices:
+    def test_table(self):
+        names = {service.name for service in PUBLIC_SERVICES}
+        assert names == {"GoogleDNS", "OpenDNS", "Level3"}
+        assert service_by_name()["GoogleDNS"].addresses[0] == "8.8.8.8"
+
+    def test_popularity_normalized(self):
+        weights = normalized_popularity()
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert weights["GoogleDNS"] > weights["OpenDNS"] > weights["Level3"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PublicDNSService("X", (), popularity=1)
+        with pytest.raises(ValueError):
+            PublicDNSService("X", ("1.2.3.4",), popularity=0)
+        with pytest.raises(ValueError):
+            PublicDNSService("X", ("not-an-ip",), popularity=1)
+
+
+class TestResolverRecords:
+    def test_operator_or_public_exclusive(self):
+        with pytest.raises(ValueError):
+            Resolver("x", asn=1, service="GoogleDNS", country="US",
+                     latitude=0, longitude=0)
+        with pytest.raises(ValueError):
+            Resolver("x", asn=None, service=None, country=None,
+                     latitude=0, longitude=0)
+
+    def test_policy_serves(self):
+        assert ServingPolicy.SHARED.serves(True)
+        assert ServingPolicy.SHARED.serves(False)
+        assert ServingPolicy.CELLULAR_ONLY.serves(True)
+        assert not ServingPolicy.CELLULAR_ONLY.serves(False)
+        assert ServingPolicy.FIXED_ONLY.serves(False)
+        assert not ServingPolicy.FIXED_ONLY.serves(True)
+
+
+class TestDeployment:
+    def test_access_networks_get_resolvers(self, tiny_world):
+        by_asn, public = deploy_resolvers(tiny_world)
+        access_asns = {
+            p.record.asn
+            for p in tiny_world.topology.plans.values()
+            if p.record.as_type.is_access
+        }
+        assert set(by_asn) == access_asns
+        for resolvers in by_asn.values():
+            assert 2 <= len(resolvers) <= 6
+        assert len(public) == sum(len(s.addresses) for s in PUBLIC_SERVICES)
+
+    def test_mixed_ases_have_varied_policies(self, tiny_world):
+        by_asn, _ = deploy_resolvers(tiny_world)
+        mixed_asns = [
+            p.record.asn
+            for p in tiny_world.topology.plans.values()
+            if p.record.as_type is ASType.CELLULAR_MIXED
+        ]
+        policies = {
+            resolver.policy
+            for asn in mixed_asns
+            for resolver in by_asn[asn]
+        }
+        assert ServingPolicy.SHARED in policies
+        assert ServingPolicy.CELLULAR_ONLY in policies
+
+    def test_cellular_clients_always_have_a_resolver(self, tiny_world):
+        by_asn, _ = deploy_resolvers(tiny_world)
+        for resolvers in by_asn.values():
+            assert any(r.policy.serves(True) for r in resolvers)
+
+    def test_deterministic(self, tiny_world):
+        a, _ = deploy_resolvers(tiny_world)
+        b, _ = deploy_resolvers(tiny_world)
+        for asn in a:
+            assert [r.resolver_id for r in a[asn]] == [
+                r.resolver_id for r in b[asn]
+            ]
+            assert [r.policy for r in a[asn]] == [r.policy for r in b[asn]]
+
+
+class TestAffinity:
+    def test_demand_conserved_per_access_subnet(self, lab):
+        affinity = lab.affinity
+        from collections import defaultdict
+
+        per_subnet = defaultdict(float)
+        for record in affinity:
+            per_subnet[record.subnet] += record.du
+        # Each access-network subnet's DU is split, never lost.
+        checked = 0
+        for subnet, du in per_subnet.items():
+            assert du == pytest.approx(lab.demand.du_of(subnet), rel=1e-6)
+            checked += 1
+        assert checked > 1000
+
+    def test_policies_honored(self, lab):
+        affinity = lab.affinity
+        for record in affinity:
+            if record.resolver.is_public:
+                continue
+            truth = lab.world.allocation.by_prefix[record.subnet]
+            assert record.resolver.policy.serves(truth.is_cellular)
+
+    def test_public_fraction_tracks_profiles(self, lab):
+        # Algerian carriers push ~97% of cellular demand to public DNS;
+        # U.S. carriers under 2%.
+        usage_by_country = {}
+        classification = lab.result.classification
+        for country in ("DZ", "US"):
+            asns = [
+                asn
+                for asn, profile in lab.result.operators.items()
+                if profile.country == country
+            ]
+            usage = public_dns_usage(lab.affinity, classification, asns)
+            totals = [u.public_fraction for u in usage.values() if u.total_du > 0]
+            usage_by_country[country] = sum(totals) / len(totals)
+        assert usage_by_country["DZ"] > 0.6
+        assert usage_by_country["US"] < 0.1
+
+    def test_distances_computable(self, lab):
+        for record in lab.affinity:
+            distance = record.distance_km
+            if record.resolver.is_public:
+                assert distance is None
+            else:
+                assert distance is not None and distance >= 0
+
+
+class TestAnalyses:
+    def test_resolver_fractions_bounded(self, lab):
+        shares = resolver_cellular_fractions(
+            lab.affinity, lab.result.classification
+        )
+        assert shares
+        for share in shares:
+            assert 0.0 <= share.cellular_fraction <= 1.0
+
+    def test_shared_fraction_in_mixed_ases(self, lab):
+        mixed = {a for a, p in lab.result.operators.items() if p.is_mixed}
+        shares = resolver_cellular_fractions(
+            lab.affinity, lab.result.classification, asns=mixed
+        )
+        # Paper: ~60% of mixed-network resolvers are shared.
+        assert 0.4 <= shared_resolver_fraction(shares) <= 0.8
+
+    def test_shared_fraction_empty_raises(self):
+        with pytest.raises(ValueError):
+            shared_resolver_fraction([])
+
+    def test_distance_asymmetry_in_mixed_carriers(self, lab):
+        mixed = [
+            p for p in lab.result.operators.values()
+            if p.is_mixed and p.country == "BR"
+        ]
+        assert mixed
+        target = max(mixed, key=lambda p: p.cellular_du)
+        report = resolver_distance_report(
+            lab.affinity, lab.result.classification, target.asn
+        )
+        assert report.cellular_km > report.fixed_km
+        assert report.asymmetry > 2

@@ -1,0 +1,34 @@
+"""Run the doctests embedded in public docstrings.
+
+Docstring examples are part of the API contract; this keeps them from
+rotting.
+"""
+
+import doctest
+
+import pytest
+
+import repro.analysis.report
+import repro.core.confidence
+import repro.net.addr
+import repro.net.prefix
+import repro.stats.concentration
+import repro.stats.sampling
+
+MODULES = [
+    repro.net.addr,
+    repro.net.prefix,
+    repro.stats.sampling,
+    repro.stats.concentration,
+    repro.core.confidence,
+    repro.analysis.report,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} failures"
+    # Each of these modules ships at least one example.
+    if module in (repro.net.addr, repro.net.prefix):
+        assert results.attempted > 0

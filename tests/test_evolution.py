@@ -1,0 +1,168 @@
+"""Tests for temporal evolution and churn metrics."""
+
+import pytest
+
+from repro.evolution.churn import (
+    ChurnReport,
+    churn_between,
+    run_monthly_census,
+)
+from repro.evolution.drift import EvolutionConfig, evolve_world
+from repro.net.prefix import Prefix
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EvolutionConfig(deactivation_rate=1.0)
+        with pytest.raises(ValueError):
+            EvolutionConfig(activation_rate=-0.1)
+        with pytest.raises(ValueError):
+            EvolutionConfig(demand_drift_sigma=-1)
+
+
+class TestEvolveWorld:
+    def test_month_zero_is_identity(self, tiny_world):
+        assert evolve_world(tiny_world, 0) is tiny_world
+
+    def test_negative_rejected(self, tiny_world):
+        with pytest.raises(ValueError):
+            evolve_world(tiny_world, -1)
+
+    def test_prefixes_preserved(self, tiny_world):
+        evolved = evolve_world(tiny_world, 2)
+        assert set(evolved.allocation.by_prefix) == set(
+            tiny_world.allocation.by_prefix
+        )
+
+    def test_deterministic(self, tiny_world):
+        a = evolve_world(tiny_world, 3)
+        b = evolve_world(tiny_world, 3)
+        for prefix, subnet in a.allocation.by_prefix.items():
+            other = b.allocation.by_prefix[prefix]
+            assert subnet.demand_weight == other.demand_weight
+            assert subnet.is_cellular == other.is_cellular
+
+    def test_cumulative(self, tiny_world):
+        # Month 2 differs from month 1 (drift keeps applying).
+        one = evolve_world(tiny_world, 1)
+        two = evolve_world(tiny_world, 2)
+        changed = sum(
+            1
+            for prefix in one.allocation.by_prefix
+            if one.allocation.by_prefix[prefix].demand_weight
+            != two.allocation.by_prefix[prefix].demand_weight
+        )
+        assert changed > 0
+
+    def test_transitions_happen(self, tiny_world):
+        evolved = evolve_world(tiny_world, 4)
+        deactivated = activated = reassigned = 0
+        for prefix, before in tiny_world.allocation.by_prefix.items():
+            after = evolved.allocation.by_prefix[prefix]
+            before_active = before.beacon_coverage > 0 or before.demand_weight > 0
+            after_active = after.beacon_coverage > 0 or after.demand_weight > 0
+            if before.is_cellular and before_active and not after_active:
+                deactivated += 1
+            if before.is_cellular and not before_active and after_active:
+                activated += 1
+            if before.is_cellular != after.is_cellular:
+                reassigned += 1
+        assert deactivated > 0
+        assert activated > 0
+        assert reassigned > 0
+
+    def test_proxies_never_reassigned(self, tiny_world):
+        evolved = evolve_world(tiny_world, 5)
+        for prefix, before in tiny_world.allocation.by_prefix.items():
+            if before.proxy_like:
+                assert not evolved.allocation.by_prefix[prefix].is_cellular
+
+    def test_truth_cache_rebuilt(self, tiny_world):
+        evolved = evolve_world(tiny_world, 3)
+        flipped = [
+            prefix
+            for prefix, before in tiny_world.allocation.by_prefix.items()
+            if before.is_cellular
+            != evolved.allocation.by_prefix[prefix].is_cellular
+        ]
+        assert flipped
+        sample = flipped[0]
+        assert evolved.truth_is_cellular(sample) != tiny_world.truth_is_cellular(
+            sample
+        )
+
+
+class TestChurnMetrics:
+    def test_identical_sets(self):
+        report = churn_between({p("10.0.0.0/24")}, {p("10.0.0.0/24")})
+        assert report.jaccard == 1.0
+        assert report.churn_rate == 0.0
+        assert report.stable_demand_fraction == 1.0
+
+    def test_disjoint_sets(self):
+        report = churn_between({p("10.0.0.0/24")}, {p("10.0.1.0/24")})
+        assert report.jaccard == 0.0
+        assert report.churn_rate == 1.0
+        assert report.added == 1 and report.removed == 1
+
+    def test_empty_sets(self):
+        report = churn_between(set(), set())
+        assert report.jaccard == 1.0
+        assert report.churn_rate == 0.0
+
+    def test_demand_weighting(self):
+        from repro.datasets.demand_dataset import DemandDataset
+
+        demand = DemandDataset.from_request_totals(
+            [
+                (p("10.0.0.0/24"), 1, "US", 990),
+                (p("10.0.1.0/24"), 1, "US", 10),
+            ]
+        )
+        report = churn_between(
+            {p("10.0.0.0/24")},
+            {p("10.0.0.0/24"), p("10.0.1.0/24")},
+            demand,
+        )
+        # The added subnet is light: demand-weighted stability is high.
+        assert report.stable_demand_fraction == pytest.approx(0.99)
+        assert report.jaccard == pytest.approx(0.5)
+
+
+class TestMonthlyCensus:
+    def test_census_properties(self, tiny_world):
+        census = run_monthly_census(tiny_world, months=2)
+        assert census.months == [0, 1, 2]
+        reports = census.reports()
+        assert len(reports) == 2
+        for report in reports:
+            # Cellular space churns, but not catastrophically...
+            assert 0.4 <= report.jaccard <= 1.0
+            # ...and the demand-heavy core is far stabler than the tail.
+            assert report.stable_demand_fraction >= report.jaccard
+
+    def test_validation(self, tiny_world):
+        with pytest.raises(ValueError):
+            run_monthly_census(tiny_world, months=0)
+
+
+class TestStaleness:
+    def test_staleness_bounds_and_meaning(self, tiny_world):
+        from repro.evolution.churn import prefix_list_staleness, run_monthly_census
+
+        census = run_monthly_census(tiny_world, months=2)
+        staleness = prefix_list_staleness(census)
+        assert 0.0 <= staleness <= 1.0
+        # A map frozen at the final month covers everything.
+        assert prefix_list_staleness(
+            census, base_month=census.months[-1]
+        ) == 1.0
+        # Older snapshots can only cover less or equal.
+        assert staleness <= 1.0
+        with pytest.raises(KeyError):
+            prefix_list_staleness(census, base_month=99)

@@ -1,0 +1,37 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples honor the ``REPRO_SCALE`` environment variable, so the smoke
+runs use a very small world to stay fast while still exercising the
+full code path (including the assertions inside the scripts).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.name)
+def test_example_runs(script):
+    env = dict(os.environ, REPRO_SCALE="0.0015")
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_examples_present():
+    # The repo promises at least the quickstart plus domain scenarios.
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3

@@ -1,0 +1,92 @@
+"""Unit tests for helper functions inside experiment modules."""
+
+import pytest
+
+from repro.core.mixed import OperatorClass, OperatorProfile
+from repro.experiments.fig4_asn_distributions import (
+    _rank_correlation_positive,
+)
+from repro.experiments.fig6_case_studies import _pick_case_studies
+from repro.world.geo import Continent
+
+
+class TestRankCorrelation:
+    def test_positive_association(self):
+        a = [1, 2, 3, 4, 5, 6]
+        b = [10, 20, 30, 40, 50, 60]
+        assert _rank_correlation_positive(a, b)
+
+    def test_negative_association(self):
+        a = [1, 2, 3, 4, 5, 6]
+        b = [60, 50, 40, 30, 20, 10]
+        assert not _rank_correlation_positive(a, b)
+
+    def test_small_samples_pass(self):
+        assert _rank_correlation_positive([1, 2], [5, 1])
+
+
+class TestCaseStudySelection:
+    def test_picks_us_dedicated_and_eu_mixed(self, lab):
+        dedicated, mixed = _pick_case_studies(lab)
+        assert dedicated.country == "US"
+        assert not dedicated.is_mixed
+        assert mixed.is_mixed
+        europe = {
+            country.iso2
+            for country in lab.world.geography.by_continent(Continent.EUROPE)
+        }
+        assert mixed.country in europe
+
+    def test_mixed_case_is_fixed_dominated(self, lab):
+        _, mixed = _pick_case_studies(lab)
+        # The paper's case study carrier is ~5% cellular; selection
+        # prefers CFD <= 0.3 when available.
+        assert mixed.cellular_fraction_of_demand <= 0.3
+
+    def test_dedicated_is_largest(self, lab):
+        dedicated, _ = _pick_case_studies(lab)
+        us_dedicated = [
+            p for p in lab.result.operators.values()
+            if p.country == "US" and not p.is_mixed
+        ]
+        assert dedicated.cellular_du == max(
+            p.cellular_du for p in us_dedicated
+        )
+
+
+class TestCustomWorldBuild:
+    def test_custom_profiles_flow_through(self):
+        from repro.world.build import WorldParams, build_world
+        from repro.world.geo import Country, Geography, _COUNTRY_TABLE
+        from repro.world.profiles import CountryProfile, default_profiles
+
+        countries = [Country(*row) for row in _COUNTRY_TABLE]
+        countries.append(
+            Country("AQ", "Atlantis", Continent.OCEANIA, 2.0, -31.0, -24.0)
+        )
+        profiles = default_profiles()
+        profiles["AQ"] = CountryProfile("AQ", 0.05, 0.9, 2)
+        world = build_world(
+            WorldParams(seed=2, scale=0.0015, background_as_count=50),
+            geography=Geography(countries),
+            profiles=profiles,
+        )
+        aq_carriers = [
+            p for p in world.topology.cellular_plans()
+            if p.record.country == "AQ"
+        ]
+        assert len(aq_carriers) == 2
+        aq_subnets = [s for s in world.subnets() if s.country == "AQ"]
+        assert any(s.is_cellular for s in aq_subnets)
+
+    def test_profile_without_geography_rejected(self):
+        from repro.world.build import WorldParams, build_world
+        from repro.world.profiles import CountryProfile, default_profiles
+
+        profiles = default_profiles()
+        profiles["ZY"] = CountryProfile("ZY", 0.1, 0.5, 1)
+        with pytest.raises(ValueError):
+            build_world(
+                WorldParams(seed=2, scale=0.0015, background_as_count=10),
+                profiles=profiles,
+            )

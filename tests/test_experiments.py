@@ -1,0 +1,135 @@
+"""Integration tests: every paper table/figure regenerates and lands
+within its stated tolerances on the shared lab."""
+
+import pytest
+
+from repro.experiments.base import (
+    EXPERIMENT_MODULES,
+    Comparison,
+    ExperimentResult,
+    load_all,
+    run_all,
+)
+
+
+@pytest.fixture(scope="session")
+def results(lab):
+    return run_all(lab)
+
+
+class TestRegistry:
+    def test_all_modules_register(self):
+        runners = load_all()
+        assert set(runners) == {
+            module.split("_")[0] for module in EXPERIMENT_MODULES
+        }
+        assert len(runners) == len(EXPERIMENT_MODULES) == 25
+
+    def test_duplicate_registration_rejected(self):
+        from repro.experiments.base import experiment
+
+        with pytest.raises(ValueError):
+            experiment("table1")(lambda lab: None)
+
+
+class TestComparison:
+    def test_relative_tolerance(self):
+        assert Comparison("x", paper=10, measured=14, rel_tol=0.5).ok
+        assert not Comparison("x", paper=10, measured=16, rel_tol=0.5).ok
+
+    def test_zero_paper_uses_absolute(self):
+        assert Comparison("x", paper=0, measured=0.1, rel_tol=0.2).ok
+        assert not Comparison("x", paper=0, measured=0.3, rel_tol=0.2).ok
+
+    def test_as_row_verdict(self):
+        row = Comparison("m", paper=1, measured=1).as_row()
+        assert row[-1] == "ok"
+
+
+class TestAllExperiments:
+    def test_every_experiment_produces_rows(self, results):
+        for experiment_id, result in results.items():
+            assert isinstance(result, ExperimentResult)
+            assert result.rows, experiment_id
+            assert result.comparisons, experiment_id
+
+    def test_renders(self, results):
+        for result in results.values():
+            text = result.render()
+            assert result.experiment_id in text
+            assert "paper vs measured" in text
+
+    def test_comparisons_within_tolerance(self, results):
+        diverging = [
+            (experiment_id, comparison.metric, comparison.paper,
+             comparison.measured)
+            for experiment_id, result in results.items()
+            for comparison in result.comparisons
+            if not comparison.ok
+        ]
+        assert not diverging, diverging
+
+
+class TestHeadlineNumbers:
+    """The paper's headline findings, checked directly on the lab."""
+
+    def test_cellular_as_count(self, results):
+        table5 = results["table5"]
+        accepted = next(
+            c for c in table5.comparisons
+            if c.metric == "accepted cellular ASes"
+        )
+        assert accepted.ok  # paper: 668
+
+    def test_global_cellular_fraction(self, results):
+        table8 = results["table8"]
+        overall = next(
+            c for c in table8.comparisons
+            if c.metric == "global cellular fraction"
+        )
+        assert overall.ok  # paper: 16.2%
+
+    def test_mixed_majority(self, lab):
+        from repro.core.mixed import mixed_share
+
+        share = mixed_share(lab.result.operators.values())
+        assert share > 0.5  # paper: 58.6% of cellular ASes are mixed
+
+    def test_us_dominates_cellular_demand(self, results):
+        fig11 = results["fig11"]
+        us = next(
+            c for c in fig11.comparisons
+            if c.metric == "the U.S. is the top cellular country"
+        )
+        assert us.measured == 1.0
+
+
+class TestStructure:
+    """Structural contracts every experiment result must satisfy."""
+
+    def test_ids_match_keys(self, results):
+        for experiment_id, result in results.items():
+            assert result.experiment_id == experiment_id
+
+    def test_rows_match_headers(self, results):
+        for experiment_id, result in results.items():
+            width = len(result.headers)
+            for row in result.rows:
+                assert len(row) == width, experiment_id
+
+    def test_titles_and_metrics_unique(self, results):
+        titles = [result.title for result in results.values()]
+        assert len(titles) == len(set(titles))
+        for experiment_id, result in results.items():
+            metrics = [c.metric for c in result.comparisons]
+            assert len(metrics) == len(set(metrics)), experiment_id
+
+    def test_every_comparison_has_finite_values(self, results):
+        import math
+
+        for experiment_id, result in results.items():
+            for comparison in result.comparisons:
+                assert math.isfinite(comparison.paper), experiment_id
+                assert math.isfinite(comparison.measured), (
+                    experiment_id, comparison.metric,
+                )

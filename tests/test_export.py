@@ -1,0 +1,147 @@
+"""Tests for the cellular prefix list export."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classifier import SubnetClassifier
+from repro.core.export import CellularPrefixList, PrefixEntry, _aggregate
+from repro.core.ratios import RatioRecord, RatioTable
+from repro.datasets.demand_dataset import DemandDataset
+from repro.net.addr import format_ip
+from repro.net.prefix import Prefix
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+def entry(prefix, asn=1, country="US", api_hits=10, du=0.0):
+    return PrefixEntry(p(prefix), asn, country, api_hits, du)
+
+
+class TestAggregation:
+    def test_siblings_merge(self):
+        merged = _aggregate([entry("10.0.0.0/24"), entry("10.0.1.0/24")])
+        assert len(merged) == 1
+        assert str(merged[0].prefix) == "10.0.0.0/23"
+        assert merged[0].api_hits == 20
+
+    def test_cascading_merge(self):
+        leaves = [entry(f"10.0.{i}.0/24") for i in range(4)]
+        merged = _aggregate(leaves)
+        assert len(merged) == 1
+        assert str(merged[0].prefix) == "10.0.0.0/22"
+
+    def test_different_asn_blocks_merge(self):
+        merged = _aggregate(
+            [entry("10.0.0.0/24", asn=1), entry("10.0.1.0/24", asn=2)]
+        )
+        assert len(merged) == 2
+
+    def test_non_adjacent_stay(self):
+        merged = _aggregate([entry("10.0.0.0/24"), entry("10.0.2.0/24")])
+        assert len(merged) == 2
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            _aggregate([entry("10.0.0.0/24"), entry("10.0.0.0/24")])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.sets(st.integers(min_value=0, max_value=63), min_size=1))
+    def test_aggregation_preserves_coverage(self, offsets):
+        base = p("10.0.0.0/18").value
+        leaves = [
+            entry(str(Prefix(4, base + (offset << 8), 24)))
+            for offset in offsets
+        ]
+        merged = _aggregate(leaves)
+        covered = set()
+        for item in merged:
+            for sub in item.prefix.subnets(24):
+                covered.add(sub)
+        assert covered == {leaf.prefix for leaf in leaves}
+        # Evidence is conserved.
+        assert sum(item.api_hits for item in merged) == 10 * len(leaves)
+
+
+class TestPrefixList:
+    @pytest.fixture()
+    def prefix_list(self):
+        table = RatioTable(
+            [
+                RatioRecord(p("10.0.0.0/24"), 1, "US", 10, 10, 10),
+                RatioRecord(p("10.0.1.0/24"), 1, "US", 10, 9, 10),
+                RatioRecord(p("10.9.0.0/24"), 2, "DE", 10, 10, 10),
+                RatioRecord(p("10.5.0.0/24"), 1, "US", 10, 0, 10),  # fixed
+                RatioRecord(p("2001:db8::/48"), 3, "JP", 10, 10, 10),
+            ]
+        )
+        classification = SubnetClassifier(0.5).classify(table)
+        demand = DemandDataset.from_request_totals(
+            [(p("10.0.0.0/24"), 1, "US", 100), (p("10.9.0.0/24"), 2, "DE", 50)]
+        )
+        return CellularPrefixList.from_classification(classification, demand)
+
+    def test_fixed_subnets_excluded(self, prefix_list):
+        assert not prefix_list.is_cellular("10.5.0.7")
+
+    def test_lookup_inside_aggregate(self, prefix_list):
+        # The two /24s merged into 10.0.0.0/23.
+        assert prefix_list.is_cellular("10.0.0.55")
+        assert prefix_list.is_cellular("10.0.1.99")
+        found = prefix_list.lookup("10.0.1.99")
+        assert str(found.prefix) == "10.0.0.0/23"
+        assert found.du == pytest.approx(100_000 * 100 / 150)
+
+    def test_lookup_miss(self, prefix_list):
+        assert prefix_list.lookup("99.99.99.99") is None
+
+    def test_ipv6_supported(self, prefix_list):
+        assert prefix_list.is_cellular("2001:db8::1234")
+        assert not prefix_list.is_cellular("2001:dead::1")
+
+    def test_covered_addresses(self, prefix_list):
+        assert prefix_list.covered_addresses(4) == 512 + 256
+        assert prefix_list.covered_addresses(6) == 1 << 80
+
+    def test_entries_by_family(self, prefix_list):
+        assert len(prefix_list.entries(4)) == 2
+        assert len(prefix_list.entries(6)) == 1
+
+    def test_csv_round_trip(self, prefix_list):
+        buffer = io.StringIO()
+        rows = prefix_list.to_csv(buffer)
+        assert rows == len(prefix_list)
+        buffer.seek(0)
+        restored = CellularPrefixList.from_csv(buffer)
+        assert len(restored) == len(prefix_list)
+        assert restored.is_cellular("10.0.1.99")
+        assert restored.lookup("10.0.1.99").du == pytest.approx(
+            prefix_list.lookup("10.0.1.99").du
+        )
+
+    def test_from_csv_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            CellularPrefixList.from_csv(io.StringIO("not,a,prefix,list\n"))
+        with pytest.raises(ValueError):
+            CellularPrefixList.from_csv(io.StringIO(""))
+
+
+class TestOnLab:
+    def test_pipeline_export(self, lab):
+        prefix_list = CellularPrefixList.from_classification(
+            lab.result.classification, lab.demand
+        )
+        raw = CellularPrefixList.from_classification(
+            lab.result.classification, lab.demand, aggregate=False
+        )
+        # Aggregation compresses without losing coverage.
+        assert len(prefix_list) < len(raw)
+        assert prefix_list.covered_addresses(4) == raw.covered_addresses(4)
+        # Every detected cellular /24 resolves through the list.
+        for subnet in lab.result.classification.cellular_subnets(4)[:200]:
+            address = format_ip(4, subnet.first_address)
+            assert prefix_list.is_cellular(address)

@@ -1,0 +1,131 @@
+"""Failure injection: malformed inputs must fail loudly, not silently.
+
+The pipeline is meant to consume logs a third party generated; every
+container therefore validates on ingest, and these tests feed each one
+corrupted data.
+"""
+
+import io
+
+import pytest
+
+from repro.cdn.logs import BeaconHit, RequestRecord, read_jsonl
+from repro.core.classifier import SubnetClassifier
+from repro.core.ratios import RatioTable
+from repro.datasets.beacon_dataset import BeaconDataset, SubnetBeaconCounts
+from repro.datasets.demand_dataset import DemandDataset
+from repro.net.prefix import Prefix
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+class TestCorruptedBeaconData:
+    def test_inconsistent_counts_rejected_on_load(self):
+        # cellular > api is impossible; the loader must refuse it.
+        stream = io.StringIO(
+            '{"month":"2016-12","browsers":{}}\n'
+            '{"subnet":"10.0.0.0/24","asn":1,"country":"US",'
+            '"hits":5,"api":2,"cell":4}\n'
+        )
+        with pytest.raises(ValueError):
+            BeaconDataset.load(stream)
+
+    def test_api_exceeding_hits_rejected(self):
+        with pytest.raises(ValueError):
+            SubnetBeaconCounts(p("10.0.0.0/24"), 1, "US", 5, 9, 1)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            SubnetBeaconCounts(p("10.0.0.0/24"), 1, "US", 5, 2, -1)
+
+    def test_merge_cannot_break_invariants(self):
+        dataset = BeaconDataset("2016-12")
+        dataset.add_counts(SubnetBeaconCounts(p("10.0.0.0/24"), 1, "US", 5, 2, 1))
+        counts = SubnetBeaconCounts(p("10.0.0.0/24"), 1, "US", 5, 2, 1)
+        counts.cellular_hits = 3  # corrupt after construction
+        with pytest.raises(ValueError):
+            dataset.add_counts(counts)
+
+    def test_malformed_json_line(self):
+        stream = io.StringIO(
+            '{"month":"2016-12","browsers":{}}\n'
+            "this is not json\n"
+        )
+        with pytest.raises(ValueError):
+            BeaconDataset.load(stream)
+
+
+class TestCorruptedDemandData:
+    def test_negative_du_rejected_on_load(self):
+        stream = io.StringIO(
+            '{"window_days":7}\n'
+            '{"subnet":"10.0.0.0/24","asn":1,"country":"US","du":-5.0}\n'
+        )
+        with pytest.raises(ValueError):
+            DemandDataset.load(stream)
+
+    def test_duplicate_subnet_rejected_on_load(self):
+        stream = io.StringIO(
+            '{"window_days":7}\n'
+            '{"subnet":"10.0.0.0/24","asn":1,"country":"US","du":1.0}\n'
+            '{"subnet":"10.0.0.0/24","asn":1,"country":"US","du":2.0}\n'
+        )
+        with pytest.raises(ValueError):
+            DemandDataset.load(stream)
+
+    def test_missing_header(self):
+        with pytest.raises(ValueError):
+            DemandDataset.load(io.StringIO(""))
+
+
+class TestCorruptedLogRecords:
+    def test_beacon_hit_bad_prefix(self):
+        with pytest.raises(Exception):
+            BeaconHit.from_json(
+                '{"month":"2016-12","ip":"10.0.0.1","subnet":"not-a-prefix",'
+                '"asn":1,"country":"US","browser":"Chrome Mobile",'
+                '"conn":"cellular"}'
+            )
+
+    def test_beacon_hit_unknown_browser(self):
+        with pytest.raises(ValueError):
+            BeaconHit.from_json(
+                '{"month":"2016-12","ip":"10.0.0.1","subnet":"10.0.0.0/24",'
+                '"asn":1,"country":"US","browser":"Netscape 4",'
+                '"conn":"cellular"}'
+            )
+
+    def test_request_record_negative_count(self):
+        with pytest.raises(ValueError):
+            RequestRecord.from_json(
+                '{"day":0,"subnet":"10.0.0.0/24","asn":1,"country":"US",'
+                '"requests":-3}'
+            )
+
+    def test_read_jsonl_propagates_parse_errors(self):
+        stream = io.StringIO('{"day":0,"broken\n')
+        with pytest.raises(Exception):
+            list(read_jsonl(stream, RequestRecord))
+
+
+class TestPipelineEdgeCases:
+    def test_classifier_on_empty_table_is_empty(self):
+        result = SubnetClassifier().classify(RatioTable([]))
+        assert len(result) == 0
+        assert result.cellular_subnets() == []
+        assert result.asns_with_cellular() == {}
+
+    def test_identify_on_empty_classification(self):
+        from repro.core.asn_classifier import identify_cellular_ases
+
+        classification = SubnetClassifier().classify(RatioTable([]))
+        demand = DemandDataset.from_request_totals(
+            [(p("10.0.0.0/24"), 1, "US", 1)]
+        )
+        beacons = BeaconDataset("2016-12")
+        result = identify_cellular_ases(classification, demand, beacons)
+        assert result.candidate_count == 0
+        assert result.accepted_count == 0
+        assert all(filtered == 0 for _, filtered, _ in result.filter_summary())

@@ -1,0 +1,31 @@
+"""Tests for the key-findings scorecard (sections 6.4 / 7.3)."""
+
+import pytest
+
+from repro.analysis.findings import Finding, evaluate_key_findings
+
+
+class TestFindings:
+    @pytest.fixture(scope="class")
+    def findings(self, lab):
+        return evaluate_key_findings(lab)
+
+    def test_all_nine_evaluated(self, findings):
+        assert len(findings) == 9
+        sections = {finding.section for finding in findings}
+        assert any(section.startswith("6.4") for section in sections)
+        assert any(section.startswith("7.3") for section in sections)
+
+    def test_every_finding_holds(self, findings):
+        failing = [f for f in findings if not f.holds]
+        assert not failing, [(f.section, f.claim, f.measured) for f in failing]
+
+    def test_measured_strings_populated(self, findings):
+        for finding in findings:
+            assert finding.measured.strip()
+            assert finding.claim.strip()
+
+    def test_finding_is_frozen(self):
+        finding = Finding("x", "claim", "measured", True)
+        with pytest.raises(Exception):
+            finding.holds = False

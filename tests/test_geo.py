@@ -1,0 +1,91 @@
+"""Unit tests for geography: country table, distances, queries."""
+
+import pytest
+
+from repro.world.geo import (
+    CONTINENT_NAMES,
+    Continent,
+    Country,
+    Geography,
+    default_geography,
+    haversine_km,
+)
+
+
+class TestCountry:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Country("usa", "x", Continent.NORTH_AMERICA, 1, 0, 0)
+        with pytest.raises(ValueError):
+            Country("US", "x", Continent.NORTH_AMERICA, -1, 0, 0)
+        with pytest.raises(ValueError):
+            Country("US", "x", Continent.NORTH_AMERICA, 1, 91, 0)
+        with pytest.raises(ValueError):
+            Country("US", "x", Continent.NORTH_AMERICA, 1, 0, 181)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(10, 20, 10, 20) == 0.0
+
+    def test_known_distance_london_paris(self):
+        distance = haversine_km(51.5, -0.12, 48.85, 2.35)
+        assert 330 < distance < 360
+
+    def test_antipodal_half_circumference(self):
+        distance = haversine_km(0, 0, 0, 180)
+        assert distance == pytest.approx(20015, rel=0.01)
+
+    def test_symmetry(self):
+        a = haversine_km(10, 20, -30, 40)
+        b = haversine_km(-30, 40, 10, 20)
+        assert a == pytest.approx(b)
+
+
+class TestGeography:
+    def test_default_table_integrity(self):
+        geo = default_geography()
+        assert len(geo) >= 70
+        for country in geo:
+            assert country.continent in Continent
+        # Every continent is populated.
+        for continent in Continent:
+            assert geo.by_continent(continent)
+
+    def test_anchor_countries_present(self):
+        geo = default_geography()
+        for iso2 in ("US", "GH", "LA", "ID", "FR", "BR", "CN", "DZ"):
+            assert iso2 in geo
+
+    def test_get_find(self):
+        geo = default_geography()
+        assert geo.get("US").name == "United States"
+        assert geo.find("ZZ") is None
+        with pytest.raises(KeyError):
+            geo.get("ZZ")
+
+    def test_continent_of(self):
+        geo = default_geography()
+        assert geo.continent_of("GH") is Continent.AFRICA
+        assert geo.continent_of("JP") is Continent.ASIA
+
+    def test_subscribers_by_continent(self):
+        geo = default_geography()
+        totals = geo.subscribers_by_continent()
+        assert totals[Continent.ASIA] > totals[Continent.OCEANIA]
+        assert all(total >= 0 for total in totals.values())
+
+    def test_distance_km_brazil_case(self):
+        # The section 6.3 case: Fortaleza-Sao Paulo is ~2,365 km; our
+        # country-level representative points support distances at
+        # that magnitude inside Brazil-sized countries.
+        geo = default_geography()
+        assert geo.distance_km("BR", "AR") > 900
+
+    def test_duplicate_rejected(self):
+        country = Country("US", "x", Continent.NORTH_AMERICA, 1, 0, 0)
+        with pytest.raises(ValueError):
+            Geography([country, country])
+
+    def test_continent_names_complete(self):
+        assert set(CONTINENT_NAMES) == set(Continent)

@@ -1,0 +1,53 @@
+"""Unit tests for the Lab harness."""
+
+import pytest
+
+from repro.cdn.beacon import BeaconConfig
+from repro.core.pipeline import CellSpotter
+from repro.lab import (
+    PAPER_BEACON_HITS,
+    PAPER_MIN_BEACON_HITS,
+    Lab,
+    scaled_filter_config,
+)
+
+
+class TestScaledFilterConfig:
+    def test_full_volume_gives_paper_threshold(self):
+        config = scaled_filter_config(
+            BeaconConfig(demand_hits=int(PAPER_BEACON_HITS), base_hits=40)
+        )
+        assert config.min_beacon_hits == PAPER_MIN_BEACON_HITS
+
+    def test_small_volume_floors_at_base_hits(self):
+        config = scaled_filter_config(BeaconConfig(demand_hits=1_000, base_hits=40))
+        assert config.min_beacon_hits == 30  # 0.75 * base_hits
+
+    def test_du_threshold_untouched(self):
+        config = scaled_filter_config(BeaconConfig(demand_hits=1_000))
+        assert config.min_cellular_du == 0.1  # scale-free
+
+
+class TestLab:
+    def test_caching(self, lab):
+        assert lab.beacons is lab.beacons
+        assert lab.demand is lab.demand
+        assert lab.result is lab.result
+        assert lab.as_classes is lab.as_classes
+        assert lab.affinity is lab.affinity
+        assert lab.carriers is lab.carriers
+
+    def test_rerun_does_not_clobber_cache(self, lab):
+        cached = lab.result
+        other = lab.rerun(CellSpotter(threshold=0.2))
+        assert lab.result is cached
+        assert other is not cached
+
+    def test_create_wires_scaled_filter(self):
+        lab = Lab.create(scale=0.002, seed=99)
+        assert lab.spotter.as_filter.min_beacon_hits == 30
+
+    def test_custom_spotter_respected(self):
+        spotter = CellSpotter(threshold=0.7)
+        lab = Lab.create(scale=0.002, seed=99, spotter=spotter)
+        assert lab.spotter is spotter

@@ -1,0 +1,85 @@
+"""Unit tests for log record types and JSONL round-trips."""
+
+import io
+
+import pytest
+
+from repro.cdn.logs import BeaconHit, RequestRecord, read_jsonl, write_jsonl
+from repro.cdn.netinfo import ConnectionType
+from repro.net.prefix import Prefix
+from repro.world.population import Browser
+
+
+def make_hit(api_enabled=True, conn=ConnectionType.CELLULAR):
+    return BeaconHit(
+        month="2016-12",
+        family=4,
+        address=Prefix.parse("10.1.2.0/24").nth_address(7),
+        subnet=Prefix.parse("10.1.2.0/24"),
+        asn=100,
+        country="US",
+        browser=Browser.CHROME_MOBILE,
+        api_enabled=api_enabled,
+        connection_type=conn if api_enabled else None,
+    )
+
+
+class TestBeaconHit:
+    def test_valid_enabled(self):
+        hit = make_hit()
+        assert hit.is_cellular_labeled
+
+    def test_valid_disabled(self):
+        hit = make_hit(api_enabled=False)
+        assert not hit.is_cellular_labeled
+
+    def test_enabled_requires_connection(self):
+        with pytest.raises(ValueError):
+            BeaconHit("2016-12", 4, 0, Prefix.parse("10.0.0.0/24"), 1, "US",
+                      Browser.CHROME_MOBILE, True, None)
+
+    def test_disabled_forbids_connection(self):
+        with pytest.raises(ValueError):
+            BeaconHit("2016-12", 4, 0, Prefix.parse("10.0.0.0/24"), 1, "US",
+                      Browser.CHROME_MOBILE, False, ConnectionType.WIFI)
+
+    def test_json_round_trip(self):
+        for hit in (make_hit(), make_hit(api_enabled=False),
+                    make_hit(conn=ConnectionType.WIFI)):
+            assert BeaconHit.from_json(hit.to_json()) == hit
+
+    def test_ipv6_round_trip(self):
+        subnet = Prefix.parse("2001:db8::/48")
+        hit = BeaconHit("2016-12", 6, subnet.nth_address(99), subnet, 7, "JP",
+                        Browser.ANDROID_WEBKIT, True, ConnectionType.CELLULAR)
+        assert BeaconHit.from_json(hit.to_json()) == hit
+
+
+class TestRequestRecord:
+    def test_valid(self):
+        record = RequestRecord(0, Prefix.parse("10.0.0.0/24"), 1, "US", 100)
+        assert record.requests == 100
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            RequestRecord(0, Prefix.parse("10.0.0.0/24"), 1, "US", -1)
+
+    def test_json_round_trip(self):
+        record = RequestRecord(3, Prefix.parse("2001:db8::/48"), 9, "DE", 42)
+        assert RequestRecord.from_json(record.to_json()) == record
+
+
+class TestStreams:
+    def test_write_read_round_trip(self):
+        records = [
+            RequestRecord(d, Prefix.parse(f"10.0.{d}.0/24"), 1, "US", d + 1)
+            for d in range(5)
+        ]
+        buffer = io.StringIO()
+        assert write_jsonl(records, buffer) == 5
+        buffer.seek(0)
+        assert list(read_jsonl(buffer, RequestRecord)) == records
+
+    def test_read_skips_blank_lines(self):
+        buffer = io.StringIO("\n\n")
+        assert list(read_jsonl(buffer, RequestRecord)) == []

@@ -1,0 +1,80 @@
+"""Unit tests for dedicated/mixed operator classification."""
+
+import pytest
+
+from repro.core.asn_classifier import ASFilterConfig, ASFilterResult, CandidateAS
+from repro.core.mixed import (
+    DEDICATED_CFD_CUTOFF,
+    OperatorClass,
+    classify_operator,
+    mixed_demand_share,
+    mixed_share,
+    operator_profiles,
+)
+from repro.net.prefix import Prefix
+
+
+def candidate(asn, cellular_du, total_du, cell_subnets=2, total_subnets=10):
+    entry = CandidateAS(asn=asn, country="US")
+    entry.cellular_du = cellular_du
+    entry.total_du = total_du
+    entry.cellular_subnets = [
+        Prefix.parse(f"10.{asn}.{i}.0/24") for i in range(cell_subnets)
+    ]
+    entry.total_subnets = total_subnets
+    return entry
+
+
+def filter_result(*candidates):
+    accepted = {c.asn: c for c in candidates}
+    return ASFilterResult(
+        config=ASFilterConfig(), candidates=dict(accepted),
+        excluded={}, accepted=accepted,
+    )
+
+
+class TestClassifyOperator:
+    def test_cutoff_inclusive(self):
+        assert classify_operator(candidate(1, 90, 100)) is OperatorClass.DEDICATED
+        assert classify_operator(candidate(1, 89.9, 100)) is OperatorClass.MIXED
+
+    def test_paper_cutoff_value(self):
+        assert DEDICATED_CFD_CUTOFF == 0.9
+
+    def test_custom_cutoff(self):
+        assert classify_operator(candidate(1, 80, 100), cutoff=0.7) is (
+            OperatorClass.DEDICATED
+        )
+        with pytest.raises(ValueError):
+            classify_operator(candidate(1, 1, 1), cutoff=0)
+
+    def test_zero_demand_is_mixed(self):
+        assert classify_operator(candidate(1, 0, 0)) is OperatorClass.MIXED
+
+
+class TestProfiles:
+    def test_profiles_carry_stats(self):
+        result = filter_result(candidate(1, 99, 100), candidate(2, 10, 100))
+        profiles = operator_profiles(result)
+        assert profiles[1].operator_class is OperatorClass.DEDICATED
+        assert profiles[2].is_mixed
+        assert profiles[2].cellular_subnet_fraction == pytest.approx(0.2)
+        assert profiles[1].cellular_fraction_of_demand == pytest.approx(0.99)
+
+    def test_mixed_share(self):
+        result = filter_result(
+            candidate(1, 99, 100), candidate(2, 10, 100), candidate(3, 20, 100)
+        )
+        profiles = operator_profiles(result)
+        assert mixed_share(profiles.values()) == pytest.approx(2 / 3)
+
+    def test_mixed_demand_share(self):
+        result = filter_result(candidate(1, 90, 100), candidate(2, 10, 100))
+        profiles = operator_profiles(result)
+        assert mixed_demand_share(profiles.values()) == pytest.approx(0.1)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mixed_share([])
+        with pytest.raises(ValueError):
+            mixed_demand_share([])

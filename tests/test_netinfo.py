@@ -1,0 +1,76 @@
+"""Unit tests for the Network Information API noise model."""
+
+import random
+
+import pytest
+
+from repro.cdn.netinfo import (
+    ConnectionType,
+    draw_connection_type,
+    noncellular_label_for,
+)
+from repro.world.population import Browser
+
+
+class TestConnectionType:
+    def test_only_cellular_flagged(self):
+        assert ConnectionType.CELLULAR.is_cellular
+        for label in ConnectionType:
+            if label is not ConnectionType.CELLULAR:
+                assert not label.is_cellular
+
+
+class TestDrawConnectionType:
+    def test_rate_one_always_cellular(self):
+        rng = random.Random(1)
+        for _ in range(100):
+            assert draw_connection_type(rng, 1.0, Browser.CHROME_MOBILE) is (
+                ConnectionType.CELLULAR
+            )
+
+    def test_rate_zero_never_cellular(self):
+        rng = random.Random(1)
+        for _ in range(100):
+            label = draw_connection_type(rng, 0.0, Browser.CHROME_MOBILE)
+            assert label is not ConnectionType.CELLULAR
+
+    def test_rate_respected_statistically(self):
+        rng = random.Random(5)
+        rate = 0.8
+        draws = [
+            draw_connection_type(rng, rate, Browser.CHROME_MOBILE)
+            for _ in range(3000)
+        ]
+        cellular = sum(1 for d in draws if d.is_cellular) / len(draws)
+        assert cellular == pytest.approx(rate, abs=0.03)
+
+    def test_mobile_noncellular_is_mostly_wifi(self):
+        rng = random.Random(2)
+        labels = [
+            noncellular_label_for(rng, Browser.CHROME_MOBILE)
+            for _ in range(2000)
+        ]
+        wifi = labels.count(ConnectionType.WIFI) / len(labels)
+        assert wifi > 0.95
+
+    def test_desktop_gets_ethernet_share(self):
+        rng = random.Random(2)
+        labels = [
+            noncellular_label_for(rng, Browser.OTHER_DESKTOP)
+            for _ in range(2000)
+        ]
+        ethernet = labels.count(ConnectionType.ETHERNET) / len(labels)
+        assert 0.3 < ethernet < 0.6
+
+    def test_exotic_labels_rare_but_possible(self):
+        rng = random.Random(3)
+        labels = [
+            noncellular_label_for(rng, Browser.CHROME_MOBILE)
+            for _ in range(20000)
+        ]
+        exotic = sum(
+            1
+            for label in labels
+            if label in (ConnectionType.BLUETOOTH, ConnectionType.WIMAX)
+        )
+        assert 0 < exotic / len(labels) < 0.02

@@ -1,0 +1,111 @@
+"""Property-based tests on pipeline invariants.
+
+Hypothesis generates random BEACON-shaped data; the invariants must
+hold for *any* input, not just generator output:
+
+- threshold monotonicity: raising the threshold can only shrink the
+  detected cellular set;
+- the detected set is always a subset of the observed set;
+- Demand Units always renormalize to 100,000 regardless of input;
+- AS filtering is monotone: tightening any rule never grows the
+  accepted set.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.asn_classifier import ASFilterConfig, identify_cellular_ases
+from repro.core.classifier import SubnetClassifier
+from repro.core.ratios import RatioTable
+from repro.datasets.beacon_dataset import BeaconDataset, SubnetBeaconCounts
+from repro.datasets.demand_dataset import DEMAND_UNIT_TOTAL, DemandDataset
+from repro.net.prefix import Prefix
+
+
+@st.composite
+def beacon_datasets(draw):
+    """Random but internally consistent BEACON datasets."""
+    count = draw(st.integers(min_value=1, max_value=30))
+    dataset = BeaconDataset("2016-12")
+    for index in range(count):
+        hits = draw(st.integers(min_value=1, max_value=500))
+        api = draw(st.integers(min_value=0, max_value=hits))
+        cell = draw(st.integers(min_value=0, max_value=api))
+        asn = draw(st.integers(min_value=1, max_value=5))
+        dataset.add_counts(
+            SubnetBeaconCounts(
+                subnet=Prefix(4, (10 << 24) + (index << 8), 24),
+                asn=asn,
+                country="US",
+                hits=hits,
+                api_hits=api,
+                cellular_hits=cell,
+            )
+        )
+    return dataset
+
+
+@settings(max_examples=50, deadline=None)
+@given(beacon_datasets(), st.floats(min_value=0.05, max_value=0.95),
+       st.floats(min_value=0.01, max_value=0.9))
+def test_threshold_monotonicity(beacons, threshold, delta):
+    table = RatioTable.from_beacons(beacons)
+    low = SubnetClassifier(threshold=threshold).classify(table)
+    high = SubnetClassifier(
+        threshold=min(threshold + delta, 1.0)
+    ).classify(table)
+    assert high.cellular_set() <= low.cellular_set()
+
+
+@settings(max_examples=50, deadline=None)
+@given(beacon_datasets())
+def test_detected_subset_of_observed(beacons):
+    table = RatioTable.from_beacons(beacons)
+    result = SubnetClassifier().classify(table)
+    observed = set(result.labels)
+    assert result.cellular_set() <= observed
+    # And observed = exactly the subnets with API data.
+    assert observed == {c.subnet for c in beacons if c.api_hits > 0}
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=10_000), min_size=1,
+             max_size=40)
+)
+def test_demand_units_always_renormalize(requests):
+    rows = [
+        (Prefix(4, (20 << 24) + (index << 8), 24), 1, "US", count)
+        for index, count in enumerate(requests)
+    ]
+    dataset = DemandDataset.from_request_totals(rows)
+    assert dataset.total_du == pytest.approx(DEMAND_UNIT_TOTAL)
+    assert all(record.du > 0 for record in dataset)
+
+
+@settings(max_examples=30, deadline=None)
+@given(beacon_datasets(), st.floats(min_value=0.0, max_value=5.0),
+       st.integers(min_value=0, max_value=200))
+def test_as_filter_monotone(beacons, min_du, min_hits):
+    table = RatioTable.from_beacons(beacons)
+    classification = SubnetClassifier().classify(table)
+    demand = DemandDataset.from_request_totals(
+        [(counts.subnet, counts.asn, counts.country, counts.hits)
+         for counts in beacons]
+    )
+    loose = identify_cellular_ases(
+        classification, demand, beacons, None,
+        ASFilterConfig(min_cellular_du=min_du, min_beacon_hits=min_hits),
+    )
+    tight = identify_cellular_ases(
+        classification, demand, beacons, None,
+        ASFilterConfig(min_cellular_du=min_du * 2 + 0.1,
+                       min_beacon_hits=min_hits * 2 + 10),
+    )
+    assert set(tight.accepted) <= set(loose.accepted)
+    # Accounting always balances.
+    for result in (loose, tight):
+        assert result.accepted_count + len(result.excluded) == (
+            result.candidate_count
+        )

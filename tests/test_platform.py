@@ -1,0 +1,97 @@
+"""Tests for the CDN platform deployment and routing."""
+
+import pytest
+
+from repro.cdn.platform import (
+    PlatformDeployment,
+    ServerRegion,
+    deploy_platform,
+)
+from repro.datasets.demand_dataset import DemandDataset
+from repro.net.prefix import Prefix
+from repro.world.geo import default_geography
+
+
+def region(region_id="US-0", country="US", lat=38.9, lon=-77.0,
+           servers=10, host_asn=100):
+    return ServerRegion(region_id, country, lat, lon, servers, host_asn)
+
+
+class TestServerRegion:
+    def test_rejects_empty_region(self):
+        with pytest.raises(ValueError):
+            region(servers=0)
+
+
+class TestRouting:
+    @pytest.fixture()
+    def platform(self):
+        regions = [
+            region("US-0", "US", 38.9, -77.0, servers=100, host_asn=1),
+            region("DE-0", "DE", 52.5, 13.4, servers=50, host_asn=2),
+            region("JP-0", "JP", 35.7, 139.7, servers=50, host_asn=3),
+        ]
+        return PlatformDeployment(regions, default_geography())
+
+    def test_requires_regions(self):
+        with pytest.raises(ValueError):
+            PlatformDeployment([], default_geography())
+
+    def test_routes_to_nearest(self, platform):
+        assert platform.route("CA").region_id == "US-0"
+        assert platform.route("FR").region_id == "DE-0"
+        assert platform.route("KR").region_id == "JP-0"
+
+    def test_route_cached_and_stable(self, platform):
+        first = platform.route("BR")
+        assert platform.route("BR") is first
+
+    def test_counts(self, platform):
+        assert platform.total_servers == 200
+        assert platform.network_count == 3
+        assert len(platform.regions_in("US")) == 1
+
+    def test_service_report(self, platform):
+        demand = DemandDataset.from_request_totals(
+            [
+                (Prefix.parse("10.0.0.0/24"), 9, "US", 700),
+                (Prefix.parse("10.0.1.0/24"), 9, "FR", 200),
+                (Prefix.parse("10.0.2.0/24"), 9, "JP", 100),
+            ]
+        )
+        report = platform.service_report(demand)
+        assert report.in_country_fraction == pytest.approx(0.8)  # US + JP
+        assert report.in_continent_fraction == pytest.approx(1.0)
+        assert report.busiest_regions(1)[0][0] == "US-0"
+
+    def test_service_report_requires_demand(self, platform):
+        demand = DemandDataset.from_request_totals(
+            [(Prefix.parse("10.0.0.0/24"), 9, "ZZ", 100)]
+        )
+        with pytest.raises(ValueError):
+            platform.service_report(demand)
+
+
+class TestDeployment:
+    def test_deploy_from_world(self, tiny_world):
+        platform = deploy_platform(tiny_world)
+        assert len(platform) > 20
+        assert platform.total_servers > 50
+        # Hosts are real access/transit ASes of the world.
+        for deployed in platform.regions[:20]:
+            record = tiny_world.topology.registry.get(deployed.host_asn)
+            assert record.as_type.is_access
+
+    def test_server_mass_follows_demand(self, tiny_world):
+        platform = deploy_platform(tiny_world)
+        us_servers = sum(r.servers for r in platform.regions_in("US"))
+        fj_servers = sum(r.servers for r in platform.regions_in("FJ"))
+        assert us_servers > fj_servers
+
+    def test_deterministic(self, tiny_world):
+        a = deploy_platform(tiny_world)
+        b = deploy_platform(tiny_world)
+        assert [r.region_id for r in a.regions] == [
+            r.region_id for r in b.regions
+        ]
+        assert a.total_servers == b.total_servers

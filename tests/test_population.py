@@ -1,0 +1,117 @@
+"""Unit tests for the browser population and API adoption model."""
+
+import random
+
+import pytest
+
+from repro.world.population import (
+    CELLULAR_BROWSER_MIX,
+    FIG1_MONTHS,
+    FIXED_BROWSER_MIX,
+    STUDY_MONTH,
+    Browser,
+    api_adoption,
+    default_population,
+    month_index,
+    month_range,
+)
+
+
+class TestMonths:
+    def test_month_index_ordering(self):
+        assert month_index("2016-12") == month_index("2017-01") - 1
+        assert month_index("2016-01") == month_index("2015-12") + 1
+
+    def test_month_index_validation(self):
+        with pytest.raises(ValueError):
+            month_index("2016-13")
+
+    def test_month_range(self):
+        months = month_range("2016-11", "2017-02")
+        assert months == ["2016-11", "2016-12", "2017-01", "2017-02"]
+        with pytest.raises(ValueError):
+            month_range("2017-01", "2016-01")
+
+    def test_fig1_window(self):
+        assert FIG1_MONTHS[0] == "2015-09"
+        assert FIG1_MONTHS[-1] == "2017-06"
+        assert STUDY_MONTH in FIG1_MONTHS
+
+
+class TestMixes:
+    def test_mixes_normalized(self):
+        assert sum(CELLULAR_BROWSER_MIX.values()) == pytest.approx(1.0)
+        assert sum(FIXED_BROWSER_MIX.values()) == pytest.approx(1.0)
+
+    def test_cellular_mix_more_mobile(self):
+        mobile = (Browser.CHROME_MOBILE, Browser.ANDROID_WEBKIT,
+                  Browser.SAFARI_IOS, Browser.FIREFOX_MOBILE)
+        cellular_mobile = sum(CELLULAR_BROWSER_MIX[b] for b in mobile)
+        fixed_mobile = sum(FIXED_BROWSER_MIX[b] for b in mobile)
+        assert cellular_mobile > fixed_mobile
+
+    def test_google_flag(self):
+        assert Browser.CHROME_MOBILE.is_google
+        assert Browser.ANDROID_WEBKIT.is_google
+        assert not Browser.SAFARI_IOS.is_google
+
+
+class TestAdoption:
+    def test_interpolation_monotone_for_chrome(self):
+        values = [api_adoption(Browser.CHROME_MOBILE, m) for m in FIG1_MONTHS]
+        assert values == sorted(values)
+
+    def test_clamped_outside_window(self):
+        early = api_adoption(Browser.CHROME_MOBILE, "2014-01")
+        assert early == api_adoption(Browser.CHROME_MOBILE, "2015-09")
+        late = api_adoption(Browser.CHROME_MOBILE, "2020-01")
+        assert late == api_adoption(Browser.CHROME_MOBILE, "2017-06")
+
+    def test_ios_never_adopts(self):
+        for month in FIG1_MONTHS:
+            assert api_adoption(Browser.SAFARI_IOS, month) == 0.0
+
+    def test_all_probabilities(self):
+        for browser in Browser:
+            for month in FIG1_MONTHS:
+                assert 0.0 <= api_adoption(browser, month) <= 1.0
+
+
+class TestPopulationModel:
+    def test_fig1_anchors(self):
+        population = default_population()
+        dec16 = population.total_api_share("2016-12")
+        jun17 = population.total_api_share("2017-06")
+        assert 0.10 <= dec16 <= 0.16  # paper: 13.2%
+        assert 0.12 <= jun17 <= 0.19  # paper: ~15%
+        assert jun17 > dec16
+
+    def test_google_dominance(self):
+        population = default_population()
+        assert population.google_share_of_enabled("2016-12") > 0.9
+
+    def test_api_shares_sum_to_total(self):
+        population = default_population()
+        shares = population.api_share_by_browser("2016-12")
+        assert sum(shares.values()) == pytest.approx(
+            population.total_api_share("2016-12")
+        )
+
+    def test_draw_browser_respects_mix(self):
+        population = default_population()
+        rng = random.Random(3)
+        draws = [population.draw_browser(rng, True) for _ in range(4000)]
+        chrome_share = draws.count(Browser.CHROME_MOBILE) / len(draws)
+        assert chrome_share == pytest.approx(
+            CELLULAR_BROWSER_MIX[Browser.CHROME_MOBILE], abs=0.03
+        )
+
+    def test_global_mix_weighted(self):
+        population = default_population()
+        mix = population.global_mix()
+        assert sum(mix.values()) == pytest.approx(1.0)
+        # Global mix sits between the two class mixes.
+        for browser in Browser:
+            low = min(CELLULAR_BROWSER_MIX[browser], FIXED_BROWSER_MIX[browser])
+            high = max(CELLULAR_BROWSER_MIX[browser], FIXED_BROWSER_MIX[browser])
+            assert low - 1e-9 <= mix[browser] <= high + 1e-9

@@ -1,0 +1,134 @@
+"""Unit tests for the country calibration profiles."""
+
+import pytest
+
+from repro.world.geo import Continent, default_geography
+from repro.world.profiles import (
+    ACTIVE_SLASH24_BY_CONTINENT,
+    CELLULAR_SLASH24_BY_CONTINENT,
+    CELLULAR_SLASH48_BY_CONTINENT,
+    MIXED_FRACTION_BY_CONTINENT,
+    CountryProfile,
+    default_profiles,
+    normalized_demand_shares,
+    total_cellular_as_count,
+)
+
+
+class TestProfileValidation:
+    def test_rejects_negative_demand(self):
+        with pytest.raises(ValueError):
+            CountryProfile("XX", -1, 0.5, 1)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            CountryProfile("XX", 1, 1.5, 1)
+
+    def test_rejects_ipv6_exceeding_cellular(self):
+        with pytest.raises(ValueError):
+            CountryProfile("XX", 1, 0.5, 2, ipv6_as_count=3)
+
+    def test_rejects_overpinned_shares(self):
+        with pytest.raises(ValueError):
+            CountryProfile("XX", 1, 0.5, 3, top_as_shares=((0.7, True), (0.5, True)))
+
+    def test_rejects_bad_public_dns(self):
+        with pytest.raises(ValueError):
+            CountryProfile("XX", 1, 0.5, 1, public_dns_fraction=1.5)
+
+
+class TestDefaultTable:
+    def test_every_profile_has_geography(self):
+        geo = default_geography()
+        for iso2 in default_profiles():
+            assert iso2 in geo
+
+    def test_total_cellular_as_count_near_paper(self):
+        total = total_cellular_as_count(list(default_profiles().values()))
+        assert abs(total - 668) <= 5  # paper: 668 detected
+
+    def test_paper_anchor_fractions(self):
+        profiles = default_profiles()
+        assert profiles["GH"].cellular_fraction == pytest.approx(0.959)
+        assert profiles["LA"].cellular_fraction == pytest.approx(0.871)
+        assert profiles["ID"].cellular_fraction == pytest.approx(0.63)
+        assert profiles["US"].cellular_fraction == pytest.approx(0.166)
+        assert profiles["FR"].cellular_fraction == pytest.approx(0.121)
+
+    def test_paper_anchor_as_counts(self):
+        profiles = default_profiles()
+        assert profiles["US"].cellular_as_count == 40
+        assert profiles["RU"].cellular_as_count == 29
+        assert profiles["CN"].cellular_as_count == 25
+        assert profiles["JP"].cellular_as_count == 17
+        assert profiles["IN"].cellular_as_count == 13
+
+    def test_china_flagged_excluded(self):
+        assert default_profiles()["CN"].excluded_from_demand
+
+    def test_public_dns_anchors_ordered(self):
+        profiles = default_profiles()
+        assert profiles["US"].public_dns_fraction < 0.05
+        assert profiles["DZ"].public_dns_fraction > 0.9
+        assert (
+            profiles["US"].public_dns_fraction
+            < profiles["IN"].public_dns_fraction
+            < profiles["HK"].public_dns_fraction
+            < profiles["DZ"].public_dns_fraction
+        )
+
+    def test_ipv6_deployment_anchors(self):
+        profiles = default_profiles()
+        # Paper section 4.3: Brazil 6; Myanmar, the U.S. and Japan 5 each.
+        assert profiles["BR"].ipv6_as_count == 6
+        assert profiles["MM"].ipv6_as_count == 5
+        assert profiles["US"].ipv6_as_count == 5
+        assert profiles["JP"].ipv6_as_count == 5
+        total = sum(p.ipv6_as_count for p in profiles.values())
+        assert abs(total - 52) <= 5  # paper: 52 IPv6 cellular ASes
+
+    def test_calibrated_global_cellular_fraction(self):
+        # Weighted cellular fraction should sit near the paper's 16.2%.
+        profiles = [
+            p for p in default_profiles().values() if not p.excluded_from_demand
+        ]
+        total = sum(p.demand_share for p in profiles)
+        cellular = sum(p.demand_share * p.cellular_fraction for p in profiles)
+        assert 0.12 <= cellular / total <= 0.22
+
+
+class TestContinentTables:
+    def test_continent_tables_complete(self):
+        for table in (
+            ACTIVE_SLASH24_BY_CONTINENT,
+            CELLULAR_SLASH24_BY_CONTINENT,
+            CELLULAR_SLASH48_BY_CONTINENT,
+            MIXED_FRACTION_BY_CONTINENT,
+        ):
+            assert set(table) == set(Continent)
+
+    def test_cellular_subset_of_active(self):
+        for continent in Continent:
+            assert (
+                CELLULAR_SLASH24_BY_CONTINENT[continent]
+                <= ACTIVE_SLASH24_BY_CONTINENT[continent]
+            )
+
+    def test_paper_totals(self):
+        assert sum(CELLULAR_SLASH24_BY_CONTINENT.values()) == 350_687
+        assert sum(CELLULAR_SLASH48_BY_CONTINENT.values()) == 23_230
+
+
+class TestNormalizedShares:
+    def test_sums_to_one(self):
+        shares = normalized_demand_shares(list(default_profiles().values()))
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_includes_china(self):
+        # China generates traffic; it is excluded from analyses only.
+        shares = normalized_demand_shares(list(default_profiles().values()))
+        assert shares["CN"] > 0
+
+    def test_rejects_zero_demand(self):
+        with pytest.raises(ValueError):
+            normalized_demand_shares([CountryProfile("XX", 0, 0.5, 1)])

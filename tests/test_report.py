@@ -1,0 +1,46 @@
+"""Unit tests for the plain-text table renderer."""
+
+import pytest
+
+from repro.analysis.report import fmt_num, fmt_pct, render_table
+
+
+class TestFormatters:
+    def test_fmt_pct(self):
+        assert fmt_pct(0.162) == "16.2%"
+        assert fmt_pct(0.5, digits=0) == "50%"
+
+    def test_fmt_num(self):
+        assert fmt_num(1234567) == "1,234,567"
+        assert fmt_num(3.14159) == "3.14"
+        assert fmt_num(2.0) == "2"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "count"], [["alpha", 10], ["b", 2000]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_title(self):
+        text = render_table(["a"], [["x"]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+        assert text.splitlines()[1].startswith("=")
+
+    def test_numbers_right_aligned(self):
+        text = render_table(["h"], [["1,000"]])
+        last = text.splitlines()[-1]
+        assert last.endswith("1,000")
+
+    def test_bool_cells(self):
+        text = render_table(["flag"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_docstring_example(self):
+        assert render_table(["k", "v"], [["a", 1]]) == "k | v\n--+--\na | 1"

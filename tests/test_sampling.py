@@ -1,0 +1,172 @@
+"""Unit and property tests for the samplers in repro.stats.sampling."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.sampling import (
+    binomial,
+    bounded_pareto,
+    dirichlet_like,
+    lognormal_weights,
+    poisson,
+    split_integer,
+    zipf_weights,
+)
+
+
+class TestZipf:
+    def test_normalized(self):
+        weights = zipf_weights(10, exponent=1.2)
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(w > 0 for w in weights)
+
+    def test_descending(self):
+        weights = zipf_weights(20, exponent=1.0)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_exponent_zero_is_uniform(self):
+        weights = zipf_weights(4, exponent=0.0)
+        assert weights == pytest.approx([0.25] * 4)
+
+    def test_rank_ratio(self):
+        weights = zipf_weights(5, exponent=1.0)
+        assert weights[0] / weights[4] == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(3, exponent=-1)
+
+
+class TestLognormal:
+    def test_normalized(self, rng):
+        weights = lognormal_weights(rng, 50, sigma=1.5)
+        assert sum(weights) == pytest.approx(1.0)
+        assert len(weights) == 50
+
+    def test_higher_sigma_more_skew(self):
+        rng_a, rng_b = random.Random(7), random.Random(7)
+        flat = lognormal_weights(rng_a, 500, sigma=0.1)
+        skewed = lognormal_weights(rng_b, 500, sigma=2.5)
+        assert max(skewed) > max(flat)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            lognormal_weights(rng, 0)
+        with pytest.raises(ValueError):
+            lognormal_weights(rng, 3, sigma=-0.1)
+
+
+class TestBoundedPareto:
+    def test_stays_in_bounds(self, rng):
+        for _ in range(500):
+            draw = bounded_pareto(rng, alpha=1.2, low=1.0, high=100.0)
+            assert 1.0 <= draw <= 100.0 + 1e-9
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            bounded_pareto(rng, 1.0, 0, 10)
+        with pytest.raises(ValueError):
+            bounded_pareto(rng, 1.0, 10, 5)
+        with pytest.raises(ValueError):
+            bounded_pareto(rng, 0, 1, 5)
+
+
+class TestBinomial:
+    def test_edges(self, rng):
+        assert binomial(rng, 0, 0.5) == 0
+        assert binomial(rng, 10, 0.0) == 0
+        assert binomial(rng, 10, 1.0) == 10
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            binomial(rng, -1, 0.5)
+        with pytest.raises(ValueError):
+            binomial(rng, 1, 1.5)
+
+    @pytest.mark.parametrize("n,p", [(30, 0.4), (5000, 0.001), (5000, 0.5),
+                                     (5000, 0.999), (200, 0.1)])
+    def test_mean_is_sane(self, n, p):
+        # Covers all three internal regimes (exact, Poisson, normal).
+        rng = random.Random(42)
+        draws = [binomial(rng, n, p) for _ in range(800)]
+        assert all(0 <= d <= n for d in draws)
+        mean = sum(draws) / len(draws)
+        std = math.sqrt(n * p * (1 - p)) + 1e-9
+        assert abs(mean - n * p) < 5 * std / math.sqrt(len(draws)) + 0.5
+
+
+class TestPoisson:
+    def test_zero_mean(self, rng):
+        assert poisson(rng, 0) == 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            poisson(rng, -1)
+
+    @pytest.mark.parametrize("mean", [0.5, 5.0, 200.0])
+    def test_mean_is_sane(self, mean):
+        rng = random.Random(7)
+        draws = [poisson(rng, mean) for _ in range(600)]
+        average = sum(draws) / len(draws)
+        assert abs(average - mean) < 5 * math.sqrt(mean / len(draws)) + 0.3
+
+
+class TestSplitInteger:
+    def test_sums_exactly(self, rng):
+        parts = split_integer(rng, 100, [1, 2, 3, 4])
+        assert sum(parts) == 100
+        assert len(parts) == 4
+
+    def test_proportionality(self, rng):
+        parts = split_integer(rng, 1000, [1, 9])
+        assert parts[0] == pytest.approx(100, abs=2)
+
+    def test_zero_total(self, rng):
+        assert split_integer(rng, 0, [1, 2]) == [0, 0]
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            split_integer(rng, -1, [1])
+        with pytest.raises(ValueError):
+            split_integer(rng, 10, [])
+        with pytest.raises(ValueError):
+            split_integer(rng, 10, [0, 0])
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.lists(st.floats(min_value=0.001, max_value=100), min_size=1, max_size=20),
+    )
+    def test_always_sums_and_nonnegative(self, total, weights):
+        parts = split_integer(random.Random(1), total, weights)
+        assert sum(parts) == total
+        assert all(part >= 0 for part in parts)
+
+
+class TestDirichletLike:
+    def test_normalized(self, rng):
+        base = [0.5, 0.3, 0.2]
+        draw = dirichlet_like(rng, base)
+        assert sum(draw) == pytest.approx(1.0)
+        assert len(draw) == 3
+
+    def test_concentration_tightens(self):
+        base = [0.5, 0.5]
+        loose = [dirichlet_like(random.Random(i), base, 2.0)[0] for i in range(200)]
+        tight = [dirichlet_like(random.Random(i), base, 500.0)[0] for i in range(200)]
+        spread = lambda xs: max(xs) - min(xs)
+        assert spread(tight) < spread(loose)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            dirichlet_like(rng, [])
+        with pytest.raises(ValueError):
+            dirichlet_like(rng, [1.0], concentration=0)
+        with pytest.raises(ValueError):
+            dirichlet_like(rng, [0.0, 0.0])

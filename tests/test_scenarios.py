@@ -1,0 +1,81 @@
+"""Tests for the what-if scenario transforms."""
+
+import pytest
+
+from repro.world.profiles import default_profiles
+from repro.world.scenarios import (
+    demand_shift,
+    ipv6_everywhere,
+    mobile_first_world,
+)
+
+
+class TestMobileFirst:
+    def test_fractions_only_rise(self):
+        base = default_profiles()
+        shifted = mobile_first_world()
+        for iso2, profile in shifted.items():
+            assert profile.cellular_fraction >= base[iso2].cellular_fraction
+            assert profile.cellular_fraction <= 0.99
+
+    def test_developing_markets_jump(self):
+        shifted = mobile_first_world(floor=0.5, developing_floor=0.8)
+        assert shifted["NG"].cellular_fraction >= 0.8  # already 0.5
+        assert shifted["FR"].cellular_fraction == pytest.approx(0.5)
+
+    def test_anchors_keep_higher_values(self):
+        shifted = mobile_first_world()
+        assert shifted["GH"].cellular_fraction == pytest.approx(0.959)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mobile_first_world(floor=0)
+
+
+class TestIPv6Everywhere:
+    def test_every_carrier_deploys(self):
+        for profile in ipv6_everywhere().values():
+            assert profile.ipv6_as_count == profile.cellular_as_count
+
+    def test_other_fields_untouched(self):
+        base = default_profiles()
+        shifted = ipv6_everywhere()
+        for iso2 in base:
+            assert shifted[iso2].demand_share == base[iso2].demand_share
+            assert shifted[iso2].cellular_fraction == (
+                base[iso2].cellular_fraction
+            )
+
+
+class TestDemandShift:
+    def test_scaling(self):
+        base = default_profiles()
+        shifted = demand_shift("IN", 3.0)
+        assert shifted["IN"].demand_share == pytest.approx(
+            3 * base["IN"].demand_share
+        )
+        assert shifted["US"].demand_share == base["US"].demand_share
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            demand_shift("IN", 0)
+        with pytest.raises(KeyError):
+            demand_shift("ZZ", 2.0)
+
+
+class TestScenarioWorldsBuild:
+    def test_mobile_first_builds_and_shifts_demand(self):
+        from repro.world.build import WorldParams, build_world
+
+        params = WorldParams(seed=3, scale=0.0015, background_as_count=50)
+        base = build_world(params)
+        shifted = build_world(params, profiles=mobile_first_world())
+
+        def cellular_demand_share(world):
+            subnets = [s for s in world.subnets() if s.country != "CN"]
+            total = sum(s.demand_weight for s in subnets)
+            return sum(
+                s.demand_weight for s in subnets if s.is_cellular
+            ) / total
+
+        assert cellular_demand_share(shifted) > cellular_demand_share(base) + 0.15

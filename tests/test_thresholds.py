@@ -1,0 +1,100 @@
+"""Unit tests for threshold sensitivity sweeps (Figure 3 machinery)."""
+
+import pytest
+
+from repro.core.ratios import RatioRecord, RatioTable
+from repro.core.thresholds import (
+    ThresholdSweep,
+    default_threshold_grid,
+    sweep_many,
+    sweep_thresholds,
+)
+from repro.datasets.groundtruth import CarrierGroundTruth
+from repro.net.prefix import Prefix
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+@pytest.fixture()
+def ratios():
+    # Cellular subnets at various ratios; fixed subnets clean.
+    return RatioTable(
+        [
+            RatioRecord(p("10.0.0.0/24"), 1, "US", 100, 85, 100),
+            RatioRecord(p("10.0.1.0/24"), 1, "US", 100, 92, 100),
+            RatioRecord(p("10.0.2.0/24"), 1, "US", 100, 70, 100),
+            RatioRecord(p("10.1.0.0/24"), 1, "US", 100, 1, 100),
+            RatioRecord(p("10.1.1.0/24"), 1, "US", 100, 0, 100),
+        ]
+    )
+
+
+@pytest.fixture()
+def truth():
+    return CarrierGroundTruth(
+        label="Carrier T",
+        asn=1,
+        country="US",
+        mixed=False,
+        cellular=(p("10.0.0.0/24"), p("10.0.1.0/24"), p("10.0.2.0/24")),
+        fixed=(p("10.1.0.0/24"), p("10.1.1.0/24")),
+    )
+
+
+class TestGrid:
+    def test_default_grid_spans(self):
+        grid = default_threshold_grid()
+        assert grid[0] > 0
+        assert grid[-1] == 1.0
+        assert grid == sorted(grid)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            default_threshold_grid(step=0)
+        with pytest.raises(ValueError):
+            default_threshold_grid(step=0.7)
+
+
+class TestSweep:
+    def test_plateau_then_drop(self, ratios, truth):
+        sweep = sweep_thresholds(ratios, truth, weighted=False)
+        # Below 0.7 everything cellular is caught, no false positives.
+        assert sweep.score_at(0.1) == pytest.approx(1.0)
+        assert sweep.score_at(0.5) == pytest.approx(1.0)
+        assert sweep.score_at(0.69) == pytest.approx(1.0)
+        # Above the lowest cellular ratio, recall decays.
+        assert sweep.score_at(0.8) < 1.0
+        assert sweep.score_at(1.0) < sweep.score_at(0.8)
+
+    def test_stable_range(self, ratios, truth):
+        sweep = sweep_thresholds(ratios, truth, weighted=False)
+        low, high = sweep.stable_range(tolerance=0.01)
+        assert low <= 0.1
+        assert 0.65 <= high <= 0.75
+
+    def test_best(self, ratios, truth):
+        sweep = sweep_thresholds(ratios, truth, weighted=False)
+        _, best_f1 = sweep.best()
+        assert best_f1 == pytest.approx(1.0)
+
+    def test_custom_grid(self, ratios, truth):
+        sweep = sweep_thresholds(
+            ratios, truth, thresholds=[0.25, 0.75], weighted=False
+        )
+        assert sweep.thresholds == (0.25, 0.75)
+        with pytest.raises(ValueError):
+            sweep_thresholds(ratios, truth, thresholds=[])
+
+    def test_sweep_many(self, ratios, truth):
+        sweeps = sweep_many(ratios, {"Carrier T": truth}, weighted=False)
+        assert set(sweeps) == {"Carrier T"}
+        assert isinstance(sweeps["Carrier T"], ThresholdSweep)
+
+
+class TestStableRangeEdge:
+    def test_no_thresholds_in_tolerance_impossible(self):
+        sweep = ThresholdSweep("x", (0.5,), (0.9,), weighted=False)
+        low, high = sweep.stable_range()
+        assert (low, high) == (0.5, 0.5)

@@ -1,0 +1,137 @@
+"""Unit tests for AS topology generation."""
+
+import pytest
+
+from repro.net.asn import ASType
+from repro.world.geo import Continent, default_geography
+from repro.world.profiles import default_profiles
+from repro.world.topology import build_topology
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return build_topology(
+        default_geography(), default_profiles(), seed=5, background_as_count=300
+    )
+
+
+class TestCarrierCounts:
+    def test_cellular_count_matches_profiles(self, topology):
+        profiles = default_profiles()
+        expected = sum(p.cellular_as_count for p in profiles.values())
+        assert len(topology.cellular_plans()) == expected
+
+    def test_per_country_counts(self, topology):
+        profiles = default_profiles()
+        for iso2 in ("US", "JP", "GH", "FJ"):
+            cellular = [
+                p for p in topology.plans_in_country(iso2) if p.record.is_cellular
+            ]
+            assert len(cellular) == profiles[iso2].cellular_as_count
+
+    def test_unique_asns(self, topology):
+        asns = [plan.record.asn for plan in topology.plans.values()]
+        assert len(asns) == len(set(asns))
+
+
+class TestDemandPlan:
+    def test_demand_roughly_normalized(self, topology):
+        total = sum(plan.total_demand for plan in topology.plans.values())
+        # Country shares sum to 1; a little slack for background ASes.
+        assert 0.9 <= total <= 1.1
+
+    def test_country_cellular_fraction_respected(self, topology):
+        profiles = default_profiles()
+        for iso2 in ("US", "GH", "FR"):
+            plans = topology.plans_in_country(iso2)
+            cellular = sum(p.cellular_demand for p in plans)
+            total = sum(p.total_demand for p in plans)
+            expected = profiles[iso2].cellular_fraction
+            assert cellular / total == pytest.approx(expected, rel=0.25)
+
+    def test_pinned_us_top_carriers_are_dedicated(self, topology):
+        us = sorted(
+            (p for p in topology.plans_in_country("US") if p.record.is_cellular),
+            key=lambda p: p.cellular_demand,
+            reverse=True,
+        )
+        for plan in us[:3]:
+            assert plan.record.as_type is ASType.CELLULAR_DEDICATED
+
+    def test_mixed_carriers_have_low_cfd(self, topology):
+        for plan in topology.cellular_plans():
+            if plan.record.as_type is ASType.CELLULAR_MIXED:
+                assert plan.cellular_fraction_of_demand < 0.9
+            elif plan.cellular_demand > 0:
+                assert plan.cellular_fraction_of_demand >= 0.9
+
+    def test_mixed_fraction_near_continent_targets(self, topology):
+        geo = default_geography()
+        mixed = sum(
+            1
+            for p in topology.cellular_plans()
+            if p.record.as_type is ASType.CELLULAR_MIXED
+        )
+        total = len(topology.cellular_plans())
+        # Global target ~0.55-0.60 (paper: 58.6% detected as mixed).
+        assert 0.45 <= mixed / total <= 0.70
+
+
+class TestSpecialAndBackground:
+    def test_special_ases_exist(self, topology):
+        proxies = [
+            p for p in topology.plans.values()
+            if p.record.as_type is ASType.PROXY
+        ]
+        clouds = [
+            p for p in topology.plans.values()
+            if p.record.as_type is ASType.CLOUD
+        ]
+        assert len(proxies) >= 2 and len(clouds) >= 2
+        assert all(p.emits_cellular_beacons for p in proxies)
+
+    def test_background_count(self, topology):
+        # Background filler spans enterprise, transit, and hosting ASes.
+        background = [
+            p
+            for p in topology.plans.values()
+            if p.record.as_type in (ASType.ENTERPRISE, ASType.TRANSIT)
+            or p.record.name.startswith("Hosting Platform")
+        ]
+        assert len(background) == 300
+        enterprise = [
+            p for p in background if p.record.as_type is ASType.ENTERPRISE
+        ]
+        assert len(enterprise) > 0.6 * len(background)
+
+    def test_ipv6_deployment_counts(self, topology):
+        profiles = default_profiles()
+        for iso2 in ("US", "BR", "MM"):
+            deployed = [
+                p
+                for p in topology.plans_in_country(iso2)
+                if p.record.is_cellular and p.ipv6_deployed
+            ]
+            assert len(deployed) == profiles[iso2].ipv6_as_count
+
+
+class TestDeterminism:
+    def test_same_seed_same_topology(self):
+        geo, profiles = default_geography(), default_profiles()
+        a = build_topology(geo, profiles, seed=9, background_as_count=50)
+        b = build_topology(geo, profiles, seed=9, background_as_count=50)
+        assert set(a.plans) == set(b.plans)
+        for asn in a.plans:
+            assert a.plans[asn].cellular_demand == b.plans[asn].cellular_demand
+            assert a.plans[asn].record.as_type == b.plans[asn].record.as_type
+
+    def test_different_seed_differs(self):
+        # Zipf demand *shares* are deterministic by design; what a new
+        # seed reshuffles is which carrier gets which share and the
+        # mixed/dedicated draws, so fixed-demand multisets differ.
+        geo, profiles = default_geography(), default_profiles()
+        a = build_topology(geo, profiles, seed=9, background_as_count=50)
+        b = build_topology(geo, profiles, seed=10, background_as_count=50)
+        fixed_a = sorted(p.fixed_demand for p in a.cellular_plans())
+        fixed_b = sorted(p.fixed_demand for p in b.cellular_plans())
+        assert fixed_a != fixed_b

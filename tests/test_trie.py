@@ -1,0 +1,169 @@
+"""Unit and property tests for the prefix radix trie."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+class TestBasics:
+    def test_insert_get(self):
+        trie = PrefixTrie(4)
+        trie.insert(p("10.0.0.0/8"), "a")
+        assert trie.get(p("10.0.0.0/8")) == "a"
+        assert trie.get(p("10.0.0.0/16")) is None
+        assert len(trie) == 1
+
+    def test_insert_replaces(self):
+        trie = PrefixTrie(4)
+        trie.insert(p("10.0.0.0/8"), "a")
+        trie.insert(p("10.0.0.0/8"), "b")
+        assert trie.get(p("10.0.0.0/8")) == "b"
+        assert len(trie) == 1
+
+    def test_contains(self):
+        trie = PrefixTrie(4)
+        trie.insert(p("10.0.0.0/8"), None)  # value None still counts
+        assert p("10.0.0.0/8") in trie
+        assert p("11.0.0.0/8") not in trie
+
+    def test_family_mismatch_raises(self):
+        trie = PrefixTrie(4)
+        with pytest.raises(ValueError):
+            trie.insert(p("2001:db8::/48"), "x")
+        with pytest.raises(ValueError):
+            trie.longest_match(6, 0)
+
+    def test_rejects_unknown_family(self):
+        with pytest.raises(ValueError):
+            PrefixTrie(5)
+
+    def test_remove(self):
+        trie = PrefixTrie(4)
+        trie.insert(p("10.0.0.0/8"), "a")
+        trie.insert(p("10.1.0.0/16"), "b")
+        assert trie.remove(p("10.0.0.0/8"))
+        assert len(trie) == 1
+        assert trie.get(p("10.0.0.0/8")) is None
+        assert trie.get(p("10.1.0.0/16")) == "b"
+        assert not trie.remove(p("10.0.0.0/8"))
+        assert not trie.remove(p("99.0.0.0/8"))
+
+    def test_root_prefix(self):
+        trie = PrefixTrie(4)
+        trie.insert(p("0.0.0.0/0"), "default")
+        found = trie.longest_match(4, 12345)
+        assert found == (p("0.0.0.0/0"), "default")
+
+
+class TestLongestMatch:
+    def test_prefers_most_specific(self):
+        trie = PrefixTrie(4)
+        trie.insert(p("10.0.0.0/8"), "coarse")
+        trie.insert(p("10.1.0.0/16"), "fine")
+        addr = p("10.1.2.3/32").value
+        assert trie.longest_match(4, addr) == (p("10.1.0.0/16"), "fine")
+        other = p("10.2.0.0/32").value
+        assert trie.longest_match(4, other) == (p("10.0.0.0/8"), "coarse")
+
+    def test_no_match(self):
+        trie = PrefixTrie(4)
+        trie.insert(p("10.0.0.0/8"), "a")
+        assert trie.longest_match(4, p("11.0.0.0/32").value) is None
+
+    def test_ipv6(self):
+        trie = PrefixTrie(6)
+        trie.insert(p("2001:db8::/32"), "isp")
+        trie.insert(p("2001:db8:1::/48"), "customer")
+        inside = Prefix.parse("2001:db8:1::42").value
+        assert trie.longest_match(6, inside)[1] == "customer"
+
+    def test_match_prefix_requires_full_cover(self):
+        trie = PrefixTrie(4)
+        trie.insert(p("10.1.0.0/16"), "a")
+        # /8 query is only partially covered by the stored /16.
+        assert trie.match_prefix(p("10.0.0.0/8")) is None
+        assert trie.match_prefix(p("10.1.2.0/24")) == (p("10.1.0.0/16"), "a")
+
+    def test_match_prefix_falls_back_to_shorter(self):
+        trie = PrefixTrie(4)
+        trie.insert(p("10.0.0.0/8"), "outer")
+        trie.insert(p("10.1.2.0/24"), "inner")
+        # /16 query: the /24 matches its first address but does not
+        # cover it; the /8 does.
+        assert trie.match_prefix(p("10.1.0.0/16")) == (p("10.0.0.0/8"), "outer")
+
+
+class TestIteration:
+    def test_items_returns_everything(self):
+        trie = PrefixTrie(4)
+        prefixes = [p("10.0.0.0/8"), p("10.1.0.0/16"), p("192.0.2.0/24")]
+        for index, prefix in enumerate(prefixes):
+            trie.insert(prefix, index)
+        assert {prefix for prefix, _ in trie.items()} == set(prefixes)
+
+    def test_covered_by(self):
+        trie = PrefixTrie(4)
+        trie.insert(p("10.0.0.0/8"), "a")
+        trie.insert(p("10.1.0.0/16"), "b")
+        trie.insert(p("11.0.0.0/8"), "c")
+        covered = {prefix for prefix, _ in trie.covered_by(p("10.0.0.0/8"))}
+        assert covered == {p("10.0.0.0/8"), p("10.1.0.0/16")}
+        assert list(trie.covered_by(p("12.0.0.0/8"))) == []
+
+
+@st.composite
+def prefix_sets(draw):
+    count = draw(st.integers(min_value=1, max_value=25))
+    prefixes = []
+    for _ in range(count):
+        length = draw(st.integers(min_value=4, max_value=28))
+        value = draw(st.integers(min_value=0, max_value=(1 << 32) - 1))
+        prefixes.append(Prefix.make(4, value, length))
+    return prefixes
+
+
+@settings(max_examples=50, deadline=None)
+@given(prefix_sets(), st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_longest_match_agrees_with_brute_force(prefixes, address):
+    trie = PrefixTrie(4)
+    model = {}
+    for index, prefix in enumerate(prefixes):
+        trie.insert(prefix, index)
+        model[prefix] = index
+    expected = None
+    for prefix, value in model.items():
+        if prefix.contains_address(4, address):
+            if expected is None or prefix.length > expected[0].length:
+                expected = (prefix, value)
+    assert trie.longest_match(4, address) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(prefix_sets())
+def test_items_round_trip(prefixes):
+    trie = PrefixTrie(4)
+    model = {}
+    for index, prefix in enumerate(prefixes):
+        trie.insert(prefix, index)
+        model[prefix] = index
+    assert dict(trie.items()) == model
+    assert len(trie) == len(model)
+
+
+@settings(max_examples=50, deadline=None)
+@given(prefix_sets())
+def test_remove_everything_empties_trie(prefixes):
+    trie = PrefixTrie(4)
+    for prefix in prefixes:
+        trie.insert(prefix, "x")
+    for prefix in set(prefixes):
+        assert trie.remove(prefix)
+    assert len(trie) == 0
+    assert list(trie.items()) == []

@@ -1,0 +1,82 @@
+"""Unit tests for carrier ground-truth validation (Table 3 machinery)."""
+
+import pytest
+
+from repro.core.classifier import SubnetClassifier
+from repro.core.ratios import RatioRecord, RatioTable
+from repro.core.validation import validate_against_carrier, validate_many
+from repro.datasets.demand_dataset import DemandDataset
+from repro.datasets.groundtruth import CarrierGroundTruth
+from repro.net.prefix import Prefix
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+@pytest.fixture()
+def classification():
+    table = RatioTable(
+        [
+            RatioRecord(p("10.0.0.0/24"), 1, "US", 10, 10, 10),  # detected cell
+            RatioRecord(p("10.0.1.0/24"), 1, "US", 10, 0, 10),   # detected fixed
+            RatioRecord(p("10.0.3.0/24"), 1, "US", 10, 9, 10),   # false positive
+        ]
+    )
+    return SubnetClassifier(0.5).classify(table)
+
+
+@pytest.fixture()
+def truth():
+    return CarrierGroundTruth(
+        label="Carrier T",
+        asn=1,
+        country="US",
+        mixed=True,
+        cellular=(p("10.0.0.0/24"), p("10.0.2.0/24")),  # 10.0.2.0 unobserved
+        fixed=(p("10.0.1.0/24"), p("10.0.3.0/24")),
+    )
+
+
+class TestCIDRScope:
+    def test_confusion_cells(self, classification, truth):
+        validation = validate_against_carrier(classification, truth)
+        confusion = validation.by_cidr
+        assert confusion.tp == 1   # 10.0.0.0 detected cellular
+        assert confusion.fn == 1   # 10.0.2.0 unobserved -> counted missed
+        assert confusion.tn == 1   # 10.0.1.0 correctly fixed
+        assert confusion.fp == 1   # 10.0.3.0 wrongly cellular
+
+    def test_without_demand_scopes_match(self, classification, truth):
+        validation = validate_against_carrier(classification, truth)
+        assert validation.by_cidr.as_dict() == validation.by_demand.as_dict()
+
+
+class TestDemandScope:
+    def test_weights_applied(self, classification, truth):
+        demand = DemandDataset.from_request_totals(
+            [
+                (p("10.0.0.0/24"), 1, "US", 800),
+                (p("10.0.1.0/24"), 1, "US", 100),
+                (p("10.0.3.0/24"), 1, "US", 100),
+                # 10.0.2.0 has no demand: FN costs nothing by weight.
+            ]
+        )
+        validation = validate_against_carrier(classification, truth, demand)
+        confusion = validation.by_demand
+        assert confusion.tp == pytest.approx(80_000)
+        assert confusion.fn == 0.0
+        assert confusion.recall == pytest.approx(1.0)
+        # CIDR recall stays 0.5 -- the paper's lower-bound effect.
+        assert validation.by_cidr.recall == pytest.approx(0.5)
+
+    def test_as_row_flat(self, classification, truth):
+        row = validate_against_carrier(classification, truth).as_row()
+        assert row["carrier"] == "Carrier T"
+        assert "cidr_precision" in row and "demand_recall" in row
+
+
+class TestValidateMany:
+    def test_keyed_by_label(self, classification, truth):
+        result = validate_many(classification, [truth])
+        assert set(result) == {"Carrier T"}

@@ -1,0 +1,98 @@
+"""World-level integration invariants.
+
+These check the generated world as a whole -- the properties every
+downstream dataset depends on -- and cross-process determinism.
+"""
+
+import collections
+
+import pytest
+
+from repro.world.build import WorldParams, build_world
+from repro.world.geo import Continent
+
+
+class TestWorldInvariants:
+    def test_demand_roughly_conserved(self, world):
+        total = world.allocation.total_demand()
+        assert 0.85 <= total <= 1.05
+
+    def test_planted_cellular_fractions(self, world):
+        subnets = world.subnets()
+        v4 = [s for s in subnets if s.family == 4]
+        v6 = [s for s in subnets if s.family == 6]
+        active_v4 = [s for s in v4 if s.beacon_coverage > 0 or s.demand_weight > 0]
+        cell_v4 = sum(1 for s in active_v4 if s.is_cellular)
+        # Paper: 7.3% of active IPv4 space is cellular.
+        assert 0.04 <= cell_v4 / len(active_v4) <= 0.13
+        cell_v6 = sum(1 for s in v6 if s.is_cellular)
+        # Paper: 1.2% of active IPv6 space.
+        assert 0.005 <= cell_v6 / len(v6) <= 0.03
+
+    def test_planted_global_cellular_demand(self, world):
+        subnets = [s for s in world.subnets() if s.country != "CN"]
+        total = sum(s.demand_weight for s in subnets)
+        cellular = sum(s.demand_weight for s in subnets if s.is_cellular)
+        # Paper: 16.2%; the generator calibrates into a band around it.
+        assert 0.12 <= cellular / total <= 0.24
+
+    def test_continent_ordering_of_cellular_share(self, world):
+        cellular = collections.Counter()
+        for subnet in world.subnets():
+            if subnet.is_cellular and subnet.country != "CN":
+                continent = world.geography.get(subnet.country).continent
+                cellular[continent] += subnet.demand_weight
+        total = sum(cellular.values())
+        shares = {c: cellular[c] / total for c in Continent}
+        # Paper Table 8 ordering: Asia and NA dominate; AF/OC/SA small.
+        assert shares[Continent.ASIA] > shares[Continent.EUROPE]
+        assert shares[Continent.NORTH_AMERICA] > shares[Continent.EUROPE]
+        for small in (Continent.AFRICA, Continent.OCEANIA,
+                      Continent.SOUTH_AMERICA):
+            assert shares[small] < 0.10
+
+    def test_every_subnet_country_profiled(self, world):
+        for subnet in world.subnets():
+            assert subnet.country in world.profiles
+
+    def test_truth_trie_covers_all_subnets(self, world):
+        for family in (4, 6):
+            trie = world.truth_trie(family)
+            assert len(trie) == len(world.allocation.of_family(family))
+        sample = world.subnets()[123]
+        found = world.truth_trie(sample.family).longest_match(
+            sample.family, sample.prefix.first_address
+        )
+        assert found is not None
+        assert found[1].prefix == sample.prefix
+
+
+class TestDeterminism:
+    def test_same_params_same_world(self):
+        params = WorldParams(seed=77, scale=0.002, background_as_count=100)
+        a, b = build_world(params), build_world(params)
+        assert len(a.subnets()) == len(b.subnets())
+        for left, right in zip(a.subnets()[:500], b.subnets()[:500]):
+            assert left.prefix == right.prefix
+            assert left.demand_weight == right.demand_weight
+            assert left.cellular_label_rate == right.cellular_label_rate
+
+    def test_scale_preserves_fractions(self):
+        small = build_world(WorldParams(seed=5, scale=0.002,
+                                        background_as_count=100))
+        larger = build_world(WorldParams(seed=5, scale=0.004,
+                                         background_as_count=100))
+
+        def cellular_fraction(world):
+            v4 = [s for s in world.allocation.of_family(4)
+                  if s.beacon_coverage > 0 or s.demand_weight > 0]
+            return sum(1 for s in v4 if s.is_cellular) / len(v4)
+
+        assert cellular_fraction(small) == pytest.approx(
+            cellular_fraction(larger), abs=0.04
+        )
+        assert len(larger.subnets()) > len(small.subnets()) * 1.4
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            WorldParams(background_as_count=-1)
