@@ -137,9 +137,39 @@ def write_jsonl(records: Iterable, stream: IO[str]) -> int:
     return count
 
 
-def read_jsonl(stream: IO[str], record_type) -> Iterator:
-    """Stream records back from JSONL, skipping blank lines."""
-    for line in stream:
-        line = line.strip()
-        if line:
-            yield record_type.from_json(line)
+def read_jsonl(
+    stream: IO[str],
+    record_type,
+    policy: Optional["IngestPolicy"] = None,
+    start_line: int = 1,
+) -> Iterator:
+    """Stream records back from JSONL, skipping blank lines.
+
+    ``policy`` (an :class:`repro.runtime.policies.IngestPolicy`)
+    decides what happens to lines that fail to parse or validate; the
+    default is strict, which raises
+    :class:`~repro.runtime.policies.IngestFault` carrying the line
+    number, record type, offending field, and a snippet -- instead of
+    the bare ``KeyError`` / ``JSONDecodeError`` of old.
+
+    ``start_line`` is the 1-based number of the stream's first line
+    (datasets with header lines pass 2).  Call ``policy.finish()``
+    after exhausting the iterator to enforce the error budget on the
+    final tally.
+    """
+    from repro.runtime.policies import IngestPolicy, line_error
+
+    if policy is None:
+        policy = IngestPolicy.strict()
+    type_name = getattr(record_type, "__name__", str(record_type))
+    for line_no, line in enumerate(stream, start=start_line):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = record_type.from_json(stripped)
+        except Exception as exc:  # noqa: BLE001 -- classified by the policy
+            policy.reject(line_error(line_no, type_name, stripped, exc), line)
+            continue
+        policy.accept()
+        yield record

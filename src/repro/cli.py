@@ -5,8 +5,12 @@ Subcommands:
 - ``cellspot world``       -- generate a world and print its shape
 - ``cellspot run``         -- run the pipeline and print headline results
 - ``cellspot experiment X``-- regenerate one paper table/figure
-- ``cellspot all``         -- regenerate every table and figure
+- ``cellspot all``         -- regenerate every table and figure under
+  fault isolation (``--checkpoint`` resumes a crashed run)
 - ``cellspot datasets``    -- write BEACON / DEMAND datasets as JSONL
+  (atomically: a killed run never leaves truncated files)
+- ``cellspot validate``    -- strict-ingest dataset files and report
+  every malformed line
 
 All subcommands accept ``--scale`` and ``--seed``.
 """
@@ -17,8 +21,20 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.experiments.base import EXPERIMENT_MODULES, get_runner, run_all
+from repro.experiments.base import (
+    EXPERIMENT_MODULES,
+    get_runner,
+    run_all,
+    run_all_guarded,
+)
 from repro.lab import Lab
+from repro.runtime.checkpoint import (
+    CheckpointMismatch,
+    CheckpointStore,
+    atomic_writer,
+)
+from repro.runtime.guard import GuardConfig, OutcomeStatus
+from repro.runtime.manifest import RunManifest, dataset_digest
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -83,32 +99,155 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
+    """Regenerate everything under fault isolation.
+
+    One raising / hanging experiment no longer kills the batch: every
+    experiment gets an explicit outcome, a partial-results report is
+    always rendered, and the exit code is nonzero exactly when an
+    experiment failed or timed out.  With ``--checkpoint DIR`` the run
+    is resumable: completed experiments are persisted (with a run
+    manifest pinning seed/scale/dataset digests) and skipped on re-run.
+    """
+    from repro.analysis.report import render_table
+
     lab = _make_lab(args)
-    results = run_all(lab)
-    exit_code = 0
-    for experiment_id, result in results.items():
-        print(result.render())
-        print()
-        if not result.all_ok:
-            exit_code = 1
-    ok = sum(1 for r in results.values() if r.all_ok)
-    print(f"{ok}/{len(results)} experiments fully within tolerance")
-    return exit_code
+    store = None
+    manifest = None
+    if args.checkpoint:
+        store = CheckpointStore(args.checkpoint)
+        manifest = RunManifest.for_run(
+            seed=args.seed,
+            scale=args.scale,
+            dataset_digests={
+                "beacon": dataset_digest(lab.beacons),
+                "demand": dataset_digest(lab.demand),
+            },
+        )
+        try:
+            manifest = store.bind(manifest)
+        except CheckpointMismatch as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    guard = GuardConfig(timeout_s=args.timeout, retries=args.retries)
+    outcomes = run_all_guarded(lab, guard, checkpoint=store)
+
+    for outcome in outcomes.values():
+        if outcome.ok:
+            print(outcome.result.render())
+            print()
+        elif outcome.status is OutcomeStatus.SKIPPED:
+            print(f"[{outcome.experiment_id}] skipped: {outcome.error}\n")
+        else:
+            print(f"[{outcome.experiment_id}] {outcome.status.value}: "
+                  f"{outcome.error}\n")
+
+    rows = [
+        [
+            outcome.experiment_id,
+            outcome.status.value,
+            f"{outcome.duration_s:.2f}s",
+            ("all comparisons ok" if outcome.ok and outcome.result.all_ok
+             else "DIVERGES" if outcome.ok
+             else (outcome.error or "")),
+        ]
+        for outcome in outcomes.values()
+    ]
+    print(render_table(
+        ["experiment", "status", "duration", "detail"], rows,
+        title="run summary",
+    ))
+    ran = [o for o in outcomes.values() if o.status is not OutcomeStatus.SKIPPED]
+    failures = [o for o in outcomes.values() if o.is_failure]
+    skipped = len(outcomes) - len(ran)
+    ok = sum(1 for o in ran if o.ok and o.result.all_ok)
+    print(f"\n{ok}/{len(ran)} run experiments fully within tolerance; "
+          f"{len(failures)} failed, {skipped} skipped via checkpoint")
+
+    if store is not None and manifest is not None:
+        if lab._result is not None:
+            for stage, seconds in lab.result.stage_timings.items():
+                manifest.record_timing(f"pipeline.{stage}", seconds)
+        for outcome in outcomes.values():
+            if outcome.status is not OutcomeStatus.SKIPPED:
+                manifest.record_timing(
+                    f"experiment.{outcome.experiment_id}", outcome.duration_s
+                )
+        store.save_manifest(manifest)
+        print(f"checkpoint: {len(store.completed())}/{len(outcomes)} "
+              f"experiments completed in {store.directory}")
+    return 1 if failures else 0
 
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
+    """Export datasets atomically (tmp file + rename).
+
+    A run killed mid-write leaves either the previous file or nothing
+    -- never a truncated JSONL that a later load would trip over.
+    """
     lab = _make_lab(args)
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     beacon_path = out / "beacon.jsonl"
     demand_path = out / "demand.jsonl"
-    with beacon_path.open("w") as stream:
+    with atomic_writer(beacon_path) as stream:
         count = lab.beacons.dump(stream)
     print(f"wrote {count:,} BEACON subnets to {beacon_path}")
-    with demand_path.open("w") as stream:
+    with atomic_writer(demand_path) as stream:
         count = lab.demand.dump(stream)
     print(f"wrote {count:,} DEMAND subnets to {demand_path}")
     return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """Strict validation of exported dataset files.
+
+    Ingests each file collecting *every* malformed line (rather than
+    stopping at the first), prints a per-file error summary, and exits
+    0 only when both files are clean.  Exit codes: 0 clean, 1
+    validation errors, 2 unreadable file / unusable header.
+    """
+    from repro.datasets.beacon_dataset import BeaconDataset
+    from repro.datasets.demand_dataset import DemandDataset
+    from repro.runtime.policies import IngestPolicy
+    from repro.runtime.quarantine import QuarantineSink
+
+    targets = [
+        ("BEACON", Path(args.beacon), BeaconDataset.load),
+        ("DEMAND", Path(args.demand), DemandDataset.load),
+    ]
+    dirty = 0
+    for label, path, loader in targets:
+        if not path.is_file():
+            print(f"{label} {path}: error: no such file", file=sys.stderr)
+            return 2
+        sink = None
+        if args.quarantine_dir:
+            sink = QuarantineSink(
+                Path(args.quarantine_dir) / f"{path.stem}.quarantine.jsonl"
+            )
+            policy = IngestPolicy.quarantine(sink)
+        else:
+            policy = IngestPolicy.skip()
+        try:
+            with path.open() as stream:
+                loader(stream, policy=policy)
+        except ValueError as exc:
+            print(f"{label} {path}: FATAL: {exc}", file=sys.stderr)
+            return 2
+        finally:
+            if sink is not None:
+                sink.close()
+        stats = policy.stats
+        print(f"{label} {path}: {stats.summary()}")
+        for error in stats.errors[: args.max_errors]:
+            print(f"  {error.describe()}")
+        if len(stats.errors) > args.max_errors:
+            print(f"  ... and {len(stats.errors) - args.max_errors} more")
+        if sink is not None and sink.count:
+            print(f"  quarantined {sink.count} lines to {sink.path}")
+        if stats.rejected_lines:
+            dirty += 1
+    return 1 if dirty else 0
 
 
 def _cmd_evolve(args: argparse.Namespace) -> int:
@@ -217,6 +356,19 @@ def build_parser() -> argparse.ArgumentParser:
     exp.set_defaults(func=_cmd_experiment)
 
     everything = subparsers.add_parser("all", help="regenerate all tables/figures")
+    everything.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="persist per-experiment completion + run manifest to DIR "
+             "and resume from it on re-run",
+    )
+    everything.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-experiment wall-clock budget (default: unbounded)",
+    )
+    everything.add_argument(
+        "--retries", type=int, default=1,
+        help="retry attempts for transient experiment failures (default: 1)",
+    )
     _add_common(everything)
     everything.set_defaults(func=_cmd_all)
 
@@ -225,6 +377,21 @@ def build_parser() -> argparse.ArgumentParser:
                           help="output directory (default: ./datasets)")
     _add_common(datasets)
     datasets.set_defaults(func=_cmd_datasets)
+
+    validate = subparsers.add_parser(
+        "validate", help="strict-ingest dataset files and report bad lines"
+    )
+    validate.add_argument("beacon", help="path to beacon.jsonl")
+    validate.add_argument("demand", help="path to demand.jsonl")
+    validate.add_argument(
+        "--max-errors", type=int, default=20,
+        help="per-file cap on printed error details (default: 20)",
+    )
+    validate.add_argument(
+        "--quarantine-dir", default=None, metavar="DIR",
+        help="also write rejected lines to DIR/<file>.quarantine.jsonl",
+    )
+    validate.set_defaults(func=_cmd_validate)
 
     report = subparsers.add_parser(
         "report", help="write EXPERIMENTS.md (paper vs measured)"

@@ -10,7 +10,8 @@ position; validation utilities live separately in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.core.asn_classifier import (
@@ -42,6 +43,9 @@ class CellSpotterResult:
     classification: ClassificationResult
     as_result: ASFilterResult
     operators: Dict[int, OperatorProfile]
+    #: Wall-clock seconds per stage, for the run manifest
+    #: (:mod:`repro.runtime.manifest`) and perf triage.
+    stage_timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def cellular_as_count(self) -> int:
@@ -70,19 +74,46 @@ class CellSpotter:
         demand: DemandDataset,
         as_classes: Optional[ASClassificationDataset] = None,
     ) -> CellSpotterResult:
-        """Run all stages on observable datasets."""
-        ratios = RatioTable.from_beacons(beacons, min_api_hits=self.min_api_hits)
+        """Run all stages on observable datasets.
+
+        Each stage's wall-clock time lands in
+        ``CellSpotterResult.stage_timings`` so ``cellspot all`` can
+        persist per-stage timings into its run manifest.
+        """
+        timings: Dict[str, float] = {}
+
+        def timed(stage: str, fn):
+            started = time.perf_counter()
+            value = fn()
+            timings[stage] = time.perf_counter() - started
+            return value
+
+        ratios = timed(
+            "ratios",
+            lambda: RatioTable.from_beacons(
+                beacons, min_api_hits=self.min_api_hits
+            ),
+        )
         classifier = SubnetClassifier(
             threshold=self.threshold, min_api_hits=self.min_api_hits
         )
-        classification = classifier.classify(ratios)
-        as_result = identify_cellular_ases(
-            classification, demand, beacons, as_classes, self.as_filter
+        classification = timed(
+            "classification", lambda: classifier.classify(ratios)
         )
-        operators = operator_profiles(as_result, cutoff=self.dedicated_cutoff)
+        as_result = timed(
+            "as_identification",
+            lambda: identify_cellular_ases(
+                classification, demand, beacons, as_classes, self.as_filter
+            ),
+        )
+        operators = timed(
+            "operator_profiles",
+            lambda: operator_profiles(as_result, cutoff=self.dedicated_cutoff),
+        )
         return CellSpotterResult(
             ratios=ratios,
             classification=classification,
             as_result=as_result,
             operators=operators,
+            stage_timings=timings,
         )

@@ -229,17 +229,47 @@ class BeaconDataset:
         return count
 
     @classmethod
-    def load(cls, stream: IO[str]) -> "BeaconDataset":
-        """Read a dataset back from :meth:`dump` output."""
+    def load(
+        cls, stream: IO[str], policy: Optional["IngestPolicy"] = None
+    ) -> "BeaconDataset":
+        """Read a dataset back from :meth:`dump` output.
+
+        ``policy`` (:class:`repro.runtime.policies.IngestPolicy`)
+        governs malformed record lines: the default strict policy
+        raises :class:`~repro.runtime.policies.IngestFault` with line
+        number and field context; ``skip`` / ``quarantine`` policies
+        drop (and optionally sidecar) bad lines, subject to the
+        policy's error budget.  A missing or malformed header is
+        always fatal -- there is no dataset without one.
+        """
+        from repro.runtime.policies import IngestPolicy, line_error
+
+        if policy is None:
+            policy = IngestPolicy.strict()
         header_line = stream.readline()
         if not header_line.strip():
             raise ValueError("missing BEACON header line")
-        header = json.loads(header_line)
-        dataset = cls(month=header["month"])
-        for name, (hits, api) in header.get("browsers", {}).items():
-            dataset.browser_counts[Browser(name)] = (hits, api)
-        for line in stream:
-            line = line.strip()
-            if line:
-                dataset.add_counts(SubnetBeaconCounts.from_json(line))
+        try:
+            header = json.loads(header_line)
+            dataset = cls(month=header["month"])
+            for name, (hits, api) in header.get("browsers", {}).items():
+                dataset.browser_counts[Browser(name)] = (hits, api)
+        except Exception as exc:
+            raise ValueError(
+                f"line 1: BeaconDataset header: {exc}"
+            ) from exc
+        for line_no, line in enumerate(stream, start=2):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                dataset.add_counts(SubnetBeaconCounts.from_json(stripped))
+            except Exception as exc:  # noqa: BLE001 -- policy classifies
+                policy.reject(
+                    line_error(line_no, "SubnetBeaconCounts", stripped, exc),
+                    line,
+                )
+                continue
+            policy.accept()
+        policy.finish()
         return dataset

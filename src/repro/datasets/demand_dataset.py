@@ -164,14 +164,40 @@ class DemandDataset:
         return count
 
     @classmethod
-    def load(cls, stream: IO[str]) -> "DemandDataset":
+    def load(
+        cls, stream: IO[str], policy: Optional["IngestPolicy"] = None
+    ) -> "DemandDataset":
+        """Read a dataset back from :meth:`dump` output.
+
+        ``policy`` governs malformed record lines exactly as in
+        :meth:`repro.datasets.beacon_dataset.BeaconDataset.load`; the
+        default strict policy raises
+        :class:`~repro.runtime.policies.IngestFault` with per-line
+        context.  Header problems are always fatal.
+        """
+        from repro.runtime.policies import IngestPolicy, line_error
+
+        if policy is None:
+            policy = IngestPolicy.strict()
         header_line = stream.readline()
         if not header_line.strip():
             raise ValueError("missing DEMAND header line")
-        header = json.loads(header_line)
-        dataset = cls(window_days=header["window_days"])
-        for line in stream:
-            line = line.strip()
-            if line:
-                dataset._add(SubnetDemand.from_json(line))
+        try:
+            header = json.loads(header_line)
+            dataset = cls(window_days=header["window_days"])
+        except Exception as exc:
+            raise ValueError(f"line 1: DemandDataset header: {exc}") from exc
+        for line_no, line in enumerate(stream, start=2):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                dataset._add(SubnetDemand.from_json(stripped))
+            except Exception as exc:  # noqa: BLE001 -- policy classifies
+                policy.reject(
+                    line_error(line_no, "SubnetDemand", stripped, exc), line
+                )
+                continue
+            policy.accept()
+        policy.finish()
         return dataset

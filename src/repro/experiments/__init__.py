@@ -1,6 +1,10 @@
 """One module per paper table and figure.
 
-``run_all(lab)`` regenerates every result; each module also exposes a
+``run_all(lab)`` regenerates every result; ``run_all_guarded(lab)``
+does the same under fault isolation (per-experiment timeout, retry,
+checkpoint/resume) and reports
+:class:`~repro.runtime.guard.ExperimentOutcome` objects instead of
+letting one failure kill the batch.  Each module also exposes a
 standalone ``run(lab)``.  See DESIGN.md's per-experiment index for the
 mapping from paper artifact to module, and EXPERIMENTS.md for the
 recorded paper-vs-measured values.
@@ -10,16 +14,20 @@ from repro.experiments.base import (
     Comparison,
     ExperimentResult,
     EXPERIMENT_MODULES,
+    INJECT_FAIL_ENV,
     get_runner,
     load_all,
     run_all,
+    run_all_guarded,
 )
 
 __all__ = [
     "Comparison",
     "EXPERIMENT_MODULES",
     "ExperimentResult",
+    "INJECT_FAIL_ENV",
     "get_runner",
     "load_all",
     "run_all",
+    "run_all_guarded",
 ]

@@ -5,7 +5,7 @@ returns an :class:`ExperimentResult`: the regenerated rows, plus
 explicit paper-vs-measured :class:`Comparison` entries.  The benchmark
 harness and EXPERIMENTS.md generator both iterate the registry.
 
-The reproduction contract (DESIGN.md section 7): absolute numbers are
+The reproduction contract (DESIGN.md section 8): absolute numbers are
 not expected to match a proprietary testbed, but each comparison
 records whether the measured value lands within a stated tolerance of
 the paper's, and ordering/shape checks are encoded as comparisons too.
@@ -14,11 +14,23 @@ the paper's, and ordering/shape checks are encoded as comparisons too.
 from __future__ import annotations
 
 import importlib
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.report import render_table
 from repro.lab import Lab
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.guard import (
+    ExperimentOutcome,
+    GuardConfig,
+    run_guarded,
+    skipped_outcome,
+)
+
+#: Env var naming an experiment id forced to raise inside the guard.
+#: CI uses it to prove ``cellspot all`` survives a failing experiment.
+INJECT_FAIL_ENV = "CELLSPOT_INJECT_FAIL"
 
 
 @dataclass(frozen=True)
@@ -141,9 +153,63 @@ def get_runner(experiment_id: str) -> Callable[[Lab], ExperimentResult]:
 
 
 def run_all(lab: Lab) -> Dict[str, ExperimentResult]:
-    """Run every registered experiment against one lab."""
+    """Run every registered experiment against one lab.
+
+    Strict mode: the first raising experiment propagates.  Batch
+    entrypoints that must always complete (``cellspot all``) use
+    :func:`run_all_guarded` instead.
+    """
     runners = load_all()
     return {
         experiment_id: runner(lab)
         for experiment_id, runner in runners.items()
     }
+
+
+def _injected_failures() -> List[str]:
+    """Experiment ids the environment forces to fail (CI fault drills)."""
+    raw = os.environ.get(INJECT_FAIL_ENV, "")
+    return [token.strip() for token in raw.split(",") if token.strip()]
+
+
+def run_all_guarded(
+    lab: Lab,
+    guard: GuardConfig = GuardConfig(),
+    checkpoint: Optional[CheckpointStore] = None,
+) -> Dict[str, ExperimentOutcome]:
+    """Run every experiment under fault isolation.
+
+    One experiment raising, hanging past the guard's timeout, or
+    flaking transiently no longer kills the batch: each gets an
+    explicit :class:`~repro.runtime.guard.ExperimentOutcome` and the
+    rest still run.  With ``checkpoint``, completed experiments are
+    marked done as the run goes, and experiments already marked done
+    come back as ``skipped`` -- the crash-then-resume path of
+    ``cellspot all --checkpoint``.
+    """
+    runners = load_all()
+    injected = set(_injected_failures())
+    outcomes: Dict[str, ExperimentOutcome] = {}
+    for experiment_id, runner in runners.items():
+        if checkpoint is not None and checkpoint.is_done(experiment_id):
+            outcomes[experiment_id] = skipped_outcome(
+                experiment_id, "completed in a previous run"
+            )
+            continue
+
+        def invoke(runner=runner, experiment_id=experiment_id):
+            if experiment_id in injected:
+                raise RuntimeError(
+                    f"injected failure ({INJECT_FAIL_ENV}={experiment_id})"
+                )
+            return runner(lab)
+
+        outcome = run_guarded(experiment_id, invoke, guard)
+        outcomes[experiment_id] = outcome
+        if checkpoint is not None and outcome.ok:
+            checkpoint.mark_done(
+                experiment_id,
+                status=outcome.status.value,
+                duration_s=outcome.duration_s,
+            )
+    return outcomes

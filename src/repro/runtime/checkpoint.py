@@ -1,0 +1,157 @@
+"""Atomic writes and the per-experiment checkpoint store.
+
+Two ideas:
+
+1. :func:`atomic_writer` / :func:`atomic_write_text` -- write to a
+   temporary file in the destination directory and ``os.replace`` it
+   into place, so a killed ``cellspot datasets`` never leaves a
+   truncated JSONL behind.  POSIX rename within one filesystem is
+   atomic; readers see either the old file or the complete new one.
+
+2. :class:`CheckpointStore` -- a directory holding a run manifest plus
+   one small JSON marker per completed experiment.  ``cellspot all
+   --checkpoint DIR`` marks experiments done as it goes; a re-run loads
+   the manifest, verifies it describes the *same* run (seed, scale,
+   dataset digests), and skips what already completed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Dict, Iterator, List, Optional, Union
+
+from repro.runtime.manifest import RunManifest
+
+
+@contextmanager
+def atomic_writer(path: Union[str, Path]) -> Iterator[IO[str]]:
+    """Open a temp file next to ``path``; rename into place on success.
+
+    On any exception the temp file is removed and the destination is
+    left untouched (old content or absent).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    stream = os.fdopen(fd, "w")
+    try:
+        yield stream
+        stream.flush()
+        os.fsync(stream.fileno())
+        stream.close()
+        os.replace(tmp_name, path)
+    except BaseException:
+        stream.close()
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Atomically replace ``path`` with ``text``."""
+    with atomic_writer(path) as stream:
+        stream.write(text)
+
+
+class CheckpointMismatch(RuntimeError):
+    """The checkpoint directory belongs to a different run."""
+
+
+class CheckpointStore:
+    """Per-experiment completion markers plus the run manifest.
+
+    Layout::
+
+        DIR/manifest.json          -- RunManifest
+        DIR/completed/<id>.json    -- {"experiment_id", "status",
+                                       "duration_s", "completed_at"}
+    """
+
+    MANIFEST_NAME = "manifest.json"
+    COMPLETED_DIR = "completed"
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.completed_dir = self.directory / self.COMPLETED_DIR
+        self.manifest_path = self.directory / self.MANIFEST_NAME
+
+    # ---- manifest --------------------------------------------------------
+
+    def load_manifest(self) -> Optional[RunManifest]:
+        if not self.manifest_path.exists():
+            return None
+        return RunManifest.from_json(self.manifest_path.read_text())
+
+    def save_manifest(self, manifest: RunManifest) -> None:
+        atomic_write_text(self.manifest_path, manifest.to_json())
+
+    def bind(self, manifest: RunManifest) -> RunManifest:
+        """Adopt the store for this run, or resume a matching one.
+
+        Returns the manifest to use (the stored one on resume, so its
+        accumulated timings survive).  Raises
+        :class:`CheckpointMismatch` when the directory belongs to a
+        run with a different seed/scale/dataset fingerprint.
+        """
+        existing = self.load_manifest()
+        if existing is None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self.completed_dir.mkdir(parents=True, exist_ok=True)
+            self.save_manifest(manifest)
+            return manifest
+        problem = existing.incompatibility(manifest)
+        if problem:
+            raise CheckpointMismatch(
+                f"checkpoint at {self.directory} is from a different run: "
+                f"{problem}"
+            )
+        return existing
+
+    # ---- completion markers ----------------------------------------------
+
+    def _marker(self, experiment_id: str) -> Path:
+        safe = experiment_id.replace("/", "_")
+        return self.completed_dir / f"{safe}.json"
+
+    def is_done(self, experiment_id: str) -> bool:
+        return self._marker(experiment_id).exists()
+
+    def mark_done(
+        self,
+        experiment_id: str,
+        status: str = "ok",
+        duration_s: float = 0.0,
+    ) -> None:
+        self.completed_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            self._marker(experiment_id),
+            json.dumps(
+                {
+                    "experiment_id": experiment_id,
+                    "status": status,
+                    "duration_s": round(duration_s, 6),
+                    "completed_at": time.time(),
+                },
+                separators=(",", ":"),
+            ),
+        )
+
+    def completed(self) -> List[str]:
+        if not self.completed_dir.exists():
+            return []
+        return sorted(path.stem for path in self.completed_dir.glob("*.json"))
+
+    def completion_record(self, experiment_id: str) -> Optional[Dict]:
+        marker = self._marker(experiment_id)
+        if not marker.exists():
+            return None
+        return json.loads(marker.read_text())

@@ -1,0 +1,177 @@
+"""Fault-isolated execution of one experiment.
+
+``cellspot all`` used to die on the first raising experiment; now each
+runner executes inside :func:`run_guarded`, which converts whatever
+happens into an explicit :class:`ExperimentOutcome`:
+
+- ``ok``        -- the runner returned a result;
+- ``failed``    -- it raised (after exhausting any retries);
+- ``timed_out`` -- it exceeded the per-experiment wall-clock budget;
+- ``skipped``   -- a checkpoint said it already completed.
+
+Transient failures (:class:`TransientError`, ``OSError``) are retried
+with exponential backoff up to ``GuardConfig.retries`` times; logic
+errors are not retried -- re-running a deterministic experiment that
+raised ``ZeroDivisionError`` only wastes the wall clock.
+
+Timeouts run the experiment on a daemon worker thread and abandon it
+on expiry.  Python cannot safely kill a thread, so a timed-out runner
+may keep burning CPU in the background -- acceptable for a CLI batch
+process whose next action is to finish and exit, and it keeps the
+guard dependency-free and portable (no ``signal.alarm``, which only
+works on the main thread of Unix processes).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Optional, Tuple, Type
+
+
+class TransientError(RuntimeError):
+    """Marker for failures worth retrying (I/O blips, resource races)."""
+
+
+class OutcomeStatus(str, Enum):
+    OK = "ok"
+    FAILED = "failed"
+    TIMED_OUT = "timed-out"
+    SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Per-experiment isolation parameters."""
+
+    #: Wall-clock budget per attempt in seconds (None = unbounded).
+    timeout_s: Optional[float] = None
+    #: Extra attempts after the first, for retryable failures only.
+    retries: int = 0
+    #: Base backoff; attempt *n* sleeps ``backoff_s * 2**(n-1)``.
+    backoff_s: float = 0.1
+    #: Exception types considered transient.
+    retry_on: Tuple[Type[BaseException], ...] = (TransientError, OSError)
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout must be positive")
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+
+
+@dataclass
+class ExperimentOutcome:
+    """What happened to one experiment."""
+
+    experiment_id: str
+    status: OutcomeStatus
+    result: Optional[Any] = None
+    error: Optional[str] = None
+    duration_s: float = 0.0
+    attempts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is OutcomeStatus.OK
+
+    @property
+    def is_failure(self) -> bool:
+        return self.status in (OutcomeStatus.FAILED, OutcomeStatus.TIMED_OUT)
+
+    def describe(self) -> str:
+        text = f"{self.experiment_id}: {self.status.value}"
+        if self.attempts > 1:
+            text += f" after {self.attempts} attempts"
+        if self.error:
+            text += f" ({self.error})"
+        return text
+
+
+class _Attempt:
+    """One function call, possibly bounded by a wall-clock timeout."""
+
+    def __init__(self, fn: Callable[[], Any]) -> None:
+        self._fn = fn
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self.finished = False
+
+    def _target(self) -> None:
+        try:
+            self.result = self._fn()
+        except BaseException as exc:  # noqa: BLE001 -- reported, not hidden
+            self.exception = exc
+        finally:
+            self.finished = True
+
+    def run(self, timeout_s: Optional[float]) -> bool:
+        """Run; returns False when the attempt timed out."""
+        if timeout_s is None:
+            self._target()
+            return True
+        worker = threading.Thread(
+            target=self._target, name="experiment-guard", daemon=True
+        )
+        worker.start()
+        worker.join(timeout_s)
+        return self.finished
+
+
+def _format_error(exc: BaseException) -> str:
+    lines = traceback.format_exception_only(type(exc), exc)
+    return lines[-1].strip() if lines else repr(exc)
+
+
+def run_guarded(
+    experiment_id: str,
+    fn: Callable[[], Any],
+    config: GuardConfig = GuardConfig(),
+) -> ExperimentOutcome:
+    """Execute ``fn`` under the guard and report an outcome."""
+    started = time.perf_counter()
+    attempts = 0
+    last_error = "unknown failure"
+    while True:
+        attempts += 1
+        attempt = _Attempt(fn)
+        finished = attempt.run(config.timeout_s)
+        if not finished:
+            return ExperimentOutcome(
+                experiment_id=experiment_id,
+                status=OutcomeStatus.TIMED_OUT,
+                error=f"exceeded {config.timeout_s:g}s wall-clock budget",
+                duration_s=time.perf_counter() - started,
+                attempts=attempts,
+            )
+        if attempt.exception is None:
+            return ExperimentOutcome(
+                experiment_id=experiment_id,
+                status=OutcomeStatus.OK,
+                result=attempt.result,
+                duration_s=time.perf_counter() - started,
+                attempts=attempts,
+            )
+        last_error = _format_error(attempt.exception)
+        retryable = isinstance(attempt.exception, config.retry_on)
+        if not retryable or attempts > config.retries:
+            return ExperimentOutcome(
+                experiment_id=experiment_id,
+                status=OutcomeStatus.FAILED,
+                error=last_error,
+                duration_s=time.perf_counter() - started,
+                attempts=attempts,
+            )
+        time.sleep(config.backoff_s * (2 ** (attempts - 1)))
+
+
+def skipped_outcome(experiment_id: str, reason: str) -> ExperimentOutcome:
+    """Outcome for an experiment a checkpoint marked already done."""
+    return ExperimentOutcome(
+        experiment_id=experiment_id,
+        status=OutcomeStatus.SKIPPED,
+        error=reason,
+    )

@@ -1,0 +1,130 @@
+"""The run manifest: what run is this, exactly?
+
+A checkpointed ``cellspot all`` must only resume when the re-run is
+the *same* run: same seed, same scale, same datasets.  The manifest
+pins those down -- world parameters, SHA-256 digests of the serialized
+BEACON / DEMAND datasets, toolchain versions -- and accumulates
+per-stage wall-clock timings so a resumed run still reports where the
+time went.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import repro
+
+MANIFEST_VERSION = 1
+
+
+def dataset_digest(dataset) -> str:
+    """SHA-256 over a dataset's canonical ``dump`` serialization."""
+
+    class _HashStream:
+        def __init__(self) -> None:
+            self.hasher = hashlib.sha256()
+
+        def write(self, text: str) -> int:
+            data = text.encode("utf-8")
+            self.hasher.update(data)
+            return len(data)
+
+    stream = _HashStream()
+    dataset.dump(stream)
+    return stream.hasher.hexdigest()
+
+
+@dataclass
+class RunManifest:
+    """Identity and bookkeeping for one ``cellspot all`` run."""
+
+    seed: int
+    scale: float
+    dataset_digests: Dict[str, str] = field(default_factory=dict)
+    versions: Dict[str, str] = field(default_factory=dict)
+    stage_timings: Dict[str, float] = field(default_factory=dict)
+    created_at: float = field(default_factory=time.time)
+    manifest_version: int = MANIFEST_VERSION
+
+    @classmethod
+    def for_run(
+        cls,
+        seed: int,
+        scale: float,
+        dataset_digests: Optional[Dict[str, str]] = None,
+        stage_timings: Optional[Dict[str, float]] = None,
+    ) -> "RunManifest":
+        return cls(
+            seed=seed,
+            scale=scale,
+            dataset_digests=dict(dataset_digests or {}),
+            versions={
+                "repro": repro.__version__,
+                "python": platform.python_version(),
+            },
+            stage_timings=dict(stage_timings or {}),
+        )
+
+    # ---- compatibility ---------------------------------------------------
+
+    def incompatibility(self, other: "RunManifest") -> Optional[str]:
+        """Why ``other`` cannot resume this manifest (None if it can).
+
+        Seed, scale, and dataset digests must match exactly; versions
+        and timings are informational.
+        """
+        if self.manifest_version != other.manifest_version:
+            return (
+                f"manifest version {self.manifest_version} != "
+                f"{other.manifest_version}"
+            )
+        if self.seed != other.seed:
+            return f"seed {self.seed} != {other.seed}"
+        if self.scale != other.scale:
+            return f"scale {self.scale:g} != {other.scale:g}"
+        for name, digest in self.dataset_digests.items():
+            theirs = other.dataset_digests.get(name)
+            if theirs is not None and theirs != digest:
+                return f"dataset {name!r} digest mismatch"
+        return None
+
+    def record_timing(self, stage: str, seconds: float) -> None:
+        self.stage_timings[stage] = self.stage_timings.get(stage, 0.0) + seconds
+
+    # ---- serialization ---------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "manifest_version": self.manifest_version,
+                "seed": self.seed,
+                "scale": self.scale,
+                "dataset_digests": self.dataset_digests,
+                "versions": self.versions,
+                "stage_timings": {
+                    stage: round(seconds, 6)
+                    for stage, seconds in self.stage_timings.items()
+                },
+                "created_at": self.created_at,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        raw = json.loads(text)
+        return cls(
+            seed=raw["seed"],
+            scale=raw["scale"],
+            dataset_digests=dict(raw.get("dataset_digests", {})),
+            versions=dict(raw.get("versions", {})),
+            stage_timings=dict(raw.get("stage_timings", {})),
+            created_at=raw.get("created_at", 0.0),
+            manifest_version=raw.get("manifest_version", MANIFEST_VERSION),
+        )

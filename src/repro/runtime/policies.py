@@ -1,0 +1,255 @@
+"""Ingestion error policies.
+
+Every JSONL ingestion path (``read_jsonl``, ``BeaconDataset.load``,
+``DemandDataset.load``) accepts an :class:`IngestPolicy` deciding what
+happens when a line fails to parse or validate:
+
+- ``strict`` (the default) -- raise :class:`IngestFault` immediately,
+  carrying full per-line context (line number, record type, offending
+  field, snippet).  This is the old behavior with a usable error
+  message instead of a bare ``KeyError``.
+- ``skip`` -- drop the bad line, record it in :class:`IngestStats`,
+  keep going.
+- ``quarantine`` -- like ``skip``, but additionally write the raw line
+  plus the rejection reason to a sidecar JSONL
+  (:class:`repro.runtime.quarantine.QuarantineSink`) for later replay.
+
+``skip`` and ``quarantine`` honour an *error budget*: if more than
+``error_budget`` (a fraction) of the lines seen so far are bad, the
+load aborts with :class:`ErrorBudgetExceeded` -- degraded data is
+tolerable, garbage is not.  The budget is only enforced after
+``budget_min_lines`` lines so one early bad record cannot spuriously
+trip a percentage check, and it is re-checked at end of stream.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+_SNIPPET_LEN = 80
+
+
+class PolicyMode(str, Enum):
+    """What to do with a line that fails to parse or validate."""
+
+    STRICT = "strict"
+    SKIP = "skip"
+    QUARANTINE = "quarantine"
+
+
+@dataclass(frozen=True)
+class IngestError:
+    """Context for one rejected line."""
+
+    line_no: int
+    record_type: str
+    reason: str
+    field: Optional[str] = None
+    snippet: str = ""
+
+    def describe(self) -> str:
+        parts = [f"line {self.line_no}", self.record_type, self.reason]
+        if self.field:
+            parts.append(f"field {self.field!r}")
+        if self.snippet:
+            parts.append(f"near {self.snippet!r}")
+        return ": ".join(parts[:2]) + ": " + "; ".join(parts[2:])
+
+
+class IngestFault(ValueError):
+    """A line failed ingestion under a strict policy (or budget)."""
+
+    def __init__(self, error: IngestError) -> None:
+        super().__init__(error.describe())
+        self.error = error
+
+
+class ErrorBudgetExceeded(IngestFault):
+    """Too large a fraction of the stream was rejected."""
+
+    def __init__(self, error: IngestError, rate: float, budget: float) -> None:
+        IngestFault.__init__(self, error)
+        self.rate = rate
+        self.budget = budget
+        self.args = (
+            f"error budget exceeded: {100 * rate:.2f}% of lines rejected "
+            f"(budget {100 * budget:.2f}%); last: {error.describe()}",
+        )
+
+
+@dataclass
+class IngestStats:
+    """Counters one ingestion run accumulates."""
+
+    total_lines: int = 0
+    ok_lines: int = 0
+    rejected_lines: int = 0
+    errors: List[IngestError] = field(default_factory=list)
+    #: Cap on how many IngestError objects are retained in memory
+    #: (counters keep counting past it).
+    max_recorded: int = 1000
+
+    @property
+    def error_rate(self) -> float:
+        if self.total_lines == 0:
+            return 0.0
+        return self.rejected_lines / self.total_lines
+
+    def record_ok(self) -> None:
+        self.total_lines += 1
+        self.ok_lines += 1
+
+    def record_error(self, error: IngestError) -> None:
+        self.total_lines += 1
+        self.rejected_lines += 1
+        if len(self.errors) < self.max_recorded:
+            self.errors.append(error)
+
+    def summary(self) -> str:
+        return (
+            f"{self.ok_lines}/{self.total_lines} lines ok, "
+            f"{self.rejected_lines} rejected "
+            f"({100 * self.error_rate:.2f}%)"
+        )
+
+
+@dataclass
+class IngestPolicy:
+    """Error-handling configuration for one ingestion run.
+
+    Not reusable across loads: carries per-run :class:`IngestStats`.
+    Use the :meth:`strict` / :meth:`skip` / :meth:`quarantine`
+    factories for fresh instances.
+    """
+
+    mode: PolicyMode = PolicyMode.STRICT
+    #: Abort when rejected/total exceeds this fraction (None = no budget).
+    error_budget: Optional[float] = None
+    #: Lines to see before the budget ratio is enforced mid-stream.
+    budget_min_lines: int = 200
+    #: Where quarantined lines go (required for QUARANTINE mode).
+    sink: Optional["QuarantineSink"] = None  # noqa: F821 (forward ref)
+    stats: IngestStats = field(default_factory=IngestStats)
+
+    def __post_init__(self) -> None:
+        if self.mode is PolicyMode.QUARANTINE and self.sink is None:
+            raise ValueError("quarantine policy needs a sink")
+        if self.error_budget is not None and not 0 <= self.error_budget <= 1:
+            raise ValueError("error budget must be a fraction in [0, 1]")
+
+    # ---- factories -------------------------------------------------------
+
+    @classmethod
+    def strict(cls) -> "IngestPolicy":
+        return cls(mode=PolicyMode.STRICT)
+
+    @classmethod
+    def skip(
+        cls,
+        error_budget: Optional[float] = None,
+        budget_min_lines: int = 200,
+    ) -> "IngestPolicy":
+        return cls(
+            mode=PolicyMode.SKIP,
+            error_budget=error_budget,
+            budget_min_lines=budget_min_lines,
+        )
+
+    @classmethod
+    def quarantine(
+        cls,
+        sink: "QuarantineSink",  # noqa: F821
+        error_budget: Optional[float] = None,
+        budget_min_lines: int = 200,
+    ) -> "IngestPolicy":
+        return cls(
+            mode=PolicyMode.QUARANTINE,
+            sink=sink,
+            error_budget=error_budget,
+            budget_min_lines=budget_min_lines,
+        )
+
+    # ---- per-line handling ----------------------------------------------
+
+    def accept(self) -> None:
+        """Record one successfully ingested line."""
+        self.stats.record_ok()
+
+    def reject(self, error: IngestError, raw_line: str) -> None:
+        """Handle one bad line according to the policy.
+
+        Raises :class:`IngestFault` in strict mode and
+        :class:`ErrorBudgetExceeded` when the budget trips; otherwise
+        records (and possibly quarantines) the line and returns.
+        """
+        self.stats.record_error(error)
+        if self.mode is PolicyMode.STRICT:
+            raise IngestFault(error)
+        if self.mode is PolicyMode.QUARANTINE:
+            assert self.sink is not None
+            self.sink.write(error, raw_line)
+        if (
+            self.error_budget is not None
+            and self.stats.total_lines >= self.budget_min_lines
+            and self.stats.error_rate > self.error_budget
+        ):
+            raise ErrorBudgetExceeded(
+                error, self.stats.error_rate, self.error_budget
+            )
+
+    def finish(self) -> IngestStats:
+        """End-of-stream check: enforce the budget on the final tally."""
+        if (
+            self.error_budget is not None
+            and self.stats.rejected_lines > 0
+            and self.stats.error_rate > self.error_budget
+        ):
+            last = self.stats.errors[-1] if self.stats.errors else IngestError(
+                line_no=self.stats.total_lines,
+                record_type="<stream>",
+                reason="rejected lines over budget",
+            )
+            raise ErrorBudgetExceeded(
+                last, self.stats.error_rate, self.error_budget
+            )
+        return self.stats
+
+
+def snippet_of(line: str) -> str:
+    """Trim a raw line down to error-message size."""
+    line = line.strip()
+    if len(line) <= _SNIPPET_LEN:
+        return line
+    return line[: _SNIPPET_LEN - 3] + "..."
+
+
+def describe_exception(exc: BaseException) -> "tuple[str, Optional[str]]":
+    """Map an ingestion exception to (reason, offending field).
+
+    ``KeyError`` from a ``raw[...]`` lookup names the missing field;
+    ``json.JSONDecodeError`` carries the parse position; anything else
+    is reported by type and message.
+    """
+    if isinstance(exc, KeyError):
+        name = exc.args[0] if exc.args else None
+        return "missing field", name if isinstance(name, str) else None
+    if isinstance(exc, json.JSONDecodeError):
+        return f"invalid JSON at column {exc.colno}: {exc.msg}", None
+    return f"{type(exc).__name__}: {exc}", None
+
+
+def line_error(
+    line_no: int, record_type: str, raw_line: str, exc: BaseException
+) -> IngestError:
+    """Build an :class:`IngestError` from a failed line."""
+    reason, bad_field = describe_exception(exc)
+    return IngestError(
+        line_no=line_no,
+        record_type=record_type,
+        reason=reason,
+        field=bad_field,
+        snippet=snippet_of(raw_line),
+    )

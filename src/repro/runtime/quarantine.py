@@ -1,0 +1,108 @@
+"""Quarantine sink: rejected lines go to a sidecar JSONL, not the void.
+
+Each quarantined record stores the raw offending line next to the full
+rejection context, so an operator can (a) audit *why* data was dropped
+and (b) replay the raw lines through a fixed parser later.
+
+Sidecar format (one JSON object per line)::
+
+    {"line": 42, "record_type": "BeaconHit", "reason": "missing field",
+     "field": "asn", "raw": "{...original line...}"}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterator, Optional, Union
+
+from repro.runtime.policies import IngestError
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One rejected line as stored in the sidecar."""
+
+    error: IngestError
+    raw: str
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "line": self.error.line_no,
+                "record_type": self.error.record_type,
+                "reason": self.error.reason,
+                "field": self.error.field,
+                "raw": self.raw,
+            },
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "QuarantineRecord":
+        raw = json.loads(line)
+        return cls(
+            error=IngestError(
+                line_no=raw["line"],
+                record_type=raw["record_type"],
+                reason=raw["reason"],
+                field=raw.get("field"),
+            ),
+            raw=raw["raw"],
+        )
+
+
+class QuarantineSink:
+    """Append-only sidecar writer for rejected lines.
+
+    Accepts either an open text stream or a path (opened lazily on the
+    first rejected line, so a clean load leaves no empty sidecar
+    behind).  Usable as a context manager.
+    """
+
+    def __init__(self, target: Union[str, Path, IO[str]]) -> None:
+        if isinstance(target, (str, Path)):
+            self.path: Optional[Path] = Path(target)
+            self._stream: Optional[IO[str]] = None
+            self._owns_stream = True
+        else:
+            self.path = None
+            self._stream = target
+            self._owns_stream = False
+        self.count = 0
+
+    def write(self, error: IngestError, raw_line: str) -> None:
+        if self._stream is None:
+            assert self.path is not None
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = self.path.open("w")
+        record = QuarantineRecord(error=error, raw=raw_line.rstrip("\n"))
+        self._stream.write(record.to_json())
+        self._stream.write("\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if self._owns_stream and self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "QuarantineSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_quarantine(stream: IO[str]) -> Iterator[QuarantineRecord]:
+    """Stream quarantined records back from a sidecar."""
+    for line in stream:
+        line = line.strip()
+        if line:
+            yield QuarantineRecord.from_json(line)
+
+
+def replay_lines(stream: IO[str]) -> Iterator[str]:
+    """Yield the raw offending lines for re-ingestion after a fix."""
+    for record in read_quarantine(stream):
+        yield record.raw

@@ -81,6 +81,51 @@ class TestPrefixList:
         assert code in (0, 1)  # tiny worlds may diverge on some checks
 
 
+class TestValidate:
+    def _export(self, tmp_path):
+        main(["datasets", "--out", str(tmp_path)] + ARGS)
+        return tmp_path / "beacon.jsonl", tmp_path / "demand.jsonl"
+
+    def test_clean_files_pass(self, tmp_path, capsys):
+        beacon, demand = self._export(tmp_path)
+        assert main(["validate", str(beacon), str(demand)]) == 0
+        out = capsys.readouterr().out
+        assert "0 rejected" in out
+
+    def test_corrupted_file_fails_with_line_detail(self, tmp_path, capsys):
+        beacon, demand = self._export(tmp_path)
+        lines = beacon.read_text().splitlines()
+        lines[3] = "not json"
+        beacon.write_text("\n".join(lines) + "\n")
+        assert main(["validate", str(beacon), str(demand)]) == 1
+        out = capsys.readouterr().out
+        assert "1 rejected" in out
+        assert "line 4" in out
+
+    def test_quarantine_dir_writes_sidecar(self, tmp_path, capsys):
+        beacon, demand = self._export(tmp_path)
+        lines = beacon.read_text().splitlines()
+        lines[2] = '{"broken'
+        beacon.write_text("\n".join(lines) + "\n")
+        qdir = tmp_path / "quarantine"
+        assert main([
+            "validate", str(beacon), str(demand),
+            "--quarantine-dir", str(qdir),
+        ]) == 1
+        sidecar = qdir / "beacon.quarantine.jsonl"
+        assert sidecar.exists()
+        from repro.runtime.quarantine import read_quarantine
+
+        with sidecar.open() as stream:
+            records = list(read_quarantine(stream))
+        assert len(records) == 1 and records[0].error.line_no == 3
+
+    def test_missing_file_is_exit_2(self, tmp_path, capsys):
+        beacon, demand = self._export(tmp_path)
+        assert main(["validate", str(tmp_path / "nope.jsonl"), str(demand)]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+
 class TestWorldAudit:
     def test_audit_flag(self, capsys):
         assert main(["world", "--audit"] + ARGS) == 0
