@@ -41,10 +41,30 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.005,
                         help="world scale factor (1.0 = paper scale)")
     parser.add_argument("--seed", type=int, default=0, help="world seed")
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="pipeline worker processes; sharded execution produces "
+             "results identical to --workers 1 (default: 1)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="prefix-hash shard count (default: one shard per worker)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="dataset cache directory; repeated runs with the same "
+             "seed/scale skip dataset regeneration",
+    )
 
 
 def _make_lab(args: argparse.Namespace) -> Lab:
-    return Lab.create(scale=args.scale, seed=args.seed)
+    return Lab.create(
+        scale=args.scale,
+        seed=args.seed,
+        workers=args.workers,
+        shards=args.shards,
+        cache_dir=args.cache_dir,
+    )
 
 
 def _cmd_world(args: argparse.Namespace) -> int:

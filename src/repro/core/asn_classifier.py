@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.classifier import ClassificationResult
 from repro.datasets.beacon_dataset import BeaconDataset
@@ -121,10 +121,24 @@ class ASFilterResult:
 def aggregate_candidates(
     classification: ClassificationResult,
     demand: DemandDataset,
-    beacons: BeaconDataset,
+    beacons: Optional[BeaconDataset] = None,
+    hits_by_asn: Optional[Mapping[int, int]] = None,
 ) -> Dict[int, CandidateAS]:
     """Straw-man candidate set: every AS with >= 1 detected cellular subnet,
-    with the per-AS aggregates the filters and analyses need."""
+    with the per-AS aggregates the filters and analyses need.
+
+    ``demand`` may be any demand view exposing ``du_of`` and iteration
+    over records with ``asn``/``du`` attributes -- a full
+    :class:`~repro.datasets.demand_dataset.DemandDataset` or the
+    parallel layer's lightweight :class:`repro.parallel.views.DemandMap`.
+    Per-AS beacon hit totals come from ``hits_by_asn`` when given
+    (e.g. reduced from shard partials), otherwise from
+    ``beacons.hits_by_asn()``.
+    """
+    if hits_by_asn is None:
+        if beacons is None:
+            raise ValueError("need either beacons or hits_by_asn")
+        hits_by_asn = beacons.hits_by_asn()
     candidates: Dict[int, CandidateAS] = {}
     cellular_asns = set(classification.asns_with_cellular())
     if not cellular_asns:
@@ -153,7 +167,7 @@ def aggregate_candidates(
         if record.asn in candidates:
             candidates[record.asn].total_du += record.du
 
-    for asn, hits in beacons.hits_by_asn().items():
+    for asn, hits in hits_by_asn.items():
         if asn in candidates:
             candidates[asn].beacon_hits = hits
     return candidates
@@ -162,17 +176,23 @@ def aggregate_candidates(
 def identify_cellular_ases(
     classification: ClassificationResult,
     demand: DemandDataset,
-    beacons: BeaconDataset,
+    beacons: Optional[BeaconDataset] = None,
     as_classes: Optional[ASClassificationDataset] = None,
     config: Optional[ASFilterConfig] = None,
+    hits_by_asn: Optional[Mapping[int, int]] = None,
 ) -> ASFilterResult:
     """Run the full AS identification pipeline.
 
     Rules apply in the paper's order; each AS records only the first
-    rule that excluded it, matching Table 5's accounting.
+    rule that excluded it, matching Table 5's accounting.  ``beacons``
+    / ``hits_by_asn`` / ``demand`` follow the
+    :func:`aggregate_candidates` contract, so the parallel layer can
+    feed reduced shard views instead of materialized datasets.
     """
     config = config or ASFilterConfig()
-    candidates = aggregate_candidates(classification, demand, beacons)
+    candidates = aggregate_candidates(
+        classification, demand, beacons, hits_by_asn=hits_by_asn
+    )
     excluded: Dict[int, ExclusionReason] = {}
     accepted: Dict[int, CandidateAS] = {}
     for asn, entry in candidates.items():

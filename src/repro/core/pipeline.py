@@ -65,7 +65,9 @@ class CellSpotter:
 
     threshold: float = DEFAULT_THRESHOLD
     min_api_hits: int = 1
-    as_filter: ASFilterConfig = ASFilterConfig()
+    # default_factory, not a default instance: a shared mutable default
+    # would alias one ASFilterConfig across every CellSpotter().
+    as_filter: ASFilterConfig = field(default_factory=ASFilterConfig)
     dedicated_cutoff: float = DEDICATED_CFD_CUTOFF
 
     def run(
@@ -73,13 +75,34 @@ class CellSpotter:
         beacons: BeaconDataset,
         demand: DemandDataset,
         as_classes: Optional[ASClassificationDataset] = None,
+        workers: int = 1,
+        shards: Optional[int] = None,
+        force_processes: bool = False,
     ) -> CellSpotterResult:
         """Run all stages on observable datasets.
 
         Each stage's wall-clock time lands in
         ``CellSpotterResult.stage_timings`` so ``cellspot all`` can
         persist per-stage timings into its run manifest.
+
+        ``workers`` > 1 or ``shards`` > 1 routes the run through the
+        sharded pipeline (:mod:`repro.parallel`), which produces a
+        result *equal* to the serial path -- the differential suite
+        asserts exactly that.  ``force_processes`` bypasses the
+        hardware clamp so tests exercise the process-pool path even on
+        single-core machines.
         """
+        plan = None
+        if workers != 1 or shards is not None or force_processes:
+            from repro.parallel.executor import ShardPlan
+
+            plan = ShardPlan.plan(
+                workers=workers, shards=shards, force_processes=force_processes
+            )
+        if plan is not None and not plan.is_serial:
+            from repro.parallel.pipeline import run_sharded
+
+            return run_sharded(self, beacons, demand, as_classes, plan=plan)
         timings: Dict[str, float] = {}
 
         def timed(stage: str, fn):

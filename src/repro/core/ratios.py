@@ -51,6 +51,73 @@ class RatioTable:
                 raise ValueError(f"duplicate ratio subnet {record.subnet}")
             self._by_subnet[record.subnet] = record
 
+    def __eq__(self, other: object) -> bool:
+        """Tables are equal when they hold the same records (any order)."""
+        if not isinstance(other, RatioTable):
+            return NotImplemented
+        return self._by_subnet == other._by_subnet
+
+    # Tables are mutable aggregates; equality is by content, not identity.
+    __hash__ = None  # type: ignore[assignment]
+
+    @classmethod
+    def _from_ordered(
+        cls, by_subnet: Dict[Prefix, RatioRecord]
+    ) -> "RatioTable":
+        """Adopt an already-validated subnet->record mapping (no copy).
+
+        Internal fast path for the parallel layer
+        (:mod:`repro.parallel`): the sharded pipeline builds the
+        mapping itself (shards are disjoint by construction and rows
+        are pre-filtered on ``api_hits``), so re-running the
+        constructor's duplicate/API checks would only re-prove what
+        the sharder already guarantees.
+        """
+        table = cls.__new__(cls)
+        table._by_subnet = by_subnet
+        return table
+
+    @classmethod
+    def merge(cls, tables: Iterable["RatioTable"]) -> "RatioTable":
+        """Reduce per-shard tables into one (associative + commutative).
+
+        Subnets appearing in several tables have their counts summed
+        (per-subnet metadata must agree); the merged table is in
+        canonical subnet order, so any grouping or ordering of the
+        same shards reduces to the *identical* table -- the algebra
+        the parallel layer's shard/merge model rests on:
+
+        ``merge([a, b]) == merge([b, a])`` and
+        ``merge([merge([a, b]), c]) == merge([a, merge([b, c])])``.
+        """
+        totals: Dict[Prefix, RatioRecord] = {}
+        for table in tables:
+            for record in table:
+                current = totals.get(record.subnet)
+                if current is None:
+                    totals[record.subnet] = record
+                    continue
+                if (current.asn, current.country) != (
+                    record.asn,
+                    record.country,
+                ):
+                    raise ValueError(
+                        f"conflicting metadata for {record.subnet}"
+                    )
+                totals[record.subnet] = RatioRecord(
+                    subnet=record.subnet,
+                    asn=record.asn,
+                    country=record.country,
+                    api_hits=current.api_hits + record.api_hits,
+                    cellular_hits=current.cellular_hits + record.cellular_hits,
+                    hits=current.hits + record.hits,
+                )
+        ordered = sorted(
+            totals.values(),
+            key=lambda r: (r.subnet.family, r.subnet.value, r.subnet.length),
+        )
+        return cls(ordered)
+
     @classmethod
     def from_beacons(
         cls, beacons: BeaconDataset, min_api_hits: int = 1

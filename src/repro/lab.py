@@ -10,8 +10,9 @@ can share one lab instance.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
 
 from repro.cdn.beacon import BeaconConfig, BeaconGenerator
 from repro.cdn.demand import DemandConfig, DemandGenerator
@@ -59,6 +60,14 @@ class Lab:
     beacon_config: BeaconConfig = field(default_factory=BeaconConfig)
     demand_config: DemandConfig = field(default_factory=DemandConfig)
     spotter: CellSpotter = field(default_factory=CellSpotter)
+    #: Worker count for the pipeline run (1 = plain serial path).
+    workers: int = 1
+    #: Prefix-hash shard count (None = one shard per worker).
+    shards: Optional[int] = None
+    #: When set, datasets are fetched from / stored into this
+    #: :class:`repro.parallel.cache.DatasetCache` directory instead of
+    #: being regenerated on every run.
+    cache_dir: Optional[Union[str, Path]] = None
     _beacons: Optional[BeaconDataset] = field(default=None, repr=False)
     _demand: Optional[DemandDataset] = field(default=None, repr=False)
     _as_classes: Optional[ASClassificationDataset] = field(default=None, repr=False)
@@ -77,6 +86,9 @@ class Lab:
         beacon_config: Optional[BeaconConfig] = None,
         demand_config: Optional[DemandConfig] = None,
         spotter: Optional[CellSpotter] = None,
+        workers: int = 1,
+        shards: Optional[int] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
     ) -> "Lab":
         """Build a world and wrap it in a lab."""
         world = build_world(
@@ -92,7 +104,53 @@ class Lab:
             beacon_config=beacon_config,
             demand_config=demand_config or DemandConfig(),
             spotter=spotter,
+            workers=workers,
+            shards=shards,
+            cache_dir=cache_dir,
         )
+
+    # ---- dataset cache ---------------------------------------------------
+
+    def cache_params(self) -> Dict[str, object]:
+        """Everything that determines dataset content, JSON-shaped.
+
+        This is the :class:`~repro.parallel.cache.DatasetCache` key
+        input: world knobs plus both generator configs.  Change any of
+        them and the lab looks under a different key -- stale entries
+        are unreachable by construction.
+        """
+        params = self.world.params
+        return {
+            "world": {
+                "seed": params.seed,
+                "scale": params.scale,
+                "background_as_count": params.background_as_count,
+            },
+            "beacon": asdict(self.beacon_config),
+            "demand": asdict(self.demand_config),
+        }
+
+    def _materialize_cached(self) -> None:
+        """Fill both datasets from the cache, generating on a miss.
+
+        A verified hit rebuilds the *identical* datasets (same
+        iteration order, same digests) the generators would produce;
+        a miss -- including a quarantined corrupt entry -- generates
+        and stores them for next time.
+        """
+        from repro.parallel.cache import DatasetCache
+
+        assert self.cache_dir is not None
+        cache = DatasetCache(self.cache_dir)
+        params = self.cache_params()
+        key = cache.key_for(params)
+        entry = cache.fetch(key)
+        if entry is not None:
+            self._beacons, self._demand = cache.load_datasets(entry)
+            return
+        self._beacons = BeaconGenerator(self.world, self.beacon_config).summarize()
+        self._demand = DemandGenerator(self.world, self.demand_config).build_dataset()
+        cache.store(key, self._beacons, self._demand, params=params)
 
     # ---- datasets --------------------------------------------------------
 
@@ -100,14 +158,24 @@ class Lab:
     def beacons(self) -> BeaconDataset:
         """The month of BEACON data (generated once, then cached)."""
         if self._beacons is None:
-            self._beacons = BeaconGenerator(self.world, self.beacon_config).summarize()
+            if self.cache_dir is not None:
+                self._materialize_cached()
+            else:
+                self._beacons = BeaconGenerator(
+                    self.world, self.beacon_config
+                ).summarize()
         return self._beacons
 
     @property
     def demand(self) -> DemandDataset:
         """The week of DEMAND data (generated once, then cached)."""
         if self._demand is None:
-            self._demand = DemandGenerator(self.world, self.demand_config).build_dataset()
+            if self.cache_dir is not None:
+                self._materialize_cached()
+            else:
+                self._demand = DemandGenerator(
+                    self.world, self.demand_config
+                ).build_dataset()
         return self._demand
 
     @property
@@ -130,7 +198,13 @@ class Lab:
     def result(self) -> CellSpotterResult:
         """The pipeline output on this lab's datasets (cached)."""
         if self._result is None:
-            self._result = self.spotter.run(self.beacons, self.demand, self.as_classes)
+            self._result = self.spotter.run(
+                self.beacons,
+                self.demand,
+                self.as_classes,
+                workers=self.workers,
+                shards=self.shards,
+            )
         return self._result
 
     @property

@@ -1,0 +1,57 @@
+"""Parallel execution layer: shard, execute, merge -- identically.
+
+The census-scale pipeline is embarrassingly parallel up to AS
+identification: every record belongs to exactly one aggregation
+prefix, so prefix-hash sharding (:mod:`repro.parallel.sharding`) cuts
+the keyspace into disjoint partitions whose per-shard results merge
+without reconciliation.  :mod:`repro.parallel.executor` runs the
+shards -- in a process pool when the hardware has cores to offer, in
+process otherwise -- and :mod:`repro.parallel.pipeline` reassembles
+shard outputs in original dataset order so the merged result is
+bit-identical to the serial pipeline's, a property the differential
+test suite enforces for arbitrary worker x shard combinations.
+
+:mod:`repro.parallel.cache` adds the second half of "fast repeated
+runs": a digest-keyed on-disk cache of columnar dataset shards, which
+:func:`repro.parallel.pipeline.run_from_entry` fuses straight into
+pipeline results without rebuilding the datasets at all.
+"""
+
+from repro.parallel.cache import (
+    CACHE_FORMAT_VERSION,
+    DEFAULT_SHARDS,
+    CacheCorruption,
+    CacheEntry,
+    DatasetCache,
+    cache_key,
+)
+from repro.parallel.executor import ShardExecutor, ShardPlan, available_cpus
+from repro.parallel.pipeline import run_from_entry, run_sharded
+from repro.parallel.sharding import (
+    partition_beacons,
+    partition_demand,
+    partition_rows,
+    shard_of,
+    stable_shard_index,
+)
+from repro.parallel.views import DemandMap
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "DEFAULT_SHARDS",
+    "CacheCorruption",
+    "CacheEntry",
+    "DatasetCache",
+    "DemandMap",
+    "ShardExecutor",
+    "ShardPlan",
+    "available_cpus",
+    "cache_key",
+    "partition_beacons",
+    "partition_demand",
+    "partition_rows",
+    "run_from_entry",
+    "run_sharded",
+    "shard_of",
+    "stable_shard_index",
+]

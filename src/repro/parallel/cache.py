@@ -1,0 +1,417 @@
+"""Digest-keyed on-disk dataset cache.
+
+``cellspot all`` spends most of a repeat run re-synthesizing or
+re-parsing the BEACON / DEMAND datasets it already built last time.
+:class:`DatasetCache` short-circuits that: datasets are stored once as
+prefix-hash-sharded **columnar** JSON files under a key derived from
+the full generation parameters, and later runs either rebuild the
+datasets from the shards (:meth:`DatasetCache.load_datasets`) or skip
+materialization entirely via
+:func:`repro.parallel.pipeline.run_from_entry`.
+
+Design rules, in the order they matter:
+
+* **Key = digest of parameters.**  The cache key is the SHA-256 of
+  the canonical JSON of every input that determines dataset content
+  (seed, scale, config dataclasses, format version).  Change any
+  parameter and you get a different key -- a stale entry can never be
+  returned for new parameters, it is simply never looked up.
+* **meta.json is the commit point.**  Shard files are written (each
+  atomically) *before* ``meta.json``; an entry without its meta file
+  does not exist as far as :meth:`fetch` is concerned, so a crash
+  mid-store leaves a miss, never a half-entry hit.
+* **Verify, then trust.**  ``meta.json`` records the SHA-256 of every
+  shard file; :meth:`fetch` re-hashes them and treats any mismatch or
+  unreadable file as corruption.  Corrupt entries are quarantined --
+  moved aside with a sidecar describing what failed, reusing the
+  ingestion layer's quarantine format -- and reported as a miss so the
+  caller regenerates.  A corrupt cache costs time, never correctness.
+* **Columnar shards load fast.**  Each shard file is one JSON object
+  of parallel arrays; a single C-speed ``json.loads`` replaces tens of
+  thousands of per-line parses, which is what the fused pipeline's
+  speedup is built on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.datasets.beacon_dataset import BeaconDataset, SubnetBeaconCounts
+from repro.datasets.demand_dataset import DemandDataset, SubnetDemand
+from repro.net.prefix import Prefix
+from repro.runtime.checkpoint import atomic_write_text
+from repro.runtime.policies import IngestError
+from repro.runtime.quarantine import QuarantineSink
+from repro.world.population import Browser
+
+from repro.parallel.sharding import partition_beacons, partition_demand
+
+#: Bump when the shard file layout changes; part of the cache key, so
+#: old-format entries become unreachable instead of misread.
+CACHE_FORMAT_VERSION = 1
+
+#: Default partition count for stored entries (decoupled from worker
+#: count -- any worker count can consume any shard count).
+DEFAULT_SHARDS = 8
+
+_BEACON_COLUMNS = (
+    "idx", "family", "value", "length", "asn", "country",
+    "hits", "api", "cell",
+)
+_DEMAND_COLUMNS = (
+    "idx", "family", "value", "length", "asn", "country", "du",
+)
+
+META_NAME = "meta.json"
+QUARANTINE_DIR = "quarantine"
+
+
+class CacheCorruption(RuntimeError):
+    """A cache entry failed verification (bad digest, missing file...)."""
+
+
+def canonical_params_json(params: Mapping[str, object]) -> str:
+    """Canonical JSON for key derivation (sorted keys, no whitespace)."""
+    try:
+        return json.dumps(params, sort_keys=True, separators=(",", ":"))
+    except TypeError as exc:
+        raise ValueError(f"cache params must be JSON-serializable: {exc}")
+
+
+def cache_key(params: Mapping[str, object]) -> str:
+    """SHA-256 cache key over canonical parameters + format version."""
+    payload = canonical_params_json(
+        {"format_version": CACHE_FORMAT_VERSION, "params": dict(params)}
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def load_shard_columns(
+    path: Union[str, Path], sha256_hex: str
+) -> Dict[str, list]:
+    """Read one columnar shard file, verifying its recorded digest.
+
+    Module-level and picklable-friendly so pool workers can call it
+    directly; raises :class:`CacheCorruption` on any mismatch.
+    """
+    try:
+        data = Path(path).read_bytes()
+    except OSError as exc:
+        raise CacheCorruption(f"unreadable shard file {path}: {exc}") from exc
+    digest = hashlib.sha256(data).hexdigest()
+    if digest != sha256_hex:
+        raise CacheCorruption(
+            f"shard file {path} digest mismatch: "
+            f"expected {sha256_hex[:12]}..., got {digest[:12]}..."
+        )
+    try:
+        columns = json.loads(data)
+    except ValueError as exc:
+        raise CacheCorruption(f"shard file {path} is not JSON: {exc}") from exc
+    if not isinstance(columns, dict):
+        raise CacheCorruption(f"shard file {path}: expected a JSON object")
+    return columns
+
+
+def _columns_payload(
+    rows: Sequence[tuple], names: Sequence[str]
+) -> str:
+    """Encode compact rows as one columnar JSON object."""
+    columns = {
+        name: [row[position] for row in rows]
+        for position, name in enumerate(names)
+    }
+    return json.dumps(columns, separators=(",", ":"))
+
+
+def _rows_from_columns(
+    columns: Dict[str, list], names: Sequence[str], path: Union[str, Path]
+) -> List[tuple]:
+    """Decode a columnar object back into compact rows."""
+    try:
+        series = [columns[name] for name in names]
+    except KeyError as exc:
+        raise CacheCorruption(
+            f"shard file {path} missing column {exc}"
+        ) from None
+    lengths = {len(column) for column in series}
+    if len(lengths) > 1:
+        raise CacheCorruption(
+            f"shard file {path} has ragged columns: {sorted(lengths)}"
+        )
+    return list(zip(*series))
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """A verified, committed cache entry."""
+
+    key: str
+    directory: Path
+    meta: Dict
+
+    def _shard_files(self, stem: str) -> List[Tuple[str, str]]:
+        files = self.meta["files"]
+        return [
+            (str(self.directory / name), files[name])
+            for name in sorted(
+                files,
+                key=lambda n: int(n.rsplit("shard", 1)[1].split(".")[0]),
+            )
+            if name.startswith(stem)
+        ]
+
+    @property
+    def shards(self) -> int:
+        return int(self.meta["shards"])
+
+    @property
+    def beacon_shards(self) -> List[Tuple[str, str]]:
+        """Ordered ``(path, sha256)`` pairs of the BEACON shard files."""
+        return self._shard_files("beacon.")
+
+    @property
+    def demand_shards(self) -> List[Tuple[str, str]]:
+        """Ordered ``(path, sha256)`` pairs of the DEMAND shard files."""
+        return self._shard_files("demand.")
+
+    @property
+    def dataset_digests(self) -> Dict[str, str]:
+        """Manifest-compatible digests of the datasets this entry holds."""
+        return dict(self.meta.get("dataset_digests", {}))
+
+
+class DatasetCache:
+    """Directory of digest-keyed dataset entries.
+
+    Layout::
+
+        ROOT/<key>/meta.json            -- commit point + digests
+        ROOT/<key>/beacon.shard<i>.json -- columnar BEACON partition i
+        ROOT/<key>/demand.shard<i>.json -- columnar DEMAND partition i
+        ROOT/quarantine/<key>.<stamp>/  -- corrupt entries, moved aside
+        ROOT/quarantine/<key>.<stamp>.quarantine.jsonl -- why
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # ---- keys --------------------------------------------------------------
+
+    def key_for(self, params: Mapping[str, object]) -> str:
+        return cache_key(params)
+
+    def entry_dir(self, key: str) -> Path:
+        return self.root / key
+
+    # ---- store -------------------------------------------------------------
+
+    def store(
+        self,
+        key: str,
+        beacons: BeaconDataset,
+        demand: DemandDataset,
+        shards: int = DEFAULT_SHARDS,
+        params: Optional[Mapping[str, object]] = None,
+    ) -> CacheEntry:
+        """Write both datasets under ``key``; returns the live entry.
+
+        ``params``, when given, must hash to ``key`` -- a cheap guard
+        against storing datasets under somebody else's key.  Shard
+        files land first (each atomically); ``meta.json`` commits the
+        entry last.
+        """
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if params is not None and cache_key(params) != key:
+            raise ValueError("params do not hash to the given cache key")
+        from repro.runtime.manifest import dataset_digest
+
+        directory = self.entry_dir(key)
+        directory.mkdir(parents=True, exist_ok=True)
+        files: Dict[str, str] = {}
+
+        def put(name: str, payload: str) -> None:
+            atomic_write_text(directory / name, payload)
+            files[name] = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+        for index, part in enumerate(partition_beacons(beacons, shards)):
+            put(
+                f"beacon.shard{index}.json",
+                _columns_payload(part, _BEACON_COLUMNS),
+            )
+        for index, part in enumerate(partition_demand(demand, shards)):
+            put(
+                f"demand.shard{index}.json",
+                _columns_payload(part, _DEMAND_COLUMNS),
+            )
+        meta = {
+            "format_version": CACHE_FORMAT_VERSION,
+            "key": key,
+            "shards": shards,
+            "params": dict(params) if params is not None else None,
+            "beacon": {
+                "month": beacons.month,
+                # A list, not an object: meta.json is written with
+                # sort_keys, and browser-counter order must survive so
+                # the rebuilt dataset dumps byte-identically.
+                "browsers": [
+                    [browser.value, hits, api]
+                    for browser, (hits, api) in beacons.browser_counts.items()
+                ],
+            },
+            "demand": {"window_days": demand.window_days},
+            "dataset_digests": {
+                "beacon": dataset_digest(beacons),
+                "demand": dataset_digest(demand),
+            },
+            "files": files,
+            "created_at": time.time(),
+        }
+        atomic_write_text(
+            directory / META_NAME,
+            json.dumps(meta, indent=2, sort_keys=True),
+        )
+        return CacheEntry(key=key, directory=directory, meta=meta)
+
+    # ---- fetch -------------------------------------------------------------
+
+    def fetch(self, key: str) -> Optional[CacheEntry]:
+        """Look up a key; verified hit or ``None``.
+
+        An absent entry is a clean miss.  A present-but-broken entry
+        (unparsable meta, wrong key/version, missing shard file,
+        digest mismatch) is quarantined and *also* reported as a miss:
+        corruption must cost a rebuild, not a traceback.
+        """
+        directory = self.entry_dir(key)
+        meta_path = directory / META_NAME
+        if not meta_path.exists():
+            return None
+        try:
+            entry = self._verify(key, directory, meta_path)
+        except CacheCorruption as exc:
+            self.quarantine(key, str(exc))
+            return None
+        return entry
+
+    def _verify(self, key: str, directory: Path, meta_path: Path) -> CacheEntry:
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise CacheCorruption(f"unreadable meta.json: {exc}") from exc
+        if not isinstance(meta, dict):
+            raise CacheCorruption("meta.json is not an object")
+        if meta.get("format_version") != CACHE_FORMAT_VERSION:
+            raise CacheCorruption(
+                f"format version {meta.get('format_version')!r} != "
+                f"{CACHE_FORMAT_VERSION}"
+            )
+        if meta.get("key") != key:
+            raise CacheCorruption(
+                f"entry claims key {str(meta.get('key'))[:12]}..., "
+                f"directory says {key[:12]}..."
+            )
+        files = meta.get("files")
+        if not isinstance(files, dict) or not files:
+            raise CacheCorruption("meta.json lists no shard files")
+        for name, recorded in files.items():
+            path = directory / name
+            try:
+                data = path.read_bytes()
+            except OSError as exc:
+                raise CacheCorruption(
+                    f"missing shard file {name}: {exc}"
+                ) from exc
+            actual = hashlib.sha256(data).hexdigest()
+            if actual != recorded:
+                raise CacheCorruption(
+                    f"shard file {name} digest mismatch: expected "
+                    f"{recorded[:12]}..., got {actual[:12]}..."
+                )
+        return CacheEntry(key=key, directory=directory, meta=meta)
+
+    # ---- quarantine --------------------------------------------------------
+
+    def quarantine(self, key: str, reason: str) -> Optional[Path]:
+        """Move a broken entry aside and record why.
+
+        The entry directory is renamed into ``ROOT/quarantine/`` with
+        a timestamp (so repeated corruption of one key never
+        collides), and a sidecar JSONL describes the failure in the
+        ingestion layer's quarantine format.  Returns the quarantined
+        directory, or ``None`` if there was nothing to move.
+        """
+        directory = self.entry_dir(key)
+        if not directory.exists():
+            return None
+        stamp = time.strftime("%Y%m%dT%H%M%S")
+        quarantine_root = self.root / QUARANTINE_DIR
+        quarantine_root.mkdir(parents=True, exist_ok=True)
+        target = quarantine_root / f"{key}.{stamp}"
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = quarantine_root / f"{key}.{stamp}.{suffix}"
+        directory.rename(target)
+        with QuarantineSink(Path(f"{target}.quarantine.jsonl")) as sink:
+            sink.write(
+                IngestError(
+                    line_no=0,
+                    record_type="CacheEntry",
+                    reason=reason,
+                    field=key,
+                ),
+                raw_line=str(target),
+            )
+        return target
+
+    # ---- materialization ---------------------------------------------------
+
+    def load_datasets(
+        self, entry: CacheEntry
+    ) -> Tuple[BeaconDataset, DemandDataset]:
+        """Rebuild full datasets from a cache entry.
+
+        Rows are restored to original dataset order (leading index),
+        so the rebuilt datasets are *identical* to the stored ones --
+        same iteration order, same ``dataset_digest``.
+        """
+        beacon_rows: List[tuple] = []
+        for path, sha in entry.beacon_shards:
+            columns = load_shard_columns(path, sha)
+            beacon_rows.extend(
+                _rows_from_columns(columns, _BEACON_COLUMNS, path)
+            )
+        beacon_rows.sort()
+        meta_beacon = entry.meta["beacon"]
+        beacons = BeaconDataset(month=meta_beacon["month"])
+        for name, hits, api in meta_beacon.get("browsers", []):
+            beacons.browser_counts[Browser(name)] = (hits, api)
+        by_subnet = beacons._by_subnet
+        for _idx, family, value, length, asn, country, hits, api, cell in (
+            beacon_rows
+        ):
+            prefix = Prefix(family, value, length)
+            by_subnet[prefix] = SubnetBeaconCounts(
+                prefix, asn, country, hits, api, cell
+            )
+
+        demand_rows: List[tuple] = []
+        for path, sha in entry.demand_shards:
+            columns = load_shard_columns(path, sha)
+            demand_rows.extend(
+                _rows_from_columns(columns, _DEMAND_COLUMNS, path)
+            )
+        demand_rows.sort()
+        demand = DemandDataset(window_days=entry.meta["demand"]["window_days"])
+        demand_by_subnet = demand._by_subnet
+        for _idx, family, value, length, asn, country, du in demand_rows:
+            prefix = Prefix(family, value, length)
+            demand_by_subnet[prefix] = SubnetDemand(prefix, asn, country, du)
+        return beacons, demand

@@ -1,0 +1,306 @@
+"""Sharded and fused pipeline runs.
+
+Two entry points, both producing a
+:class:`~repro.core.pipeline.CellSpotterResult` that is **equal** to
+the serial pipeline's -- not statistically close, equal, down to the
+last float:
+
+:func:`run_sharded`
+    In-memory datasets are prefix-hash partitioned, every shard runs
+    the ratio/label stage (possibly in a process pool), and the parent
+    merges shard outputs back into serial iteration order before the
+    (cheap, inherently global) AS-identification tail runs.
+
+:func:`run_from_entry`
+    The cache-backed fast path: columnar shard files from a
+    :class:`~repro.parallel.cache.DatasetCache` entry are loaded and
+    *fused* straight into the ratio table, labels, per-AS hit totals,
+    and a :class:`~repro.parallel.views.DemandMap` without ever
+    materializing the per-subnet dataclasses of a full
+    ``BeaconDataset`` / ``DemandDataset``.  Skipping that
+    materialization is where the end-to-end speedup comes from on
+    repeated runs.
+
+Why the results are bit-identical and not merely close: shard outputs
+carry their original dataset index, the parent sorts on it, and every
+float accumulation downstream (demand sums, CFD numerators) therefore
+happens in exactly the serial order.  Integer sums (beacon hits) are
+order-independent to begin with.  The differential test suite pins
+this equality for arbitrary worker and shard counts.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.asn_classifier import identify_cellular_ases
+from repro.core.classifier import ClassificationResult
+from repro.core.mixed import operator_profiles
+from repro.core.pipeline import CellSpotter, CellSpotterResult
+from repro.core.ratios import RatioRecord, RatioTable
+from repro.datasets.beacon_dataset import BeaconDataset
+from repro.datasets.caida import ASClassificationDataset
+from repro.datasets.demand_dataset import DemandDataset
+from repro.net.prefix import Prefix
+
+from repro.parallel.cache import CacheEntry, load_shard_columns
+from repro.parallel.executor import ShardExecutor, ShardPlan
+from repro.parallel.sharding import (
+    BeaconRow,
+    DemandRow,
+    partition_beacons,
+    partition_demand,
+)
+from repro.parallel.views import DemandMap
+
+#: What one beacon shard emits per kept subnet: the compact beacon row
+#: plus the cellular label, so the parent never recomputes ratios.
+SpotRow = Tuple[int, int, int, int, int, str, int, int, int, bool]
+
+
+def _spot_shard(
+    args: Tuple[List[BeaconRow], int, float]
+) -> Tuple[List[SpotRow], Dict[int, int]]:
+    """Ratio + label stage for one shard (pool worker).
+
+    Returns the kept (``api_hits >= min_api_hits``) rows with their
+    cellular label appended, plus the shard's per-AS beacon-hit
+    partial.  Hit totals cover *all* rows -- AS filtering rule 2
+    counts hits regardless of API coverage, exactly like
+    :meth:`BeaconDataset.hits_by_asn`.
+    """
+    rows, min_api_hits, threshold = args
+    out: List[SpotRow] = []
+    hits_by_asn: Dict[int, int] = {}
+    hget = hits_by_asn.get
+    append = out.append
+    for idx, family, value, length, asn, country, hits, api, cell in rows:
+        hits_by_asn[asn] = hget(asn, 0) + hits
+        if api >= min_api_hits:
+            # Same float expression the serial classifier evaluates
+            # (RatioRecord.ratio >= threshold), so labels match bit
+            # for bit on ties.
+            append(
+                (
+                    idx,
+                    family,
+                    value,
+                    length,
+                    asn,
+                    country,
+                    hits,
+                    api,
+                    cell,
+                    cell / api >= threshold,
+                )
+            )
+    return out, hits_by_asn
+
+
+def _fetch_shard(args: Tuple[str, str]) -> Dict[str, list]:
+    """Load one verified columnar shard file (pool worker)."""
+    path, sha256_hex = args
+    return load_shard_columns(path, sha256_hex)
+
+
+def merge_hit_partials(
+    partials: Iterable[Dict[int, int]]
+) -> Dict[int, int]:
+    """Sum per-shard ``{asn: hits}`` partials (order-independent)."""
+    totals: Dict[int, int] = {}
+    for partial in partials:
+        for asn, hits in partial.items():
+            totals[asn] = totals.get(asn, 0) + hits
+    return totals
+
+
+def _assemble(
+    spot_rows: List[SpotRow],
+) -> Tuple[Dict[Prefix, RatioRecord], Dict[Prefix, bool]]:
+    """Rebuild the ratio table and labels in serial iteration order.
+
+    ``spot_rows`` must already be idx-sorted; insertion order of both
+    dicts then matches what ``RatioTable.from_beacons`` +
+    ``SubnetClassifier.classify`` produce from the full dataset.
+    """
+    table: Dict[Prefix, RatioRecord] = {}
+    labels: Dict[Prefix, bool] = {}
+    for _idx, family, value, length, asn, country, hits, api, cell, label in (
+        spot_rows
+    ):
+        prefix = Prefix(family, value, length)
+        table[prefix] = RatioRecord(prefix, asn, country, api, cell, hits)
+        labels[prefix] = label
+    return table, labels
+
+
+def _finish(
+    spotter: CellSpotter,
+    table: Dict[Prefix, RatioRecord],
+    labels: Dict[Prefix, bool],
+    hits_by_asn: Dict[int, int],
+    demand_view,
+    as_classes: Optional[ASClassificationDataset],
+    timings: Dict[str, float],
+) -> CellSpotterResult:
+    """Shared serial tail: AS identification + operator profiles."""
+    ratios = RatioTable._from_ordered(table)
+    classification = ClassificationResult(
+        threshold=spotter.threshold, labels=labels, records=dict(table)
+    )
+    started = time.perf_counter()
+    as_result = identify_cellular_ases(
+        classification,
+        demand_view,
+        as_classes=as_classes,
+        config=spotter.as_filter,
+        hits_by_asn=hits_by_asn,
+    )
+    timings["as_identification"] = time.perf_counter() - started
+    started = time.perf_counter()
+    operators = operator_profiles(as_result, cutoff=spotter.dedicated_cutoff)
+    timings["operator_profiles"] = time.perf_counter() - started
+    return CellSpotterResult(
+        ratios=ratios,
+        classification=classification,
+        as_result=as_result,
+        operators=operators,
+        stage_timings=timings,
+    )
+
+
+def run_sharded(
+    spotter: CellSpotter,
+    beacons: BeaconDataset,
+    demand: DemandDataset,
+    as_classes: Optional[ASClassificationDataset] = None,
+    plan: Optional[ShardPlan] = None,
+) -> CellSpotterResult:
+    """Run the pipeline over prefix-hash shards of in-memory datasets.
+
+    Produces a result equal to ``spotter.run(beacons, demand,
+    as_classes)`` for *any* plan -- worker count, shard count, and
+    executor mode never leak into the output, only into
+    ``stage_timings``.
+    """
+    plan = plan or ShardPlan.plan()
+    timings: Dict[str, float] = {}
+
+    started = time.perf_counter()
+    beacon_parts = partition_beacons(beacons, plan.shards)
+    demand_parts = partition_demand(demand, plan.shards)
+    timings["partition"] = time.perf_counter() - started
+
+    executor = ShardExecutor(plan)
+    shard_args = [
+        (part, spotter.min_api_hits, spotter.threshold)
+        for part in beacon_parts
+    ]
+    shard_results = executor.map(_spot_shard, shard_args)
+
+    started = time.perf_counter()
+    spot_rows: List[SpotRow] = []
+    partials: List[Dict[int, int]] = []
+    for index, (secs, (rows, hit_partial)) in enumerate(shard_results):
+        timings[f"spot.shard{index}"] = secs
+        spot_rows.extend(rows)
+        partials.append(hit_partial)
+    spot_rows.sort()  # leading idx restores serial dataset order
+    table, labels = _assemble(spot_rows)
+    hits_by_asn = merge_hit_partials(partials)
+    timings["merge"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    all_demand_rows: List[DemandRow] = []
+    for part in demand_parts:
+        all_demand_rows.extend(part)
+    demand_map = DemandMap.from_rows(all_demand_rows)
+    timings["demand_map"] = time.perf_counter() - started
+
+    return _finish(
+        spotter, table, labels, hits_by_asn, demand_map, as_classes, timings
+    )
+
+
+def run_from_entry(
+    spotter: CellSpotter,
+    entry: CacheEntry,
+    as_classes: Optional[ASClassificationDataset] = None,
+    plan: Optional[ShardPlan] = None,
+) -> CellSpotterResult:
+    """Fused pipeline run straight from cached columnar shards.
+
+    Loads every shard file (verified against its recorded digest),
+    restores serial row order, and computes ratio table, labels, hit
+    totals, and the demand view in one fused pass -- no intermediate
+    ``BeaconDataset`` / ``DemandDataset`` is ever built.  Equal output
+    to the serial pipeline over the datasets the entry caches.
+    """
+    plan = plan or ShardPlan.plan()
+    timings: Dict[str, float] = {}
+    executor = ShardExecutor(plan)
+
+    beacon_loads = executor.map(_fetch_shard, entry.beacon_shards)
+    demand_loads = executor.map(_fetch_shard, entry.demand_shards)
+    for index, (secs, _) in enumerate(beacon_loads):
+        timings[f"load_beacon.shard{index}"] = secs
+    for index, (secs, _) in enumerate(demand_loads):
+        timings[f"load_demand.shard{index}"] = secs
+
+    started = time.perf_counter()
+    beacon_rows: List[BeaconRow] = []
+    for _, cols in beacon_loads:
+        beacon_rows.extend(
+            zip(
+                cols["idx"],
+                cols["family"],
+                cols["value"],
+                cols["length"],
+                cols["asn"],
+                cols["country"],
+                cols["hits"],
+                cols["api"],
+                cols["cell"],
+            )
+        )
+    beacon_rows.sort()
+    demand_rows: List[DemandRow] = []
+    for _, cols in demand_loads:
+        demand_rows.extend(
+            zip(
+                cols["idx"],
+                cols["family"],
+                cols["value"],
+                cols["length"],
+                cols["asn"],
+                cols["country"],
+                cols["du"],
+            )
+        )
+    timings["restore_rows"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    min_api = spotter.min_api_hits
+    threshold = spotter.threshold
+    table: Dict[Prefix, RatioRecord] = {}
+    labels: Dict[Prefix, bool] = {}
+    hits_by_asn: Dict[int, int] = {}
+    hget = hits_by_asn.get
+    for _idx, family, value, length, asn, country, hits, api, cell in (
+        beacon_rows
+    ):
+        hits_by_asn[asn] = hget(asn, 0) + hits
+        if api >= min_api:
+            prefix = Prefix(family, value, length)
+            table[prefix] = RatioRecord(prefix, asn, country, api, cell, hits)
+            labels[prefix] = cell / api >= threshold
+    timings["fused_spot"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    demand_map = DemandMap.from_rows(demand_rows)
+    timings["demand_map"] = time.perf_counter() - started
+
+    return _finish(
+        spotter, table, labels, hits_by_asn, demand_map, as_classes, timings
+    )

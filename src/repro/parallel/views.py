@@ -1,0 +1,93 @@
+"""Lightweight demand views for the fused pipeline.
+
+At census scale the pipeline does not need a fully materialized
+:class:`~repro.datasets.demand_dataset.DemandDataset` -- AS
+identification only ever asks two questions of demand: "how many DU
+does this subnet carry?" (``du_of``) and "give me every (asn, du)
+contribution in dataset order" (iteration).  :class:`DemandMap`
+answers both from compact rows without constructing one dataclass per
+subnet, which is where most of a dataset rebuild's time goes.
+
+Iteration order is the original dataset order (rows are idx-sorted at
+construction), so floating-point demand sums accumulate in *exactly*
+the serial order and the fused pipeline's per-AS DU figures are
+bit-identical to the materialized path -- not merely close.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Tuple
+
+from repro.net.prefix import Prefix
+
+from repro.parallel.sharding import DemandRow
+
+
+class DemandEntry(NamedTuple):
+    """One demand contribution, shaped like ``SubnetDemand`` where it
+    matters (``asn`` / ``du`` attribute access)."""
+
+    asn: int
+    du: float
+
+
+class DemandMap:
+    """Read-only demand view over compact rows.
+
+    Satisfies the demand contract of
+    :func:`repro.core.asn_classifier.aggregate_candidates` (``du_of``
+    plus ordered iteration of ``asn``/``du`` records) and of
+    :meth:`repro.core.export.CellularPrefixList.from_classification`
+    (``du_of``).
+    """
+
+    def __init__(
+        self,
+        by_key: Dict[Tuple[int, int, int], float],
+        entries: List[DemandEntry],
+    ) -> None:
+        self._by_key = by_key
+        self._entries = entries
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[DemandRow]) -> "DemandMap":
+        """Build from compact demand rows (any shard interleave).
+
+        Rows are restored to original dataset order by their leading
+        index before entries are laid down.
+        """
+        ordered = sorted(rows)
+        by_key: Dict[Tuple[int, int, int], float] = {}
+        entries: List[DemandEntry] = []
+        for _idx, family, value, length, asn, _country, du in ordered:
+            key = (family, value, length)
+            if key in by_key:
+                raise ValueError(f"duplicate demand subnet in rows: {key}")
+            by_key[key] = du
+            entries.append(DemandEntry(asn, du))
+        return cls(by_key, entries)
+
+    @classmethod
+    def from_dataset(cls, demand) -> "DemandMap":
+        """Project a full ``DemandDataset`` down to the view."""
+        by_key: Dict[Tuple[int, int, int], float] = {}
+        entries: List[DemandEntry] = []
+        for record in demand:
+            subnet = record.subnet
+            by_key[(subnet.family, subnet.value, subnet.length)] = record.du
+            entries.append(DemandEntry(record.asn, record.du))
+        return cls(by_key, entries)
+
+    def du_of(self, subnet: Prefix) -> float:
+        """Demand Units of a subnet (0 if it saw no requests)."""
+        return self._by_key.get((subnet.family, subnet.value, subnet.length), 0.0)
+
+    def __iter__(self) -> Iterator[DemandEntry]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total_du(self) -> float:
+        return sum(entry.du for entry in self._entries)

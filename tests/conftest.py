@@ -18,10 +18,35 @@ from repro.world.build import WorldParams, build_world
 SHARED_SEED = 1
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json snapshots from current outputs",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_golden(request) -> bool:
+    """True when the run should rewrite golden snapshots."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(scope="session")
 def lab() -> Lab:
     """One shared medium world with datasets and pipeline output."""
     return Lab.create(scale=0.005, seed=SHARED_SEED)
+
+
+@pytest.fixture(scope="session")
+def golden_lab() -> Lab:
+    """The small fixed world every golden snapshot is computed from.
+
+    Deliberately distinct from the shared ``lab`` so golden files pin
+    a world no other fixture mutates assumptions about.
+    """
+    return Lab.create(scale=0.002, seed=3, background_as_count=400)
 
 
 @pytest.fixture(scope="session")

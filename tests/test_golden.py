@@ -1,0 +1,115 @@
+"""Golden-output regression suite.
+
+Every experiment's full output (headers, rows, comparisons, notes) on
+a small fixed world is snapshotted as JSON under ``tests/golden/``.
+Any change to pipeline numerics -- intended or not -- shows up as a
+unified diff against the snapshot, so refactors (like the parallel
+layer) can prove they changed *nothing* and deliberate changes leave
+a reviewable artifact in the PR.
+
+Refresh snapshots with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden.py --update-golden
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.base import load_all, run_all
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+EXPERIMENT_IDS = sorted(load_all())
+
+
+def _sanitize(cell):
+    """JSON-safe cell: numbers/strings/bools pass through, the rest
+    (Prefix, enums...) snapshot as their stable ``str`` form."""
+    if isinstance(cell, bool) or cell is None or isinstance(cell, (int, str)):
+        return cell
+    if isinstance(cell, float):
+        # repr round-trips exactly; snapshot as text so a JSON reader
+        # can never re-quantize the value behind our back.
+        return f"float:{cell!r}"
+    return str(cell)
+
+
+def snapshot_payload(result) -> str:
+    """Canonical JSON snapshot text for one ExperimentResult."""
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": [str(h) for h in result.headers],
+        "rows": [[_sanitize(cell) for cell in row] for row in result.rows],
+        "comparisons": [
+            {
+                "metric": c.metric,
+                "paper": _sanitize(c.paper),
+                "measured": _sanitize(c.measured),
+                "rel_tol": _sanitize(c.rel_tol),
+                "ok": c.ok,
+            }
+            for c in result.comparisons
+        ],
+        "notes": [str(note) for note in result.notes],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+@pytest.fixture(scope="session")
+def golden_results(golden_lab):
+    """All experiment outputs on the golden world (computed once)."""
+    return run_all(golden_lab)
+
+
+@pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+def test_golden(experiment_id, golden_results, update_golden):
+    current = snapshot_payload(golden_results[experiment_id])
+    path = GOLDEN_DIR / f"{experiment_id}.json"
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(current)
+        return
+    if not path.exists():
+        pytest.fail(
+            f"no golden snapshot for {experiment_id!r} at {path}; "
+            "run pytest tests/test_golden.py --update-golden to create it"
+        )
+    stored = path.read_text()
+    if stored != current:
+        diff = "\n".join(
+            difflib.unified_diff(
+                stored.splitlines(),
+                current.splitlines(),
+                fromfile=f"golden/{experiment_id}.json (stored)",
+                tofile=f"golden/{experiment_id}.json (current)",
+                lineterm="",
+            )
+        )
+        pytest.fail(
+            f"golden mismatch for {experiment_id!r} "
+            "(intended? re-run with --update-golden):\n" + diff
+        )
+
+
+def test_no_stray_golden_files():
+    """Every snapshot corresponds to a registered experiment."""
+    stored = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    assert stored == set(EXPERIMENT_IDS), (
+        f"stray: {sorted(stored - set(EXPERIMENT_IDS))}, "
+        f"missing: {sorted(set(EXPERIMENT_IDS) - stored)}"
+    )
+
+
+def test_snapshots_round_trip():
+    """Stored snapshots are valid canonical JSON (sorted, indented)."""
+    for path in sorted(GOLDEN_DIR.glob("*.json")):
+        text = path.read_text()
+        payload = json.loads(text)
+        assert (
+            json.dumps(payload, indent=2, sort_keys=True) + "\n" == text
+        ), f"{path.name} is not in canonical form"

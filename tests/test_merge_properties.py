@@ -1,0 +1,283 @@
+"""Property tests for the shard/merge algebra.
+
+The parallel layer is only correct if its reducers form a commutative
+monoid over shard partials: any grouping, any ordering of the same
+shards must reduce to the identical aggregate.  These tests generate
+randomized inputs from seeded hand-rolled generators (no external
+property-testing dependency) and check:
+
+* ``RatioTable.merge`` is commutative and associative, and agrees
+  with single-pass accumulation over the unsharded data,
+* ``BeaconDataset.merge`` / ``DemandDataset.merge`` rebuild the
+  canonical dataset from any prefix-hash partition, grouping-
+  independently (pinned via ``dataset_digest``, which covers order),
+* conflicting inputs are rejected rather than silently merged.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core.ratios import RatioRecord, RatioTable
+from repro.datasets.beacon_dataset import BeaconDataset, SubnetBeaconCounts
+from repro.datasets.demand_dataset import DemandDataset, SubnetDemand
+from repro.net.prefix import Prefix
+from repro.parallel.sharding import partition_beacons, partition_demand
+from repro.runtime.manifest import dataset_digest
+from repro.world.population import Browser
+
+SEEDS = [11, 29, 47, 101, 733]
+
+
+# ---- seeded generators ------------------------------------------------------
+
+
+def _random_prefix(rng: random.Random) -> Prefix:
+    if rng.random() < 0.7:
+        return Prefix(4, rng.randrange(1 << 24) << 8, 24)
+    return Prefix(6, rng.randrange(1 << 48) << 80, 48)
+
+
+def _subnet_universe(
+    rng: random.Random, count: int
+) -> Dict[Prefix, Tuple[int, str]]:
+    """Distinct subnets with fixed per-subnet metadata (asn, country)."""
+    universe: Dict[Prefix, Tuple[int, str]] = {}
+    while len(universe) < count:
+        universe[_random_prefix(rng)] = (
+            rng.randrange(1, 70_000),
+            rng.choice(["US", "DE", "BR", "JP", "KE"]),
+        )
+    return universe
+
+
+def _random_counts(rng: random.Random, min_api: int = 0) -> Tuple[int, int, int]:
+    """A valid (hits, api, cell) triple with ``api >= min_api``."""
+    api = rng.randrange(min_api, 50)
+    cell = rng.randrange(0, api + 1)
+    hits = api + rng.randrange(0, 100)
+    return hits, api, cell
+
+
+def _random_tables(
+    rng: random.Random, tables: int, subnets: int
+) -> List[RatioTable]:
+    """Ratio tables over a shared universe; each subnet lands in a
+    random subset of tables with independent counts."""
+    universe = _subnet_universe(rng, subnets)
+    records: List[List[RatioRecord]] = [[] for _ in range(tables)]
+    for prefix, (asn, country) in universe.items():
+        for index in range(tables):
+            if rng.random() < 0.6:
+                hits, api, cell = _random_counts(rng, min_api=1)
+                records[index].append(
+                    RatioRecord(prefix, asn, country, api, cell, hits)
+                )
+    return [RatioTable(recs) for recs in records]
+
+
+def _random_beacons(rng: random.Random, subnets: int) -> BeaconDataset:
+    dataset = BeaconDataset(month="2016-12")
+    for prefix, (asn, country) in _subnet_universe(rng, subnets).items():
+        hits, api, cell = _random_counts(rng)  # api may be 0
+        dataset.add_counts(
+            SubnetBeaconCounts(prefix, asn, country, hits, api, cell)
+        )
+    dataset.observe_browser_batch(Browser.CHROME_MOBILE, 100, 80)
+    dataset.observe_browser_batch(Browser.SAFARI_IOS, 50, 0)
+    return dataset
+
+
+def _random_demand(rng: random.Random, subnets: int) -> DemandDataset:
+    dataset = DemandDataset(window_days=7)
+    for prefix, (asn, country) in _subnet_universe(rng, subnets).items():
+        dataset._add(SubnetDemand(prefix, asn, country, rng.random() * 10))
+    return dataset
+
+
+def _beacon_shard_datasets(
+    beacons: BeaconDataset, shards: int
+) -> List[BeaconDataset]:
+    """Materialize one BeaconDataset per prefix-hash partition."""
+    parts = partition_beacons(beacons, shards)
+    out = []
+    for index, part in enumerate(parts):
+        shard = BeaconDataset(month=beacons.month)
+        if index == 0:  # browser counters are global; park them anywhere
+            for browser, (hits, api) in beacons.browser_counts.items():
+                shard.observe_browser_batch(browser, hits, api)
+        for _idx, family, value, length, asn, country, hits, api, cell in part:
+            shard.add_counts(
+                SubnetBeaconCounts(
+                    Prefix(family, value, length), asn, country, hits, api, cell
+                )
+            )
+        out.append(shard)
+    return out
+
+
+def _demand_shard_datasets(
+    demand: DemandDataset, shards: int
+) -> List[DemandDataset]:
+    parts = partition_demand(demand, shards)
+    out = []
+    for part in parts:
+        shard = DemandDataset(window_days=demand.window_days)
+        for _idx, family, value, length, asn, country, du in part:
+            shard._add(SubnetDemand(Prefix(family, value, length), asn, country, du))
+        out.append(shard)
+    return out
+
+
+# ---- RatioTable.merge -------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_ratio_merge_commutative(seed):
+    rng = random.Random(seed)
+    a, b = _random_tables(rng, tables=2, subnets=60)
+    forward = RatioTable.merge([a, b])
+    backward = RatioTable.merge([b, a])
+    assert forward == backward
+    assert list(forward) == list(backward)  # canonical order, not just set
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_ratio_merge_associative(seed):
+    rng = random.Random(seed)
+    a, b, c = _random_tables(rng, tables=3, subnets=60)
+    left = RatioTable.merge([RatioTable.merge([a, b]), c])
+    right = RatioTable.merge([a, RatioTable.merge([b, c])])
+    flat = RatioTable.merge([a, b, c])
+    assert left == right == flat
+    assert list(left) == list(right) == list(flat)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_ratio_merge_agrees_with_single_pass(seed):
+    """Merging per-table partials equals one-pass accumulation."""
+    rng = random.Random(seed)
+    tables = _random_tables(rng, tables=4, subnets=50)
+    merged = RatioTable.merge(tables)
+    # Accumulate the same contributions serially into one dataset.
+    accumulated = BeaconDataset(month="2016-12")
+    for table in tables:
+        for record in table:
+            accumulated.add_counts(
+                SubnetBeaconCounts(
+                    record.subnet,
+                    record.asn,
+                    record.country,
+                    record.hits,
+                    record.api_hits,
+                    record.cellular_hits,
+                )
+            )
+    assert merged == RatioTable.from_beacons(accumulated)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_ratio_merge_identity_and_counts(seed):
+    rng = random.Random(seed)
+    (table,) = _random_tables(rng, tables=1, subnets=40)
+    merged = RatioTable.merge([table])
+    assert merged == table
+    # Counts sum per subnet when a table appears twice.
+    doubled = RatioTable.merge([table, table])
+    for record in table:
+        twice = doubled.get(record.subnet)
+        assert twice.api_hits == 2 * record.api_hits
+        assert twice.cellular_hits == 2 * record.cellular_hits
+        assert twice.hits == 2 * record.hits
+
+
+def test_ratio_merge_rejects_conflicting_metadata():
+    prefix = Prefix(4, 0x0A000000, 24)
+    a = RatioTable([RatioRecord(prefix, 1, "US", 4, 2, 8)])
+    b = RatioTable([RatioRecord(prefix, 2, "US", 4, 2, 8)])
+    with pytest.raises(ValueError, match="conflicting metadata"):
+        RatioTable.merge([a, b])
+
+
+def test_ratio_merge_empty_is_empty():
+    assert len(RatioTable.merge([])) == 0
+    assert len(RatioTable.merge([RatioTable([])])) == 0
+
+
+# ---- dataset reducers -------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("shards", [1, 3, 8])
+def test_beacon_merge_rebuilds_partition(seed, shards):
+    rng = random.Random(seed)
+    beacons = _random_beacons(rng, subnets=80)
+    merged = BeaconDataset.merge(_beacon_shard_datasets(beacons, shards))
+    canonical = BeaconDataset.merge([beacons])
+    assert dataset_digest(merged) == dataset_digest(canonical)
+    assert merged.browser_counts == beacons.browser_counts
+    assert merged.total_hits == beacons.total_hits
+    assert merged.hits_by_asn() == beacons.hits_by_asn()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_beacon_merge_grouping_invariant(seed):
+    rng = random.Random(seed)
+    beacons = _random_beacons(rng, subnets=80)
+    shards = _beacon_shard_datasets(beacons, 4)
+    left = BeaconDataset.merge(
+        [BeaconDataset.merge(shards[:2]), BeaconDataset.merge(shards[2:])]
+    )
+    right = BeaconDataset.merge(list(reversed(shards)))
+    assert dataset_digest(left) == dataset_digest(right)
+
+
+def test_beacon_merge_rejects_mixed_months():
+    with pytest.raises(ValueError, match="months"):
+        BeaconDataset.merge(
+            [BeaconDataset(month="2016-12"), BeaconDataset(month="2017-01")]
+        )
+    with pytest.raises(ValueError, match="nothing to merge"):
+        BeaconDataset.merge([])
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("shards", [1, 3, 8])
+def test_demand_merge_rebuilds_partition(seed, shards):
+    rng = random.Random(seed)
+    demand = _random_demand(rng, subnets=80)
+    merged = DemandDataset.merge(_demand_shard_datasets(demand, shards))
+    canonical = DemandDataset.merge([demand])
+    assert dataset_digest(merged) == dataset_digest(canonical)
+    assert merged.total_du == pytest.approx(demand.total_du)
+    for record in demand:
+        assert merged.du_of(record.subnet) == record.du
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_demand_merge_grouping_invariant(seed):
+    rng = random.Random(seed)
+    demand = _random_demand(rng, subnets=80)
+    shards = _demand_shard_datasets(demand, 4)
+    left = DemandDataset.merge(
+        [DemandDataset.merge(shards[:2]), DemandDataset.merge(shards[2:])]
+    )
+    right = DemandDataset.merge(list(reversed(shards)))
+    assert dataset_digest(left) == dataset_digest(right)
+
+
+def test_demand_merge_rejects_duplicates_and_windows():
+    prefix = Prefix(4, 0x0A000000, 24)
+    a = DemandDataset()
+    a._add(SubnetDemand(prefix, 1, "US", 1.0))
+    b = DemandDataset()
+    b._add(SubnetDemand(prefix, 1, "US", 2.0))
+    with pytest.raises(ValueError, match="duplicate"):
+        DemandDataset.merge([a, b])
+    with pytest.raises(ValueError, match="windows"):
+        DemandDataset.merge([DemandDataset(7), DemandDataset(14)])
+    with pytest.raises(ValueError, match="nothing to merge"):
+        DemandDataset.merge([])

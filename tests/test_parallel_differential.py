@@ -1,0 +1,125 @@
+"""Differential suite: serial ≡ sharded, for any execution shape.
+
+The parallel layer's whole contract is that worker count, shard
+count, and executor mode are *invisible* in the output -- every run
+over the same datasets produces a result equal to the serial
+pipeline's, down to exported CSV bytes and per-AS demand floats.
+These tests pin that contract across N ∈ {1, 2, 4, 7} workers,
+decoupled worker/shard combinations, and the forced process-pool
+path (so the pickle machinery is exercised even on one-core CI).
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.export import CellularPrefixList
+from repro.parallel.executor import ShardPlan
+from repro.parallel.pipeline import run_sharded
+
+WORKER_COUNTS = [1, 2, 4, 7]
+
+
+def _export_csv(result, demand) -> str:
+    stream = io.StringIO()
+    CellularPrefixList.from_classification(
+        result.classification, demand
+    ).to_csv(stream)
+    return stream.getvalue()
+
+
+@pytest.fixture(scope="module")
+def serial(lab):
+    """The serial baseline every differential case compares against."""
+    return lab.result  # lab defaults to workers=1: the plain pipeline
+
+
+@pytest.fixture(scope="module")
+def serial_csv(serial, lab):
+    return _export_csv(serial, lab.demand)
+
+
+def _assert_identical(result, serial, lab, serial_csv):
+    # Stage outputs, compared by value...
+    assert result.ratios == serial.ratios
+    assert result.classification.threshold == serial.classification.threshold
+    assert result.classification.labels == serial.classification.labels
+    assert result.classification.records == serial.classification.records
+    assert result.as_result == serial.as_result
+    assert result.operators == serial.operators
+    # ...and by *order*, which is what keeps float accumulation exact.
+    assert list(result.classification.labels) == list(
+        serial.classification.labels
+    )
+    assert list(result.ratios) == list(serial.ratios)
+    # Per-AS demand floats must be bit-identical, not approximately so.
+    for asn, accepted in serial.as_result.accepted.items():
+        ours = result.as_result.accepted[asn]
+        assert ours.cellular_du == accepted.cellular_du
+        assert ours.total_du == accepted.total_du
+        assert ours.beacon_hits == accepted.beacon_hits
+    # The exported artifact is byte-identical.
+    assert _export_csv(result, lab.demand) == serial_csv
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_sharded_equals_serial(lab, serial, serial_csv, workers):
+    """N workers, N shards, real process pool where N > 1."""
+    plan = ShardPlan.plan(workers=workers, force_processes=True)
+    result = run_sharded(
+        lab.spotter, lab.beacons, lab.demand, lab.as_classes, plan=plan
+    )
+    _assert_identical(result, serial, lab, serial_csv)
+
+
+@pytest.mark.parametrize(
+    "workers,shards",
+    [(1, 4), (2, 7), (4, 2), (3, 1), (2, 13)],
+)
+def test_workers_and_shards_decoupled(lab, serial, serial_csv, workers, shards):
+    """Any worker x shard combination reduces to the same result."""
+    plan = ShardPlan.plan(workers=workers, shards=shards)
+    result = run_sharded(
+        lab.spotter, lab.beacons, lab.demand, lab.as_classes, plan=plan
+    )
+    _assert_identical(result, serial, lab, serial_csv)
+
+
+def test_spotter_run_workers_parameter(lab, serial, serial_csv):
+    """The public ``CellSpotter.run(workers=...)`` entry point routes
+    through the sharded pipeline and stays identical."""
+    result = lab.spotter.run(
+        lab.beacons,
+        lab.demand,
+        lab.as_classes,
+        workers=4,
+        force_processes=True,
+    )
+    _assert_identical(result, serial, lab, serial_csv)
+    assert any(
+        stage.startswith("spot.shard") for stage in result.stage_timings
+    )
+
+
+def test_spotter_run_serial_path_untouched(lab, serial):
+    """workers=1 without shards still takes the plain serial path."""
+    result = lab.spotter.run(lab.beacons, lab.demand, lab.as_classes)
+    assert "ratios" in result.stage_timings  # serial stage names
+    assert result.as_result == serial.as_result
+
+
+def test_shard_timings_recorded(lab):
+    plan = ShardPlan.plan(workers=2, shards=3, force_processes=True)
+    result = run_sharded(
+        lab.spotter, lab.beacons, lab.demand, lab.as_classes, plan=plan
+    )
+    shard_stages = [
+        stage for stage in result.stage_timings if stage.startswith("spot.shard")
+    ]
+    assert len(shard_stages) == 3
+    for stage in ("partition", "merge", "demand_map", "as_identification",
+                  "operator_profiles"):
+        assert stage in result.stage_timings
+        assert result.stage_timings[stage] >= 0.0

@@ -90,3 +90,28 @@ class TestEndToEnd:
         assert again.classification.cellular_set() == (
             lab.result.classification.cellular_set()
         )
+
+
+class TestSpotterDefaults:
+    def test_as_filter_default_not_shared(self):
+        """Regression: the dataclass default must be a factory.
+
+        `as_filter: ASFilterConfig = ASFilterConfig()` evaluated one
+        config at class-definition time and aliased it across every
+        CellSpotter(); two spotters must own independent configs.
+        """
+        from repro.core.asn_classifier import ASFilterConfig
+
+        first = CellSpotter()
+        second = CellSpotter()
+        assert first.as_filter is not second.as_filter
+        assert first.as_filter == ASFilterConfig()
+
+    def test_as_filter_default_is_factory(self):
+        import dataclasses
+
+        (field,) = [
+            f for f in dataclasses.fields(CellSpotter) if f.name == "as_filter"
+        ]
+        assert field.default is dataclasses.MISSING
+        assert field.default_factory is not dataclasses.MISSING
