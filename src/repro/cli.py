@@ -11,8 +11,14 @@ Subcommands:
   (atomically: a killed run never leaves truncated files)
 - ``cellspot validate``    -- strict-ingest dataset files and report
   every malformed line
+- ``cellspot serve``       -- the online service: stream beacon events
+  into windowed state and answer line-delimited JSON queries over
+  stdin/stdout or a local socket
+- ``cellspot query``       -- one-shot classification queries against
+  an event file, a generated stream, or a service snapshot
 
-All subcommands accept ``--scale`` and ``--seed``.
+All subcommands accept ``--scale`` and ``--seed``; ``--log-level``
+enables structured logging on stderr.
 """
 
 from __future__ import annotations
@@ -37,23 +43,48 @@ from repro.runtime.guard import GuardConfig, OutcomeStatus
 from repro.runtime.manifest import RunManifest, dataset_digest
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: an integer strictly greater than zero.
+
+    ``--workers 0`` or ``--shards -2`` used to slip through argparse
+    and blow up deep inside the parallel runner; now the parser
+    rejects them with a message that names the offending value.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid positive integer: {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.005,
                         help="world scale factor (1.0 = paper scale)")
     parser.add_argument("--seed", type=int, default=0, help="world seed")
     parser.add_argument(
-        "--workers", type=int, default=1, metavar="N",
+        "--workers", type=_positive_int, default=1, metavar="N",
         help="pipeline worker processes; sharded execution produces "
              "results identical to --workers 1 (default: 1)",
     )
     parser.add_argument(
-        "--shards", type=int, default=None, metavar="K",
+        "--shards", type=_positive_int, default=None, metavar="K",
         help="prefix-hash shard count (default: one shard per worker)",
     )
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="dataset cache directory; repeated runs with the same "
              "seed/scale skip dataset regeneration",
+    )
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        choices=["debug", "info", "warning", "error"],
+        help="enable structured logging on stderr at LEVEL",
     )
 
 
@@ -215,6 +246,22 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     with atomic_writer(demand_path) as stream:
         count = lab.demand.dump(stream)
     print(f"wrote {count:,} DEMAND subnets to {demand_path}")
+    if args.hits:
+        from repro.cdn.beacon import BeaconConfig, BeaconGenerator
+
+        hits_path = out / "hits.jsonl"
+        config = BeaconConfig(
+            month=lab.beacon_config.month,
+            demand_hits=args.hit_volume,
+            base_hits=args.base_hits,
+        )
+        with atomic_writer(hits_path) as stream:
+            count = 0
+            for hit in BeaconGenerator(lab.world, config).iter_hits():
+                stream.write(hit.to_json())
+                stream.write("\n")
+                count += 1
+        print(f"wrote {count:,} beacon hit events to {hits_path}")
     return 0
 
 
@@ -268,6 +315,251 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         if stats.rejected_lines:
             dirty += 1
     return 1 if dirty else 0
+
+
+def _build_stream_engine(args: argparse.Namespace):
+    """A (possibly snapshot-resumed) engine honouring the CLI knobs."""
+    from repro.stream.engine import StreamEngine
+    from repro.stream.windows import WindowPolicy
+
+    policy = WindowPolicy(
+        window_events=args.window_events, decay=args.decay
+    )
+    return StreamEngine.resume_or_start(args.snapshot, policy=policy)
+
+
+def _event_source(args: argparse.Namespace, skip: int):
+    """The beacon event iterator the CLI was pointed at.
+
+    Returns ``(events, closer)``; ``closer()`` releases any file
+    handle.  ``skip`` accepted events are discarded first (snapshot
+    resume).  Returns ``(None, noop)`` when no source was requested.
+    """
+    from repro.runtime.policies import IngestPolicy
+    from repro.stream.sources import (
+        follow_jsonl,
+        generated_events,
+        jsonl_events,
+        skip_events,
+    )
+
+    def _noop() -> None:
+        return None
+
+    policy = (
+        IngestPolicy.skip() if args.on_error == "skip"
+        else IngestPolicy.strict()
+    )
+    if args.generate:
+        from repro.cdn.beacon import BeaconConfig
+
+        lab = _make_lab(args)
+        events = generated_events(
+            lab.world,
+            BeaconConfig(
+                demand_hits=args.hit_volume, base_hits=args.base_hits
+            ),
+        )
+        closer = _noop
+    elif args.events == "-":
+        events = jsonl_events(sys.stdin, policy=policy)
+        closer = _noop
+    elif args.events:
+        if args.follow:
+            events = follow_jsonl(args.events, policy=policy)
+            closer = _noop
+        else:
+            handle = open(args.events)  # noqa: SIM115 -- closed by closer
+            events = jsonl_events(handle, policy=policy)
+            closer = handle.close
+    else:
+        return None, _noop
+    if skip:
+        events = skip_events(events, skip)
+    return events, closer
+
+
+def _make_service(args: argparse.Namespace, engine):
+    from repro.lab import scaled_filter_config
+    from repro.serve.service import CellSpotService, ServiceConfig
+
+    demand = as_classes = filter_config = None
+    if args.with_demand:
+        lab = _make_lab(args)
+        demand = lab.demand
+        as_classes = lab.as_classes
+        filter_config = scaled_filter_config(lab.beacon_config)
+    return CellSpotService(
+        engine=engine,
+        demand=demand,
+        as_classes=as_classes,
+        filter_config=filter_config,
+        config=ServiceConfig(
+            snapshot_every_events=args.snapshot_every,
+            ingest_batch=args.ingest_batch,
+        ),
+        snapshot_path=args.snapshot,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the online service (stdin/stdout or a local socket).
+
+    Events stream in from ``--events FILE`` (optionally tailed with
+    ``--follow``) or from the synthetic world (``--generate``); the
+    request protocol is one JSON object per line.  With ``--snapshot``
+    the window state is persisted atomically and a killed server
+    resumes without duplicating or losing a single count.
+    """
+    from repro.serve.service import install_sigusr1_stats
+    from repro.stream.engine import SnapshotError
+
+    if args.events and args.generate:
+        print("error: --events and --generate are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    try:
+        engine = _build_stream_engine(args)
+    except SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    resumed = engine.events_consumed
+    if resumed:
+        print(f"resumed from snapshot: {resumed:,} events already "
+              f"consumed, {engine.subnet_count():,} subnets",
+              file=sys.stderr)
+    service = _make_service(args, engine)
+    install_sigusr1_stats(service)
+    try:
+        events, closer = _event_source(args, skip=resumed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.socket:
+            answered = service.serve_socket(
+                args.socket, events=events,
+                max_connections=args.max_connections,
+            )
+        else:
+            answered = service.serve_lines(
+                sys.stdin, sys.stdout, events=events
+            )
+    finally:
+        closer()
+    print(f"served {answered:,} requests; "
+          f"{service.engine.events_consumed:,} events consumed, "
+          f"{service.engine.windows_advanced:,} windows advanced",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """One-shot queries: drain the source, build the index, answer.
+
+    Queries are IP addresses or CIDR blocks; ``-`` reads them from
+    stdin (one per line).  Prints one JSON answer per query.  Exit
+    codes: 0 all answered, 1 any malformed query, 2 unusable input.
+    """
+    import json as json_module
+
+    from repro.stream.engine import SnapshotError
+
+    if args.events and args.generate:
+        print("error: --events and --generate are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    try:
+        engine = _build_stream_engine(args)
+    except SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    service = _make_service(args, engine)
+    try:
+        events, closer = _event_source(args, skip=engine.events_consumed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if events is not None:
+            service.drain(events)
+    finally:
+        closer()
+    if engine.events_consumed == 0:
+        print("error: no events: give --events FILE, --generate, or a "
+              "--snapshot with state", file=sys.stderr)
+        return 2
+    queries = list(args.queries)
+    if queries == ["-"]:
+        queries = [line.strip() for line in sys.stdin if line.strip()]
+    index = service.index()
+    failures = 0
+    for result in index.batch(queries):
+        payload = result.to_dict()
+        print(json_module.dumps(payload, separators=(",", ":")))
+        if result.error is not None:
+            failures += 1
+    return 1 if failures else 0
+
+
+def _add_stream_options(parser: argparse.ArgumentParser) -> None:
+    """Event-source and window knobs shared by serve / query."""
+    parser.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="beacon hit JSONL to ingest ('-' for stdin; see "
+             "'cellspot datasets --hits')",
+    )
+    parser.add_argument(
+        "--follow", action="store_true",
+        help="tail --events FILE as it grows (tail -f semantics)",
+    )
+    parser.add_argument(
+        "--generate", action="store_true",
+        help="ingest synthetic hit events from the world instead of a file",
+    )
+    parser.add_argument(
+        "--hit-volume", type=_positive_int, default=100_000, metavar="N",
+        help="demand-proportional hit budget for --generate "
+             "(default: 100000)",
+    )
+    parser.add_argument(
+        "--base-hits", type=float, default=5.0, metavar="F",
+        help="per-subnet base hit rate for --generate (default: 5.0)",
+    )
+    parser.add_argument(
+        "--window-events", type=_positive_int, default=10_000, metavar="N",
+        help="events per tumbling window (default: 10000)",
+    )
+    parser.add_argument(
+        "--decay", type=float, default=1.0,
+        help="aggregate decay applied at each window close; 1.0 keeps "
+             "exact batch-equal counts (default: 1.0)",
+    )
+    parser.add_argument(
+        "--snapshot", default=None, metavar="FILE",
+        help="snapshot file: resumed at startup when present, written "
+             "atomically during the run",
+    )
+    parser.add_argument(
+        "--on-error", choices=["strict", "skip"], default="strict",
+        help="malformed event lines: raise (strict) or drop (skip)",
+    )
+    parser.add_argument(
+        "--with-demand",
+        action="store_true",
+        help="attach the world's DEMAND dataset so answers carry AS "
+             "dedicated/mixed verdicts and demand shares",
+    )
+    parser.add_argument(
+        "--snapshot-every", type=_positive_int, default=50_000, metavar="N",
+        help="snapshot the window state every N ingested events "
+             "(default: 50000)",
+    )
+    parser.add_argument(
+        "--ingest-batch", type=_positive_int, default=5_000, metavar="N",
+        help="events pulled from the source between requests "
+             "(default: 5000)",
+    )
 
 
 def _cmd_evolve(args: argparse.Namespace) -> int:
@@ -395,6 +687,19 @@ def build_parser() -> argparse.ArgumentParser:
     datasets = subparsers.add_parser("datasets", help="export datasets as JSONL")
     datasets.add_argument("--out", default="datasets",
                           help="output directory (default: ./datasets)")
+    datasets.add_argument(
+        "--hits", action="store_true",
+        help="also export per-hit beacon events (hits.jsonl) for "
+             "'cellspot serve --events'",
+    )
+    datasets.add_argument(
+        "--hit-volume", type=_positive_int, default=100_000, metavar="N",
+        help="demand-proportional hit budget for --hits (default: 100000)",
+    )
+    datasets.add_argument(
+        "--base-hits", type=float, default=5.0, metavar="F",
+        help="per-subnet base hit rate for --hits (default: 5.0)",
+    )
     _add_common(datasets)
     datasets.set_defaults(func=_cmd_datasets)
 
@@ -437,11 +742,51 @@ def build_parser() -> argparse.ArgumentParser:
     evolve.add_argument("--months", type=int, default=3)
     _add_common(evolve)
     evolve.set_defaults(func=_cmd_evolve)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the online classification service",
+        description="Stream beacon events into windowed state and "
+                    "answer line-delimited JSON requests "
+                    "({\"op\": \"query\", \"q\": \"192.0.2.17\"}) over "
+                    "stdin/stdout or --socket.",
+    )
+    _add_stream_options(serve)
+    serve.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="serve over a local AF_UNIX socket instead of stdin/stdout",
+    )
+    serve.add_argument(
+        "--max-connections", type=_positive_int, default=None, metavar="N",
+        help="stop after N socket connections (tests/smoke runs)",
+    )
+    _add_common(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    query = subparsers.add_parser(
+        "query",
+        help="one-shot classification queries",
+        description="Drain an event source, build the LPM index, and "
+                    "answer each QUERY (IP address or CIDR block) as "
+                    "one JSON line.",
+    )
+    query.add_argument(
+        "queries", nargs="+", metavar="QUERY",
+        help="IP address or CIDR block ('-' reads queries from stdin)",
+    )
+    _add_stream_options(query)
+    _add_common(query)
+    query.set_defaults(func=_cmd_query)
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "log_level", None):
+        from repro.runtime.logging import configure_logging, set_run_id
+
+        configure_logging(args.log_level)
+        set_run_id()
     return args.func(args)
 
 

@@ -30,12 +30,19 @@ Design rules, in the order they matter:
   of parallel arrays; a single C-speed ``json.loads`` replaces tens of
   thousands of per-line parses, which is what the fused pipeline's
   speedup is built on.
+* **Bounded size, LRU eviction.**  With ``max_entries`` set, every
+  successful :meth:`store` opportunistically calls :meth:`prune`,
+  which drops the least-recently-*used* entries (``meta.json`` mtime,
+  refreshed on every verified fetch) -- a long parameter sweep can no
+  longer grow the cache without bound.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import shutil
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -198,8 +205,15 @@ class DatasetCache:
         ROOT/quarantine/<key>.<stamp>.quarantine.jsonl -- why
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
         self.root = Path(root)
+        self.max_entries = max_entries
 
     # ---- keys --------------------------------------------------------------
 
@@ -277,6 +291,8 @@ class DatasetCache:
             directory / META_NAME,
             json.dumps(meta, indent=2, sort_keys=True),
         )
+        if self.max_entries is not None:
+            self.prune(self.max_entries)
         return CacheEntry(key=key, directory=directory, meta=meta)
 
     # ---- fetch -------------------------------------------------------------
@@ -298,7 +314,69 @@ class DatasetCache:
         except CacheCorruption as exc:
             self.quarantine(key, str(exc))
             return None
+        self._touch(meta_path)
         return entry
+
+    @staticmethod
+    def _touch(meta_path: Path) -> None:
+        """Refresh an entry's recency stamp (LRU bookkeeping).
+
+        ``meta.json``'s mtime is the entry's last-used time; a
+        best-effort ``utime`` on every verified hit keeps warm entries
+        out of :meth:`prune`'s reach.
+        """
+        try:
+            os.utime(meta_path, None)
+        except OSError:
+            pass  # read-only cache mounts still serve hits
+
+    # ---- pruning -----------------------------------------------------------
+
+    def entries_by_recency(self) -> List[Tuple[float, str]]:
+        """Committed entries as ``(last_used, key)``, oldest first.
+
+        Only directories with a ``meta.json`` count -- half-written
+        entries (no commit point) and the quarantine area are
+        invisible here, exactly as they are to :meth:`fetch`.
+        """
+        found: List[Tuple[float, str]] = []
+        if not self.root.is_dir():
+            return found
+        for child in self.root.iterdir():
+            if child.name == QUARANTINE_DIR or not child.is_dir():
+                continue
+            meta_path = child / META_NAME
+            try:
+                stamp = meta_path.stat().st_mtime
+            except OSError:
+                continue  # uncommitted entry: not prunable, not live
+            found.append((stamp, child.name))
+        found.sort()
+        return found
+
+    def prune(self, max_entries: Optional[int] = None) -> List[str]:
+        """Evict least-recently-used entries beyond ``max_entries``.
+
+        Returns the evicted keys, oldest first.  ``max_entries``
+        defaults to the cache's configured bound; with neither set
+        this is a no-op.  Eviction removes the entry directory
+        outright (it is regenerable by construction); quarantined
+        material is never touched.
+        """
+        limit = max_entries if max_entries is not None else self.max_entries
+        if limit is None:
+            return []
+        if limit < 1:
+            raise ValueError("max_entries must be >= 1")
+        entries = self.entries_by_recency()
+        excess = len(entries) - limit
+        if excess <= 0:
+            return []
+        evicted: List[str] = []
+        for _stamp, key in entries[:excess]:
+            shutil.rmtree(self.entry_dir(key), ignore_errors=True)
+            evicted.append(key)
+        return evicted
 
     def _verify(self, key: str, directory: Path, meta_path: Path) -> CacheEntry:
         try:

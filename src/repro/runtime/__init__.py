@@ -15,7 +15,9 @@ reproduction survive it:
   per-experiment completion store for crash-then-resume runs;
 - :mod:`repro.runtime.manifest` -- the run manifest (seed, scale,
   dataset digests, versions, per-stage timings) that makes a resumed
-  run verifiably the *same* run.
+  run verifiably the *same* run;
+- :mod:`repro.runtime.logging` -- structured, run-id-tagged logging
+  for long-running components (the serve loop, guards, quarantine).
 """
 
 from repro.runtime.checkpoint import CheckpointStore, atomic_write_text, atomic_writer
@@ -25,6 +27,13 @@ from repro.runtime.guard import (
     OutcomeStatus,
     TransientError,
     run_guarded,
+)
+from repro.runtime.logging import (
+    configure_logging,
+    current_run_id,
+    get_logger,
+    log_event,
+    set_run_id,
 )
 from repro.runtime.manifest import RunManifest, dataset_digest
 from repro.runtime.policies import (
@@ -40,6 +49,11 @@ from repro.runtime.quarantine import QuarantineRecord, QuarantineSink, read_quar
 __all__ = [
     "CheckpointStore",
     "ErrorBudgetExceeded",
+    "configure_logging",
+    "current_run_id",
+    "get_logger",
+    "log_event",
+    "set_run_id",
     "ExperimentOutcome",
     "GuardConfig",
     "IngestError",

@@ -24,12 +24,17 @@ works on the main thread of Unix processes).
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 import traceback
 from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Callable, Optional, Tuple, Type
+
+from repro.runtime.logging import get_logger, log_event
+
+_LOG = get_logger("runtime.guard")
 
 
 class TransientError(RuntimeError):
@@ -140,6 +145,11 @@ def run_guarded(
         attempt = _Attempt(fn)
         finished = attempt.run(config.timeout_s)
         if not finished:
+            log_event(
+                _LOG, logging.WARNING, "experiment.timeout",
+                experiment=experiment_id, attempt=attempts,
+                budget_s=config.timeout_s,
+            )
             return ExperimentOutcome(
                 experiment_id=experiment_id,
                 status=OutcomeStatus.TIMED_OUT,
@@ -158,6 +168,11 @@ def run_guarded(
         last_error = _format_error(attempt.exception)
         retryable = isinstance(attempt.exception, config.retry_on)
         if not retryable or attempts > config.retries:
+            log_event(
+                _LOG, logging.ERROR, "experiment.failed",
+                experiment=experiment_id, attempts=attempts,
+                error=last_error,
+            )
             return ExperimentOutcome(
                 experiment_id=experiment_id,
                 status=OutcomeStatus.FAILED,
@@ -165,6 +180,10 @@ def run_guarded(
                 duration_s=time.perf_counter() - started,
                 attempts=attempts,
             )
+        log_event(
+            _LOG, logging.WARNING, "experiment.retry",
+            experiment=experiment_id, attempt=attempts, error=last_error,
+        )
         time.sleep(config.backoff_s * (2 ** (attempts - 1)))
 
 

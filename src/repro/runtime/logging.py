@@ -1,0 +1,129 @@
+"""Structured logging for the runtime and serving layers.
+
+``src/`` historically had zero logging: batch commands print their
+results and exit.  The online subsystem (``repro.stream`` /
+``repro.serve``) runs indefinitely, so operators need a event trail --
+window advances, snapshots, quarantined events, retries -- without
+grepping stdout that is busy carrying query responses.
+
+Design:
+
+- **Loggers are namespaced** under ``cellspot.<component>`` and default
+  to a ``NullHandler``: importing the library never writes to stderr
+  uninvited.  A front end opts in with :func:`configure_logging`.
+- **Lines are structured**: ``ts level component run_id event
+  key=value ...``.  :func:`log_event` renders the key/value tail
+  deterministically (sorted keys) so log lines are grep- and
+  test-friendly.
+- **A run id travels via contextvar**: :func:`set_run_id` tags every
+  line emitted by the current context (server process, experiment
+  batch) so interleaved runs can be separated after the fact.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import logging
+import sys
+import time
+import uuid
+from typing import IO, Optional
+
+#: Root of the library's logger namespace.
+ROOT_LOGGER = "cellspot"
+
+_run_id: contextvars.ContextVar[str] = contextvars.ContextVar(
+    "cellspot_run_id", default="-"
+)
+
+#: Process-wide guard so repeated configure calls don't stack handlers.
+_configured_handler: Optional[logging.Handler] = None
+
+
+def set_run_id(run_id: Optional[str] = None) -> str:
+    """Set (or generate) the run id attached to subsequent log lines."""
+    value = run_id or uuid.uuid4().hex[:12]
+    _run_id.set(value)
+    return value
+
+
+def current_run_id() -> str:
+    """The run id of the current context (``-`` when unset)."""
+    return _run_id.get()
+
+
+class StructuredFormatter(logging.Formatter):
+    """``ts level component run_id message`` with stable field order."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime(
+            "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+        )
+        component = record.name
+        prefix = ROOT_LOGGER + "."
+        if component.startswith(prefix):
+            component = component[len(prefix):]
+        return (
+            f"{stamp}Z {record.levelname.lower()} {component} "
+            f"run={_run_id.get()} {record.getMessage()}"
+        )
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A namespaced logger (``cellspot.<name>``), silent by default."""
+    root = logging.getLogger(ROOT_LOGGER)
+    if not root.handlers:
+        root.addHandler(logging.NullHandler())
+    if name.startswith(ROOT_LOGGER):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure_logging(
+    level: str = "info", stream: Optional[IO[str]] = None
+) -> logging.Logger:
+    """Route ``cellspot.*`` logs to ``stream`` (default stderr).
+
+    Idempotent: calling again replaces the previous handler instead of
+    stacking a second one (every line would otherwise print twice).
+    Returns the root library logger.
+    """
+    global _configured_handler
+    root = logging.getLogger(ROOT_LOGGER)
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level: {level!r}")
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(StructuredFormatter())
+    if _configured_handler is not None:
+        root.removeHandler(_configured_handler)
+    root.addHandler(handler)
+    root.setLevel(numeric)
+    root.propagate = False
+    _configured_handler = handler
+    return root
+
+
+def format_fields(**fields: object) -> str:
+    """Render ``key=value`` pairs with sorted keys (deterministic)."""
+    parts = []
+    for key in sorted(fields):
+        value = fields[key]
+        if isinstance(value, float):
+            text = f"{value:.6g}"
+        else:
+            text = str(value)
+        if " " in text or text == "":
+            text = repr(text)
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
+def log_event(
+    logger: logging.Logger, level: int, event: str, **fields: object
+) -> None:
+    """Emit one structured event line: ``event key=value ...``."""
+    if not logger.isEnabledFor(level):
+        return
+    tail = format_fields(**fields)
+    logger.log(level, f"{event} {tail}" if tail else event)

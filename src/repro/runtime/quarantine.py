@@ -13,11 +13,15 @@ Sidecar format (one JSON object per line)::
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, Iterator, Optional, Union
 
+from repro.runtime.logging import get_logger, log_event
 from repro.runtime.policies import IngestError
+
+_LOG = get_logger("runtime.quarantine")
 
 
 @dataclass(frozen=True)
@@ -81,6 +85,15 @@ class QuarantineSink:
         self._stream.write(record.to_json())
         self._stream.write("\n")
         self.count += 1
+        # First rejection per sink is loud; the rest stay at debug so a
+        # dirty stream cannot flood the log at warning level.
+        level = logging.WARNING if self.count == 1 else logging.DEBUG
+        log_event(
+            _LOG, level, "quarantine.write",
+            line=error.line_no, reason=error.reason,
+            record_type=error.record_type, total=self.count,
+            sink=self.path if self.path is not None else "<stream>",
+        )
 
     def close(self) -> None:
         if self._owns_stream and self._stream is not None:

@@ -1,0 +1,224 @@
+"""The queryable classification index (longest-prefix match).
+
+Consumers of the census (CDN mapping, per-AS policy engines) ask point
+questions -- *"is this client address cellular, with what
+confidence?"* -- not for a monthly table.  :class:`ClassificationIndex`
+compiles a :class:`~repro.core.ratios.RatioTable` (live from the
+stream engine or from a batch run) into per-family
+:class:`~repro.net.trie.PrefixTrie` radix tries, giving O(prefix-bits)
+lookups that return everything the paper knows about the covering
+subnet:
+
+- the cellular ratio and its supporting counts,
+- the label at the operating threshold (paper: 0.5),
+- the Wilson-interval confidence tier
+  (:mod:`repro.core.confidence`: cellular / fixed / uncertain),
+- the owning AS with its dedicated/mixed verdict when demand data is
+  available (:mod:`repro.core.mixed`),
+- the subnet's demand share in DU and as a fraction of global demand.
+
+Address queries use longest-prefix match; CIDR queries use
+most-specific *covering* prefix (``match_prefix``), so a /16 query is
+answered by the /8 entry that actually contains it, never by a /24
+fragment inside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.core.asn_classifier import ASFilterConfig, identify_cellular_ases
+from repro.core.classifier import DEFAULT_THRESHOLD, SubnetClassifier
+from repro.core.confidence import ConfidentClassifier, Verdict
+from repro.core.mixed import DEDICATED_CFD_CUTOFF, operator_profiles
+from repro.core.ratios import RatioTable
+from repro.datasets.demand_dataset import DemandDataset, du_to_fraction
+from repro.net.addr import AddressError, parse_ip
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """Everything the index knows about one subnet."""
+
+    subnet: Prefix
+    asn: int
+    country: str
+    hits: float
+    api_hits: float
+    cellular_hits: float
+    ratio: float
+    cellular: bool
+    confidence: Verdict
+    interval_low: float
+    interval_high: float
+    demand_du: Optional[float]
+    as_verdict: Optional[str]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered (or unanswerable) query."""
+
+    query: str
+    matched: bool
+    error: Optional[str] = None
+    entry: Optional[IndexEntry] = None
+
+    def to_dict(self) -> Dict:
+        payload: Dict[str, object] = {"query": self.query, "ok": self.error is None}
+        if self.error is not None:
+            payload["error"] = self.error
+            return payload
+        payload["matched"] = self.matched
+        if not self.matched or self.entry is None:
+            return payload
+        entry = self.entry
+        payload.update(
+            {
+                "subnet": str(entry.subnet),
+                "asn": entry.asn,
+                "country": entry.country,
+                "ratio": round(entry.ratio, 6),
+                "cellular": entry.cellular,
+                "confidence": entry.confidence.value,
+                "interval": [
+                    round(entry.interval_low, 6),
+                    round(entry.interval_high, 6),
+                ],
+                "hits": entry.hits,
+                "api_hits": entry.api_hits,
+            }
+        )
+        if entry.demand_du is not None:
+            payload["demand_du"] = round(entry.demand_du, 6)
+            payload["demand_share"] = round(
+                du_to_fraction(entry.demand_du), 9
+            )
+        if entry.as_verdict is not None:
+            payload["as_verdict"] = entry.as_verdict
+        return payload
+
+
+class ClassificationIndex:
+    """Per-family LPM tries over compiled classification state."""
+
+    def __init__(
+        self,
+        tries: Dict[int, PrefixTrie],
+        threshold: float,
+        entry_count: int,
+    ) -> None:
+        self._tries = tries
+        self.threshold = threshold
+        self.entry_count = entry_count
+
+    def __len__(self) -> int:
+        return self.entry_count
+
+    # ---- construction ----------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        ratios: RatioTable,
+        demand: Optional[DemandDataset] = None,
+        threshold: float = DEFAULT_THRESHOLD,
+        min_api_hits: int = 1,
+        as_classes=None,
+        filter_config: Optional[ASFilterConfig] = None,
+        hits_by_asn: Optional[Mapping[int, float]] = None,
+        dedicated_cutoff: float = DEDICATED_CFD_CUTOFF,
+    ) -> "ClassificationIndex":
+        """Compile a ratio table (plus optional demand) into tries.
+
+        With ``demand`` (and ``hits_by_asn`` -- live AS hit totals
+        from the stream engine), the paper's AS pipeline runs too and
+        every entry carries its AS's dedicated/mixed verdict; without
+        it, entries carry subnet-level facts only.
+        """
+        classifier = SubnetClassifier(
+            threshold=threshold, min_api_hits=min_api_hits
+        )
+        confident = ConfidentClassifier(threshold=threshold)
+
+        as_verdicts: Dict[int, str] = {}
+        if demand is not None and hits_by_asn is not None:
+            classification = classifier.classify(ratios)
+            as_result = identify_cellular_ases(
+                classification,
+                demand,
+                as_classes=as_classes,
+                config=filter_config,
+                hits_by_asn=hits_by_asn,
+            )
+            for asn, profile in operator_profiles(
+                as_result, cutoff=dedicated_cutoff
+            ).items():
+                as_verdicts[asn] = profile.operator_class.value
+            for asn, reason in as_result.excluded.items():
+                as_verdicts[asn] = f"excluded:{reason.value}"
+
+        tries: Dict[int, PrefixTrie] = {4: PrefixTrie(4), 6: PrefixTrie(6)}
+        count = 0
+        for record in ratios:
+            label = confident.label(record)
+            entry = IndexEntry(
+                subnet=record.subnet,
+                asn=record.asn,
+                country=record.country,
+                hits=record.hits,
+                api_hits=record.api_hits,
+                cellular_hits=record.cellular_hits,
+                ratio=record.ratio,
+                cellular=classifier.is_cellular(record),
+                confidence=label.verdict,
+                interval_low=label.interval_low,
+                interval_high=label.interval_high,
+                demand_du=(
+                    demand.du_of(record.subnet) if demand is not None else None
+                ),
+                as_verdict=as_verdicts.get(record.asn),
+            )
+            tries[record.subnet.family].insert(record.subnet, entry)
+            count += 1
+        return cls(tries=tries, threshold=threshold, entry_count=count)
+
+    # ---- queries ---------------------------------------------------------
+
+    def lookup_address(self, family: int, address: int) -> Optional[IndexEntry]:
+        """Longest-prefix match of one integer address."""
+        trie = self._tries.get(family)
+        if trie is None:
+            return None
+        found = trie.longest_match(family, address)
+        return found[1] if found is not None else None
+
+    def lookup_prefix(self, prefix: Prefix) -> Optional[IndexEntry]:
+        """Most-specific stored prefix covering all of ``prefix``."""
+        trie = self._tries.get(prefix.family)
+        if trie is None:
+            return None
+        found = trie.match_prefix(prefix)
+        return found[1] if found is not None else None
+
+    def query(self, text: str) -> QueryResult:
+        """Answer one textual query: an IP address or a CIDR block."""
+        text = text.strip()
+        if not text:
+            return QueryResult(query=text, matched=False, error="empty query")
+        try:
+            if "/" in text:
+                entry = self.lookup_prefix(Prefix.parse(text))
+            else:
+                family, address = parse_ip(text)
+                entry = self.lookup_address(family, address)
+        except (AddressError, ValueError) as exc:
+            return QueryResult(query=text, matched=False, error=str(exc))
+        return QueryResult(query=text, matched=entry is not None, entry=entry)
+
+    def batch(self, queries: Iterable[str]) -> List[QueryResult]:
+        """Answer many queries in order (the batch-query API)."""
+        return [self.query(text) for text in queries]

@@ -1,0 +1,438 @@
+"""The online cell-spotting service.
+
+:class:`CellSpotService` wires a :class:`~repro.stream.StreamEngine`
+to a :class:`~repro.serve.index.ClassificationIndex` behind a
+line-delimited JSON request/response protocol, served over
+stdin/stdout or a local ``AF_UNIX`` socket.
+
+Protocol (one JSON object per line)::
+
+    {"op": "query",   "q": "192.0.2.17"}          -> one classification
+    {"op": "query",   "qs": ["192.0.2.17", ...]}  -> batch answers
+    {"op": "stats"}                                -> metrics + engine state
+    {"op": "refresh"}                              -> force index rebuild
+    {"op": "snapshot"}                             -> force a state snapshot
+    {"op": "shutdown"}                             -> snapshot, ack, stop
+
+Every response carries ``{"ok": true|false}``; malformed requests are
+answered (never crash the loop) and counted in
+``query_errors_total``.
+
+**Freshness model.**  The LPM index is a compiled artifact; rebuilding
+it per event would melt the ingest path.  It is rebuilt when a window
+closes (configurable stride), on ``refresh``, and lazily on the first
+query after new events -- so queries always reflect at worst the
+state as of the last completed ingest batch.
+
+**Crash safety.**  Snapshots are written atomically every
+``snapshot_every_events`` ingested events and at shutdown; a killed
+server restarts from its snapshot and skips exactly the consumed
+prefix of the event stream (see
+:func:`repro.stream.sources.skip_events`), so no window count is
+duplicated or lost.
+
+``SIGUSR1`` dumps the metrics JSON to stderr without disturbing the
+request stream (installed by the CLI front end, main thread only).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Dict, Iterator, Optional, Union
+
+from repro.cdn.logs import BeaconHit
+from repro.core.asn_classifier import ASFilterConfig
+from repro.core.classifier import DEFAULT_THRESHOLD
+from repro.datasets.demand_dataset import DemandDataset
+from repro.runtime.logging import get_logger, log_event
+from repro.serve.index import ClassificationIndex
+from repro.serve.metrics import MetricsRegistry, service_metrics
+from repro.stream.engine import StreamEngine
+
+_LOG = get_logger("serve.service")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Serving knobs."""
+
+    threshold: float = DEFAULT_THRESHOLD
+    min_api_hits: int = 1
+    #: Snapshot every N ingested events (None = only on shutdown).
+    snapshot_every_events: Optional[int] = 50_000
+    #: Events pulled from the source between requests.
+    ingest_batch: int = 5_000
+    #: Rebuild the index every N window advances (>=1).
+    rebuild_every_windows: int = 1
+
+    def __post_init__(self) -> None:
+        if self.snapshot_every_events is not None and (
+            self.snapshot_every_events < 1
+        ):
+            raise ValueError("snapshot_every_events must be >= 1")
+        if self.ingest_batch < 1:
+            raise ValueError("ingest_batch must be >= 1")
+        if self.rebuild_every_windows < 1:
+            raise ValueError("rebuild_every_windows must be >= 1")
+
+
+class CellSpotService:
+    """Streaming state + query index + metrics behind one request API."""
+
+    def __init__(
+        self,
+        engine: StreamEngine,
+        demand: Optional[DemandDataset] = None,
+        as_classes=None,
+        filter_config: Optional[ASFilterConfig] = None,
+        config: Optional[ServiceConfig] = None,
+        snapshot_path: Optional[Union[str, Path]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.engine = engine
+        self.demand = demand
+        self.as_classes = as_classes
+        self.filter_config = filter_config
+        self.config = config or ServiceConfig()
+        self.snapshot_path = (
+            Path(snapshot_path) if snapshot_path is not None else None
+        )
+        self.metrics = metrics or service_metrics()
+        self._index: Optional[ClassificationIndex] = None
+        self._index_events = -1  # events_consumed at last build
+        self._windows_at_build = -1
+        self._events_since_snapshot = 0
+        self.shutdown_requested = False
+        # A resumed engine may already hold consumed events.
+        self.metrics.get("tracked_subnets").set(engine.subnet_count())
+
+    # ---- ingestion -------------------------------------------------------
+
+    def ingest_from(
+        self,
+        events: Iterator[BeaconHit],
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Pull up to ``max_events`` (default: one batch) from the source.
+
+        Returns how many events were folded in; 0 means the source is
+        (currently) exhausted.
+        """
+        budget = self.config.ingest_batch if max_events is None else max_events
+        ingested = 0
+        windows_before = self.engine.windows_advanced
+        started = time.perf_counter()
+        while ingested < budget:
+            try:
+                hit = next(events)
+            except StopIteration:
+                break
+            self.engine.ingest(hit)
+            ingested += 1
+        if ingested:
+            elapsed = time.perf_counter() - started
+            self.metrics.get("events_ingested_total").inc(ingested)
+            self.metrics.get("ingest_batch_seconds").observe(elapsed)
+            closed = self.engine.windows_advanced - windows_before
+            if closed:
+                self.metrics.get("window_advances_total").inc(closed)
+            self.metrics.get("tracked_subnets").set(self.engine.subnet_count())
+            self.metrics.get("ingest_events_per_s").set(
+                self.metrics.rate("events_ingested_total")
+            )
+            self._events_since_snapshot += ingested
+            every = self.config.snapshot_every_events
+            if (
+                every is not None
+                and self.snapshot_path is not None
+                and self._events_since_snapshot >= every
+            ):
+                self.write_snapshot()
+        return ingested
+
+    def drain(self, events: Iterator[BeaconHit]) -> int:
+        """Ingest the whole source (one-shot / catch-up mode)."""
+        total = 0
+        while True:
+            pulled = self.ingest_from(events, max_events=self.config.ingest_batch)
+            if pulled == 0:
+                return total
+            total += pulled
+
+    def write_snapshot(self) -> Optional[Path]:
+        if self.snapshot_path is None:
+            return None
+        path = self.engine.save_snapshot(self.snapshot_path)
+        self.metrics.get("snapshots_written_total").inc()
+        self._events_since_snapshot = 0
+        return path
+
+    # ---- index management ------------------------------------------------
+
+    def _index_stale(self) -> bool:
+        if self._index is None:
+            return True
+        if self.engine.events_consumed == self._index_events:
+            return False
+        advanced = self.engine.windows_advanced - self._windows_at_build
+        return advanced >= self.config.rebuild_every_windows or (
+            # No window has closed yet but data arrived: rebuild once
+            # so early queries are not answered from an empty index.
+            self._index_events <= 0
+        )
+
+    def index(self, force: bool = False) -> ClassificationIndex:
+        """The current LPM index, rebuilt if stale (or ``force``)."""
+        if force or self._index_stale():
+            self._index = ClassificationIndex.build(
+                self.engine.ratio_table(self.config.min_api_hits),
+                demand=self.demand,
+                threshold=self.config.threshold,
+                min_api_hits=self.config.min_api_hits,
+                as_classes=self.as_classes,
+                filter_config=self.filter_config,
+                hits_by_asn=(
+                    self.engine.hits_by_asn()
+                    if self.demand is not None
+                    else None
+                ),
+            )
+            self._index_events = self.engine.events_consumed
+            self._windows_at_build = self.engine.windows_advanced
+            self.metrics.get("index_rebuilds_total").inc()
+            log_event(
+                _LOG, logging.INFO, "index.rebuilt",
+                entries=len(self._index),
+                events=self.engine.events_consumed,
+            )
+        return self._index
+
+    # ---- request handling ------------------------------------------------
+
+    def stats(self) -> Dict:
+        return {
+            "ok": True,
+            "engine": {
+                "month": self.engine.month,
+                "events_consumed": self.engine.events_consumed,
+                "windows_advanced": self.engine.windows_advanced,
+                "window_fill": self.engine.state.window_fill,
+                "subnets": self.engine.subnet_count(),
+                "policy": {
+                    "window_events": self.engine.policy.window_events,
+                    "decay": self.engine.policy.decay,
+                },
+            },
+            "index_entries": (
+                len(self._index) if self._index is not None else 0
+            ),
+            "metrics": self.metrics.as_dict(),
+        }
+
+    def handle_request(self, request: Dict) -> Dict:
+        """Answer one request dict; never raises."""
+        try:
+            op = request.get("op")
+            if op == "query":
+                return self._handle_query(request)
+            if op == "stats":
+                return self.stats()
+            if op == "refresh":
+                index = self.index(force=True)
+                return {"ok": True, "index_entries": len(index)}
+            if op == "snapshot":
+                path = self.write_snapshot()
+                if path is None:
+                    return {"ok": False, "error": "no snapshot path configured"}
+                return {"ok": True, "snapshot": str(path)}
+            if op == "shutdown":
+                self.shutdown_requested = True
+                path = self.write_snapshot()
+                return {
+                    "ok": True,
+                    "shutdown": True,
+                    "snapshot": str(path) if path else None,
+                }
+            self.metrics.get("query_errors_total").inc()
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except Exception as exc:  # noqa: BLE001 -- the loop must survive
+            self.metrics.get("query_errors_total").inc()
+            log_event(
+                _LOG, logging.ERROR, "request.failed",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    def _handle_query(self, request: Dict) -> Dict:
+        queries = request.get("qs")
+        single = request.get("q")
+        if queries is None and single is None:
+            self.metrics.get("query_errors_total").inc()
+            return {"ok": False, "error": "query op needs 'q' or 'qs'"}
+        if queries is not None and not isinstance(queries, list):
+            self.metrics.get("query_errors_total").inc()
+            return {"ok": False, "error": "'qs' must be a list"}
+        index = self.index()
+        latency = self.metrics.get("query_latency_seconds")
+        counter = self.metrics.get("queries_total")
+
+        def answer(text) -> Dict:
+            started = time.perf_counter()
+            result = index.query(str(text))
+            latency.observe(time.perf_counter() - started)
+            counter.inc()
+            if result.error is not None:
+                self.metrics.get("query_errors_total").inc()
+            return result.to_dict()
+
+        if queries is not None:
+            return {"ok": True, "results": [answer(q) for q in queries]}
+        return {"ok": True, "result": answer(single)}
+
+    def handle_line(self, line: str) -> Dict:
+        """Parse one protocol line and answer it; never raises."""
+        stripped = line.strip()
+        if not stripped:
+            self.metrics.get("query_errors_total").inc()
+            return {"ok": False, "error": "empty request line"}
+        try:
+            request = json.loads(stripped)
+        except ValueError as exc:
+            self.metrics.get("query_errors_total").inc()
+            return {"ok": False, "error": f"bad JSON: {exc}"}
+        if not isinstance(request, dict):
+            self.metrics.get("query_errors_total").inc()
+            return {"ok": False, "error": "request must be a JSON object"}
+        return self.handle_request(request)
+
+    # ---- serve loops -----------------------------------------------------
+
+    def serve_lines(
+        self,
+        requests: IO[str],
+        responses: IO[str],
+        events: Optional[Iterator[BeaconHit]] = None,
+    ) -> int:
+        """Serve line-delimited JSON until EOF or a ``shutdown`` op.
+
+        Before each request (and once at startup) up to one ingest
+        batch is pulled from ``events``, so ingestion makes progress
+        while the request stream is quiet.  Returns the number of
+        requests answered.
+        """
+        answered = 0
+        if events is not None:
+            self.ingest_from(events)
+        for line in requests:
+            if events is not None:
+                self.ingest_from(events)
+            response = self.handle_line(line)
+            responses.write(json.dumps(response, separators=(",", ":")))
+            responses.write("\n")
+            responses.flush()
+            answered += 1
+            if self.shutdown_requested:
+                break
+        else:
+            # EOF without an explicit shutdown: drain and snapshot so a
+            # piped session still leaves resumable state behind.
+            if events is not None:
+                self.drain(events)
+            self.write_snapshot()
+        log_event(
+            _LOG, logging.INFO, "serve.done",
+            requests=answered, events=self.engine.events_consumed,
+        )
+        return answered
+
+    def serve_socket(
+        self,
+        socket_path: Union[str, Path],
+        events: Optional[Iterator[BeaconHit]] = None,
+        max_connections: Optional[int] = None,
+    ) -> int:
+        """Serve the same protocol over a local ``AF_UNIX`` socket.
+
+        Each connection carries any number of request lines; the
+        server is single-threaded (connections are handled in arrival
+        order) and stops after a ``shutdown`` op or
+        ``max_connections``.  Returns the number of requests answered.
+        """
+        import socket as socket_module
+
+        socket_path = Path(socket_path)
+        if socket_path.exists():
+            socket_path.unlink()
+        server = socket_module.socket(
+            socket_module.AF_UNIX, socket_module.SOCK_STREAM
+        )
+        answered = 0
+        connections = 0
+        try:
+            server.bind(str(socket_path))
+            server.listen(8)
+            server.settimeout(0.1)
+            log_event(
+                _LOG, logging.INFO, "serve.socket", path=socket_path
+            )
+            while not self.shutdown_requested:
+                if events is not None:
+                    self.ingest_from(events)
+                try:
+                    connection, _addr = server.accept()
+                except socket_module.timeout:
+                    continue
+                with connection:
+                    reader = connection.makefile("r")
+                    writer = connection.makefile("w")
+                    for line in reader:
+                        response = self.handle_line(line)
+                        writer.write(
+                            json.dumps(response, separators=(",", ":"))
+                        )
+                        writer.write("\n")
+                        writer.flush()
+                        answered += 1
+                        if self.shutdown_requested:
+                            break
+                connections += 1
+                if (
+                    max_connections is not None
+                    and connections >= max_connections
+                ):
+                    break
+            self.write_snapshot()
+        finally:
+            server.close()
+            if socket_path.exists():
+                socket_path.unlink()
+        return answered
+
+
+def install_sigusr1_stats(service: CellSpotService, stream=None) -> bool:
+    """Dump metrics JSON to ``stream`` (stderr) on ``SIGUSR1``.
+
+    Returns False when signals are unavailable (non-main thread,
+    platforms without SIGUSR1) -- the service works without it.
+    """
+    import signal
+    import sys
+
+    if not hasattr(signal, "SIGUSR1"):
+        return False
+    target = stream if stream is not None else sys.stderr
+
+    def _dump(_signum, _frame):
+        target.write(service.metrics.render_json(indent=2))
+        target.write("\n")
+        target.flush()
+
+    try:
+        signal.signal(signal.SIGUSR1, _dump)
+    except ValueError:  # not the main thread
+        return False
+    return True

@@ -1,0 +1,226 @@
+"""The streaming ingestion engine.
+
+:class:`StreamEngine` consumes beacon events one at a time and
+maintains :class:`~repro.stream.windows.WindowedSubnetState`; at any
+moment it can emit the same :class:`~repro.core.ratios.RatioTable`
+algebra the batch pipeline produces, so every downstream consumer
+(classifier, AS filter, confidence intervals, the serving index) works
+unchanged on live state.
+
+**Stream == batch.**  Under an exact window policy (``decay == 1``),
+draining a finite event stream leaves integer counters identical to
+``BeaconDataset.from_hits`` over the same events, so
+:meth:`StreamEngine.ratio_table` is *bit-identical* to
+``RatioTable.from_beacons`` of a batch run -- the differential test in
+``tests/test_stream_differential.py`` pins this for seeds {0, 1}.
+
+**Crash safety.**  :meth:`save_snapshot` writes the full window state
+plus the consumed-event offset through
+:func:`repro.runtime.checkpoint.atomic_writer`; a ``kill -9`` leaves
+either the previous snapshot or the new one, never a torn file.
+:meth:`load_snapshot` plus :func:`repro.stream.sources.skip_events`
+resumes with no duplicated and no lost counts.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
+
+from repro.cdn.logs import BeaconHit
+from repro.core.classifier import (
+    DEFAULT_THRESHOLD,
+    ClassificationResult,
+    SubnetClassifier,
+)
+from repro.core.ratios import RatioRecord, RatioTable
+from repro.runtime.checkpoint import atomic_writer
+from repro.runtime.logging import get_logger, log_event
+from repro.stream.windows import WindowedSubnetState, WindowPolicy
+
+#: Bump when the snapshot layout changes; mismatched snapshots are
+#: rejected instead of misread.
+SNAPSHOT_FORMAT_VERSION = 1
+
+_LOG = get_logger("stream.engine")
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot file is unreadable or from an incompatible engine."""
+
+
+class StreamEngine:
+    """Incremental beacon ingestion with windowed per-subnet state."""
+
+    def __init__(
+        self,
+        policy: Optional[WindowPolicy] = None,
+        month: Optional[str] = None,
+    ) -> None:
+        self.state = WindowedSubnetState(policy)
+        #: Collection month, pinned by the first event when not given.
+        self.month = month
+        #: Accepted events folded into state (the resume offset).
+        self.events_consumed = 0
+
+    @property
+    def policy(self) -> WindowPolicy:
+        return self.state.policy
+
+    @property
+    def windows_advanced(self) -> int:
+        return self.state.windows_closed
+
+    # ---- ingestion -------------------------------------------------------
+
+    def ingest(self, hit: BeaconHit) -> bool:
+        """Fold one event in; returns True when a window just closed."""
+        if self.month is None:
+            self.month = hit.month
+        elif hit.month != self.month:
+            raise ValueError(
+                f"event from {hit.month} in a {self.month} stream"
+            )
+        closed = self.state.observe(
+            subnet=hit.subnet,
+            asn=hit.asn,
+            country=hit.country,
+            api_enabled=hit.api_enabled,
+            cellular_labeled=hit.is_cellular_labeled,
+        )
+        self.events_consumed += 1
+        if closed:
+            log_event(
+                _LOG, logging.DEBUG, "window.advance",
+                windows=self.state.windows_closed,
+                events=self.events_consumed,
+                subnets=self.state.subnet_count(),
+            )
+        return closed
+
+    def ingest_many(self, events: Iterable[BeaconHit]) -> int:
+        """Drain an event iterable; returns how many were folded in."""
+        count = 0
+        for hit in events:
+            self.ingest(hit)
+            count += 1
+        return count
+
+    # ---- live views ------------------------------------------------------
+
+    def ratio_table(self, min_api_hits: int = 1) -> RatioTable:
+        """The live :class:`RatioTable` (aggregate + open window).
+
+        Same record filter as ``RatioTable.from_beacons``: subnets
+        with fewer than ``min_api_hits`` API hits are dropped.
+        """
+        if min_api_hits < 1:
+            raise ValueError("min_api_hits must be >= 1")
+        return RatioTable(
+            RatioRecord(
+                subnet=subnet,
+                asn=counts.asn,
+                country=counts.country,
+                api_hits=counts.api_hits,
+                cellular_hits=counts.cellular_hits,
+                hits=counts.hits,
+            )
+            for subnet, counts in self.state.combined()
+            if counts.api_hits >= min_api_hits
+        )
+
+    def classification(
+        self,
+        threshold: float = DEFAULT_THRESHOLD,
+        min_api_hits: int = 1,
+    ) -> ClassificationResult:
+        """Threshold labels over the live ratio table."""
+        classifier = SubnetClassifier(
+            threshold=threshold, min_api_hits=min_api_hits
+        )
+        return classifier.classify(self.ratio_table(min_api_hits))
+
+    def hits_by_asn(self) -> Dict[int, float]:
+        return self.state.hits_by_asn()
+
+    def subnet_count(self) -> int:
+        return self.state.subnet_count()
+
+    # ---- snapshots -------------------------------------------------------
+
+    def to_snapshot(self) -> Dict:
+        return {
+            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "month": self.month,
+            "events_consumed": self.events_consumed,
+            "state": self.state.to_snapshot(),
+        }
+
+    def save_snapshot(self, path: Union[str, Path]) -> Path:
+        """Atomically persist engine state (kill-9 safe)."""
+        path = Path(path)
+        with atomic_writer(path) as stream:
+            json.dump(self.to_snapshot(), stream, separators=(",", ":"))
+        log_event(
+            _LOG, logging.INFO, "snapshot.saved",
+            path=path, events=self.events_consumed,
+            windows=self.windows_advanced,
+        )
+        return path
+
+    @classmethod
+    def from_snapshot(cls, raw: Dict) -> "StreamEngine":
+        version = raw.get("format_version")
+        if version != SNAPSHOT_FORMAT_VERSION:
+            raise SnapshotError(
+                f"snapshot format {version!r} != {SNAPSHOT_FORMAT_VERSION}"
+            )
+        engine = cls.__new__(cls)
+        engine.state = WindowedSubnetState.from_snapshot(raw["state"])
+        engine.month = raw["month"]
+        engine.events_consumed = raw["events_consumed"]
+        return engine
+
+    @classmethod
+    def load_snapshot(cls, path: Union[str, Path]) -> "StreamEngine":
+        path = Path(path)
+        try:
+            raw = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise SnapshotError(f"unreadable snapshot {path}: {exc}") from exc
+        if not isinstance(raw, dict):
+            raise SnapshotError(f"snapshot {path} is not a JSON object")
+        try:
+            engine = cls.from_snapshot(raw)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(f"malformed snapshot {path}: {exc}") from exc
+        log_event(
+            _LOG, logging.INFO, "snapshot.loaded",
+            path=path, events=engine.events_consumed,
+            windows=engine.windows_advanced,
+        )
+        return engine
+
+    @classmethod
+    def resume_or_start(
+        cls,
+        snapshot_path: Optional[Union[str, Path]],
+        policy: Optional[WindowPolicy] = None,
+    ) -> "StreamEngine":
+        """Load the snapshot when present, else a fresh engine.
+
+        A resumed engine keeps the *snapshot's* window policy: mixing
+        policies mid-stream would silently change semantics, so a
+        caller-supplied policy that disagrees raises.
+        """
+        if snapshot_path is not None and Path(snapshot_path).exists():
+            engine = cls.load_snapshot(snapshot_path)
+            if policy is not None and policy != engine.policy:
+                raise SnapshotError(
+                    f"snapshot window policy {engine.policy} != requested "
+                    f"{policy}; delete the snapshot to change policy"
+                )
+            return engine
+        return cls(policy=policy)

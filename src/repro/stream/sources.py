@@ -1,0 +1,122 @@
+"""Beacon event sources for the streaming engine.
+
+Three ways events arrive, all yielding
+:class:`~repro.cdn.logs.BeaconHit` records:
+
+- :func:`jsonl_events` -- a finite JSONL stream (file or stdin);
+- :func:`follow_jsonl` -- tail a growing JSONL file (``tail -f``
+  semantics with a bounded idle budget so tests and drains terminate);
+- :func:`generated_events` -- the synthetic world's hit-level
+  generator, for self-contained demos and benchmarks.
+
+Malformed lines are governed by the same
+:class:`~repro.runtime.policies.IngestPolicy` machinery as batch
+ingestion -- strict / skip / quarantine with error budgets -- so the
+online path degrades exactly like the offline one.
+
+:func:`skip_events` implements resume-after-crash: a snapshot records
+how many events were consumed, and the restarted source discards
+exactly that many *accepted* events before handing over new ones.
+Rejected lines do not count -- quarantine decisions are deterministic,
+so both runs reject the same lines and the offset stays aligned.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Optional, Union
+
+from repro.cdn.logs import BeaconHit, read_jsonl
+from repro.runtime.policies import IngestPolicy
+
+
+def jsonl_events(
+    stream: IO[str],
+    policy: Optional[IngestPolicy] = None,
+    start_line: int = 1,
+) -> Iterator[BeaconHit]:
+    """Parse a finite JSONL stream of beacon hits under ``policy``."""
+    return read_jsonl(
+        stream, BeaconHit, policy=policy, start_line=start_line
+    )
+
+
+def follow_jsonl(
+    path: Union[str, Path],
+    policy: Optional[IngestPolicy] = None,
+    poll_interval_s: float = 0.05,
+    idle_polls: Optional[int] = 20,
+) -> Iterator[BeaconHit]:
+    """Tail a growing JSONL file of beacon hits.
+
+    On end-of-file the reader sleeps ``poll_interval_s`` and retries;
+    after ``idle_polls`` consecutive empty polls it stops (pass
+    ``None`` to follow forever).  Partial trailing lines (a writer
+    mid-append) are left in the file until a newline completes them.
+    """
+    if policy is None:
+        policy = IngestPolicy.strict()
+    path = Path(path)
+    line_no = 0
+    idle = 0
+    with path.open() as stream:
+        buffer = ""
+        while True:
+            chunk = stream.readline()
+            if chunk:
+                buffer += chunk
+                if not buffer.endswith("\n"):
+                    continue  # incomplete line; wait for the rest
+                line, buffer = buffer, ""
+                idle = 0
+                line_no += 1
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    record = BeaconHit.from_json(stripped)
+                except Exception as exc:  # noqa: BLE001 -- policy decides
+                    from repro.runtime.policies import line_error
+
+                    policy.reject(
+                        line_error(line_no, "BeaconHit", stripped, exc), line
+                    )
+                    continue
+                policy.accept()
+                yield record
+            else:
+                idle += 1
+                if idle_polls is not None and idle >= idle_polls:
+                    policy.finish()
+                    return
+                time.sleep(poll_interval_s)
+
+
+def generated_events(
+    world, config=None
+) -> Iterator[BeaconHit]:
+    """Hit-level events from the synthetic world (demo / bench source)."""
+    from repro.cdn.beacon import BeaconGenerator
+
+    return BeaconGenerator(world, config).iter_hits()
+
+
+def skip_events(
+    events: Iterable[BeaconHit], count: int
+) -> Iterator[BeaconHit]:
+    """Drop the first ``count`` accepted events (snapshot resume)."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    iterator = iter(events)
+    skipped = 0
+    for _ in range(count):
+        try:
+            next(iterator)
+        except StopIteration:
+            raise ValueError(
+                f"cannot resume: stream ended after {skipped} events, "
+                f"snapshot consumed {count}"
+            ) from None
+        skipped += 1
+    return iterator

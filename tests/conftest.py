@@ -63,3 +63,16 @@ def tiny_world():
 @pytest.fixture()
 def rng() -> random.Random:
     return random.Random(1234)
+
+
+@pytest.fixture(scope="session")
+def beacon_hits(tiny_world):
+    """One month of per-hit beacon events from the tiny world.
+
+    The deterministic event list the stream/serve tests ingest; small
+    enough (~32k events) to drain in well under a second.
+    """
+    from repro.cdn.beacon import BeaconConfig, BeaconGenerator
+
+    config = BeaconConfig(month="2017-01", demand_hits=6000, base_hits=2.0)
+    return list(BeaconGenerator(tiny_world, config).iter_hits())

@@ -1,0 +1,104 @@
+"""LRU cache pruning: the cache is bounded by *use*, not by creation.
+
+``max_entries`` caps the committed entry count; :meth:`fetch` bumps
+an entry's recency, so a hot entry survives stores that evict colder
+ones.  Quarantined material and half-written entries are untouchable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.parallel.cache import META_NAME, QUARANTINE_DIR, DatasetCache
+
+from tests.test_dataset_cache import datasets  # noqa: F401 -- fixture
+
+
+def _params(index: int) -> dict:
+    return {"seed": index, "scale": 0.004, "note": "prune-test"}
+
+
+def _store(cache, datasets, index: int) -> str:  # noqa: F811
+    beacons, demand = datasets
+    key = cache.key_for(_params(index))
+    cache.store(key, beacons, demand, shards=2, params=_params(index))
+    return key
+
+
+def _age(cache, key, seconds: float) -> None:
+    """Backdate an entry's recency stamp (tests can't wait for mtime)."""
+    meta = cache.entry_dir(key) / META_NAME
+    stamp = time.time() - seconds
+    os.utime(meta, (stamp, stamp))
+
+
+class TestPrune:
+    def test_unbounded_cache_never_prunes(self, tmp_path, datasets):  # noqa: F811
+        cache = DatasetCache(tmp_path / "c")
+        keys = [_store(cache, datasets, i) for i in range(3)]
+        assert cache.prune() == []
+        assert all(cache.fetch(key) is not None for key in keys)
+
+    def test_store_evicts_least_recently_used(self, tmp_path, datasets):  # noqa: F811
+        cache = DatasetCache(tmp_path / "c", max_entries=2)
+        first = _store(cache, datasets, 0)
+        _age(cache, first, 100)
+        second = _store(cache, datasets, 1)
+        _age(cache, second, 50)
+        third = _store(cache, datasets, 2)  # prunes opportunistically
+        assert cache.fetch(first) is None
+        assert cache.fetch(second) is not None
+        assert cache.fetch(third) is not None
+
+    def test_fetch_refreshes_recency(self, tmp_path, datasets):  # noqa: F811
+        cache = DatasetCache(tmp_path / "c", max_entries=2)
+        first = _store(cache, datasets, 0)
+        second = _store(cache, datasets, 1)
+        _age(cache, first, 100)
+        _age(cache, second, 50)
+        assert cache.fetch(first) is not None  # touch: now most recent
+        _store(cache, datasets, 2)
+        assert cache.fetch(first) is not None
+        assert cache.fetch(second) is None  # the cold one went instead
+
+    def test_explicit_prune_returns_evicted_keys(self, tmp_path, datasets):  # noqa: F811
+        cache = DatasetCache(tmp_path / "c")
+        keys = [_store(cache, datasets, i) for i in range(3)]
+        for age, key in zip((300, 200, 100), keys):
+            _age(cache, key, age)
+        evicted = cache.prune(max_entries=1)
+        assert evicted == keys[:2]  # oldest first
+        assert cache.fetch(keys[2]) is not None
+
+    def test_quarantine_is_never_pruned(self, tmp_path, datasets):  # noqa: F811
+        cache = DatasetCache(tmp_path / "c", max_entries=1)
+        first = _store(cache, datasets, 0)
+        # Corrupt it so fetch quarantines the entry.
+        shard = next(cache.entry_dir(first).glob("beacon.shard*.json"))
+        shard.write_text("{}")
+        assert cache.fetch(first) is None
+        quarantined = list((cache.root / QUARANTINE_DIR).iterdir())
+        assert quarantined
+        _store(cache, datasets, 1)
+        _store(cache, datasets, 2)  # evicts entry 1, not the quarantine
+        assert list((cache.root / QUARANTINE_DIR).iterdir()) == quarantined
+
+    def test_uncommitted_entries_are_invisible_to_prune(
+        self, tmp_path, datasets  # noqa: F811
+    ):
+        cache = DatasetCache(tmp_path / "c", max_entries=1)
+        torn = cache.entry_dir("deadbeef")
+        torn.mkdir(parents=True)
+        (torn / "beacon.shard0.json").write_text("{}")  # no meta.json
+        _store(cache, datasets, 0)
+        _store(cache, datasets, 1)
+        assert torn.exists()  # prune only sees committed entries
+
+    def test_bad_max_entries_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DatasetCache(tmp_path / "c", max_entries=0)
+        with pytest.raises(ValueError):
+            DatasetCache(tmp_path / "c").prune(max_entries=0)

@@ -1,0 +1,103 @@
+"""Structured logging: namespacing, run ids, deterministic fields."""
+
+from __future__ import annotations
+
+import io
+import logging
+import re
+
+import pytest
+
+import repro.runtime.logging as rlog
+from repro.runtime.logging import (
+    ROOT_LOGGER,
+    configure_logging,
+    current_run_id,
+    format_fields,
+    get_logger,
+    log_event,
+    set_run_id,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_logging_state():
+    """Leave the process-wide logging config as we found it."""
+    yield
+    root = logging.getLogger(ROOT_LOGGER)
+    if rlog._configured_handler is not None:
+        root.removeHandler(rlog._configured_handler)
+        rlog._configured_handler = None
+    root.setLevel(logging.NOTSET)
+    set_run_id("-")
+
+
+class TestNamespacing:
+    def test_loggers_live_under_cellspot(self):
+        assert get_logger("stream.engine").name == "cellspot.stream.engine"
+        assert get_logger("cellspot.x").name == "cellspot.x"
+
+    def test_silent_by_default(self, capsys):
+        get_logger("quiet").warning("nobody hears this")
+        captured = capsys.readouterr()
+        assert captured.err == "" and captured.out == ""
+
+
+class TestConfigure:
+    def test_lines_are_structured(self):
+        sink = io.StringIO()
+        configure_logging("info", stream=sink)
+        set_run_id("abc123")
+        log_event(get_logger("serve"), logging.INFO, "window.advance",
+                  windows=3, subnets=10)
+        line = sink.getvalue().strip()
+        assert re.match(
+            r"^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z info serve "
+            r"run=abc123 window\.advance subnets=10 windows=3$",
+            line,
+        ), line
+
+    def test_reconfigure_does_not_stack_handlers(self):
+        sink = io.StringIO()
+        configure_logging("info", stream=sink)
+        configure_logging("info", stream=sink)
+        get_logger("dup").info("once")
+        assert sink.getvalue().count("once") == 1
+
+    def test_level_gating(self):
+        sink = io.StringIO()
+        configure_logging("warning", stream=sink)
+        logger = get_logger("gate")
+        log_event(logger, logging.DEBUG, "invisible")
+        log_event(logger, logging.ERROR, "visible")
+        assert "invisible" not in sink.getvalue()
+        assert "visible" in sink.getvalue()
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("loud")
+
+
+class TestRunId:
+    def test_generated_when_not_given(self):
+        value = set_run_id()
+        assert value == current_run_id()
+        assert len(value) == 12
+
+    def test_explicit_value_sticks(self):
+        set_run_id("run-7")
+        assert current_run_id() == "run-7"
+
+
+class TestFormatFields:
+    def test_sorted_and_deterministic(self):
+        assert format_fields(b=1, a=2) == "a=2 b=1"
+
+    def test_floats_are_compact(self):
+        assert format_fields(rate=0.3333333333) == "rate=0.333333"
+
+    def test_values_with_spaces_are_quoted(self):
+        assert format_fields(msg="two words") == "msg='two words'"
+
+    def test_empty_fields_is_empty_string(self):
+        assert format_fields() == ""

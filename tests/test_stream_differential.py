@@ -1,0 +1,105 @@
+"""Stream == batch: the online engine's central correctness claim.
+
+Under an exact window policy (``decay == 1``) a drained event stream
+must leave *bit-identical* state to the batch pipeline run over the
+same events -- same RatioTable, same classification, same per-AS hit
+totals.  Pinned here for seeds {0, 1}, across window sizes, and
+independent of arrival order.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cdn.beacon import BeaconConfig, BeaconGenerator
+from repro.core.ratios import RatioTable
+from repro.datasets.beacon_dataset import BeaconDataset
+from repro.stream import StreamEngine, WindowPolicy
+from repro.world.build import WorldParams, build_world
+
+MONTH = "2017-01"
+
+
+def _hits_for_seed(seed: int):
+    world = build_world(
+        WorldParams(seed=seed, scale=0.002, background_as_count=400)
+    )
+    config = BeaconConfig(month=MONTH, demand_hits=5000, base_hits=2.0)
+    return list(BeaconGenerator(world, config).iter_hits())
+
+
+def _batch_table(hits, min_api_hits: int = 1) -> RatioTable:
+    return RatioTable.from_beacons(
+        BeaconDataset.from_hits(MONTH, hits), min_api_hits=min_api_hits
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_drained_stream_equals_batch(seed):
+    hits = _hits_for_seed(seed)
+    engine = StreamEngine(policy=WindowPolicy(window_events=4096, decay=1.0))
+    engine.ingest_many(hits)
+    assert engine.ratio_table() == _batch_table(hits)
+
+
+@pytest.mark.parametrize("window_events", [1, 97, 10_000, 10_000_000])
+def test_window_size_never_changes_the_drained_total(window_events):
+    hits = _hits_for_seed(0)
+    engine = StreamEngine(
+        policy=WindowPolicy(window_events=window_events, decay=1.0)
+    )
+    engine.ingest_many(hits)
+    assert engine.ratio_table() == _batch_table(hits)
+
+
+def test_arrival_order_is_irrelevant():
+    hits = _hits_for_seed(1)
+    shuffled = list(hits)
+    random.Random(99).shuffle(shuffled)
+    left = StreamEngine(policy=WindowPolicy(window_events=512))
+    right = StreamEngine(policy=WindowPolicy(window_events=2048))
+    left.ingest_many(hits)
+    right.ingest_many(shuffled)
+    assert left.ratio_table() == right.ratio_table()
+
+
+def test_min_api_hits_filter_matches_batch():
+    hits = _hits_for_seed(0)
+    engine = StreamEngine(policy=WindowPolicy(window_events=4096))
+    engine.ingest_many(hits)
+    assert engine.ratio_table(min_api_hits=3) == _batch_table(
+        hits, min_api_hits=3
+    )
+
+
+def test_classification_matches_batch_labels():
+    from repro.core.classifier import SubnetClassifier
+
+    hits = _hits_for_seed(1)
+    engine = StreamEngine(policy=WindowPolicy(window_events=4096))
+    engine.ingest_many(hits)
+    live = engine.classification()
+    batch = SubnetClassifier().classify(_batch_table(hits))
+    assert live.cellular_set() == batch.cellular_set()
+    assert live.asns_with_cellular() == batch.asns_with_cellular()
+    assert dict(live.labels) == dict(batch.labels)
+
+
+def test_hits_by_asn_matches_batch_totals():
+    hits = _hits_for_seed(0)
+    engine = StreamEngine(policy=WindowPolicy(window_events=4096))
+    engine.ingest_many(hits)
+    expected: dict = {}
+    for hit in hits:
+        expected[hit.asn] = expected.get(hit.asn, 0) + 1
+    assert engine.hits_by_asn() == expected
+
+
+def test_decayed_policy_is_visibly_not_batch():
+    """decay < 1 must actually fade history (not silently stay exact)."""
+    hits = _hits_for_seed(0)
+    engine = StreamEngine(policy=WindowPolicy(window_events=1024, decay=0.5))
+    engine.ingest_many(hits)
+    assert engine.ratio_table() != _batch_table(hits)

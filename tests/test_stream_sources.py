@@ -1,0 +1,108 @@
+"""Event sources: JSONL parsing under policy, tailing, resume skips."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.runtime.policies import IngestFault, IngestPolicy
+from repro.stream.sources import (
+    follow_jsonl,
+    jsonl_events,
+    skip_events,
+)
+
+
+def _good_line(hit) -> str:
+    return hit.to_json()
+
+
+class TestJsonlEvents:
+    def test_round_trips_hits(self, beacon_hits):
+        sample = beacon_hits[:50]
+        stream = io.StringIO("\n".join(h.to_json() for h in sample) + "\n")
+        assert list(jsonl_events(stream)) == sample
+
+    def test_strict_policy_raises_on_garbage(self, beacon_hits):
+        stream = io.StringIO(beacon_hits[0].to_json() + "\n{broken\n")
+        with pytest.raises(ValueError):
+            list(jsonl_events(stream, policy=IngestPolicy.strict()))
+
+    def test_skip_policy_drops_and_counts(self, beacon_hits):
+        sample = beacon_hits[:5]
+        lines = [h.to_json() for h in sample]
+        lines.insert(2, '{"month": "2017-01"}')  # missing fields
+        policy = IngestPolicy.skip()
+        parsed = list(
+            jsonl_events(io.StringIO("\n".join(lines) + "\n"), policy=policy)
+        )
+        assert parsed == sample
+        assert policy.stats.rejected_lines == 1
+        assert policy.stats.ok_lines == 5
+
+
+class TestFollowJsonl:
+    def test_tails_appended_lines(self, beacon_hits, tmp_path):
+        path = tmp_path / "hits.jsonl"
+        first, second = beacon_hits[0], beacon_hits[1]
+        path.write_text(first.to_json() + "\n")
+        events = follow_jsonl(path, poll_interval_s=0.001, idle_polls=50)
+        assert next(events) == first
+        # Append while the follower is mid-stream: it must pick it up.
+        with path.open("a") as stream:
+            stream.write(second.to_json() + "\n")
+        assert next(events) == second
+
+    def test_partial_trailing_line_is_not_parsed_early(
+        self, beacon_hits, tmp_path
+    ):
+        path = tmp_path / "hits.jsonl"
+        line = beacon_hits[0].to_json()
+        path.write_text(line + "\n" + line[: len(line) // 2])
+        events = follow_jsonl(path, poll_interval_s=0.001, idle_polls=3)
+        assert next(events) == beacon_hits[0]
+        with path.open("a") as stream:  # writer finishes the line
+            stream.write(line[len(line) // 2:] + "\n")
+        assert next(events) == beacon_hits[0]
+
+    def test_stops_after_idle_budget(self, beacon_hits, tmp_path):
+        path = tmp_path / "hits.jsonl"
+        path.write_text(beacon_hits[0].to_json() + "\n")
+        events = follow_jsonl(path, poll_interval_s=0.001, idle_polls=2)
+        assert list(events) == [beacon_hits[0]]
+
+    def test_malformed_line_honours_policy(self, beacon_hits, tmp_path):
+        path = tmp_path / "hits.jsonl"
+        path.write_text("{junk}\n" + beacon_hits[0].to_json() + "\n")
+        policy = IngestPolicy.skip()
+        events = follow_jsonl(
+            path, policy=policy, poll_interval_s=0.001, idle_polls=2
+        )
+        assert list(events) == [beacon_hits[0]]
+        assert policy.stats.rejected_lines == 1
+
+    def test_strict_policy_raises_while_tailing(self, tmp_path):
+        path = tmp_path / "hits.jsonl"
+        path.write_text("total garbage\n")
+        events = follow_jsonl(path, poll_interval_s=0.001, idle_polls=2)
+        with pytest.raises(IngestFault):
+            list(events)
+
+
+class TestSkipEvents:
+    def test_skips_exactly_count(self, beacon_hits):
+        rest = list(skip_events(iter(beacon_hits[:10]), 4))
+        assert rest == beacon_hits[4:10]
+
+    def test_zero_skip_is_identity(self, beacon_hits):
+        assert list(skip_events(iter(beacon_hits[:3]), 0)) == beacon_hits[:3]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            skip_events(iter([]), -1)
+
+    def test_short_stream_is_an_error_not_silence(self, beacon_hits):
+        """Resuming past the end means the source changed: fail loudly."""
+        with pytest.raises(ValueError, match="cannot resume"):
+            skip_events(iter(beacon_hits[:3]), 10)

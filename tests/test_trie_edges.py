@@ -1,0 +1,123 @@
+"""PrefixTrie edge cases the serving index leans on.
+
+The LPM index answers production-shaped queries, so the corners
+matter: default routes, exact-vs-longest ties, ``None`` payloads,
+cross-family misuse, and LPM fallback after deletions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+
+
+def _p(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+class TestDefaultRoute:
+    def test_slash_zero_matches_every_address(self):
+        trie = PrefixTrie(4)
+        trie.insert(_p("0.0.0.0/0"), "default")
+        for address in (0, 1, 0xFFFFFFFF, 0x0A000001):
+            assert trie.longest_match(4, address) == (
+                _p("0.0.0.0/0"), "default"
+            )
+
+    def test_specific_beats_default(self):
+        trie = PrefixTrie(4)
+        trie.insert(_p("0.0.0.0/0"), "default")
+        trie.insert(_p("10.0.0.0/8"), "ten")
+        assert trie.longest_match(4, 0x0A000001)[1] == "ten"
+        assert trie.longest_match(4, 0x0B000001)[1] == "default"
+
+    def test_default_route_covers_any_prefix_query(self):
+        trie = PrefixTrie(4)
+        trie.insert(_p("0.0.0.0/0"), "default")
+        assert trie.match_prefix(_p("203.0.113.0/24"))[1] == "default"
+
+    def test_ipv6_default_route(self):
+        trie = PrefixTrie(6)
+        trie.insert(_p("::/0"), "default6")
+        assert trie.longest_match(6, 2**128 - 1)[1] == "default6"
+
+
+class TestExactVersusLongest:
+    def test_exact_entry_wins_over_shorter_ancestor(self):
+        trie = PrefixTrie(4)
+        trie.insert(_p("10.0.0.0/8"), "eight")
+        trie.insert(_p("10.1.0.0/16"), "sixteen")
+        trie.insert(_p("10.1.2.0/24"), "twentyfour")
+        assert trie.match_prefix(_p("10.1.2.0/24"))[1] == "twentyfour"
+        assert trie.match_prefix(_p("10.1.9.0/24"))[1] == "sixteen"
+        assert trie.match_prefix(_p("10.9.9.0/24"))[1] == "eight"
+
+    def test_address_on_prefix_boundary(self):
+        trie = PrefixTrie(4)
+        trie.insert(_p("10.1.2.0/24"), "subnet")
+        assert trie.longest_match(4, _p("10.1.2.0/24").value)[1] == "subnet"
+        # One below the subnet base falls outside it.
+        assert trie.longest_match(4, _p("10.1.2.0/24").value - 1) is None
+
+
+class TestNoneValues:
+    """``None`` payloads are legal values, not missing entries."""
+
+    def test_stored_none_is_found(self):
+        trie = PrefixTrie(4)
+        trie.insert(_p("10.0.0.0/8"), None)
+        assert _p("10.0.0.0/8") in trie
+        found = trie.longest_match(4, 0x0A000001)
+        assert found == (_p("10.0.0.0/8"), None)
+
+    def test_none_overwrite_and_get(self):
+        trie = PrefixTrie(4)
+        trie.insert(_p("10.0.0.0/8"), "x")
+        trie.insert(_p("10.0.0.0/8"), None)
+        assert trie.get(_p("10.0.0.0/8")) is None
+        assert len(trie) == 1
+
+
+class TestCrossFamily:
+    def test_every_operation_rejects_the_wrong_family(self):
+        trie = PrefixTrie(4)
+        v6 = _p("2001:db8::/48")
+        with pytest.raises(ValueError):
+            trie.insert(v6, "x")
+        with pytest.raises(ValueError):
+            trie.get(v6)
+        with pytest.raises(ValueError):
+            trie.remove(v6)
+        with pytest.raises(ValueError):
+            trie.longest_match(6, 1)
+        with pytest.raises(ValueError):
+            trie.match_prefix(v6)
+
+
+class TestDeleteThenLPM:
+    def test_lpm_falls_back_to_ancestor_after_delete(self):
+        trie = PrefixTrie(4)
+        trie.insert(_p("10.0.0.0/8"), "eight")
+        trie.insert(_p("10.1.0.0/16"), "sixteen")
+        trie.insert(_p("10.1.2.0/24"), "twentyfour")
+        address = _p("10.1.2.0/24").value + 5
+
+        assert trie.longest_match(4, address)[1] == "twentyfour"
+        trie.remove(_p("10.1.2.0/24"))
+        assert trie.longest_match(4, address)[1] == "sixteen"
+        trie.remove(_p("10.1.0.0/16"))
+        assert trie.longest_match(4, address)[1] == "eight"
+        trie.remove(_p("10.0.0.0/8"))
+        assert trie.longest_match(4, address) is None
+
+    def test_deleting_ancestor_keeps_descendant(self):
+        trie = PrefixTrie(4)
+        trie.insert(_p("10.0.0.0/8"), "eight")
+        trie.insert(_p("10.1.2.0/24"), "twentyfour")
+        trie.remove(_p("10.0.0.0/8"))
+        assert trie.longest_match(4, _p("10.1.2.0/24").value)[1] == (
+            "twentyfour"
+        )
+        assert trie.longest_match(4, 0x0A000001) is None
