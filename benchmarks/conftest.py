@@ -24,3 +24,16 @@ def lab() -> Lab:
     instance.affinity
     instance.carriers
     return instance
+
+
+@pytest.fixture(scope="session")
+def beacon_hits():
+    """~32k per-hit beacon events (the stream/ingest bench workload)."""
+    from repro.cdn.beacon import BeaconConfig, BeaconGenerator
+    from repro.world.build import WorldParams, build_world
+
+    world = build_world(
+        WorldParams(seed=3, scale=0.002, background_as_count=400)
+    )
+    config = BeaconConfig(month="2017-01", demand_hits=6000, base_hits=2.0)
+    return list(BeaconGenerator(world, config).iter_hits())

@@ -162,14 +162,22 @@ def read_jsonl(
     if policy is None:
         policy = IngestPolicy.strict()
     type_name = getattr(record_type, "__name__", str(record_type))
-    for line_no, line in enumerate(stream, start=start_line):
-        stripped = line.strip()
-        if not stripped:
-            continue
-        try:
-            record = record_type.from_json(stripped)
-        except Exception as exc:  # noqa: BLE001 -- classified by the policy
-            policy.reject(line_error(line_no, type_name, stripped, exc), line)
-            continue
-        policy.accept()
-        yield record
+    try:
+        for line_no, line in enumerate(stream, start=start_line):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = record_type.from_json(stripped)
+            except Exception as exc:  # noqa: BLE001 -- policy classifies
+                policy.reject(
+                    line_error(line_no, type_name, stripped, exc), line
+                )
+                continue
+            policy.accept()
+            yield record
+    finally:
+        # Callers that stop short of policy.finish() (closed
+        # generators) still get their tail batch of accepted-line
+        # counts folded into the global ingest counters.
+        policy.flush_metrics()

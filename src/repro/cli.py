@@ -86,6 +86,46 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         choices=["debug", "info", "warning", "error"],
         help="enable structured logging on stderr at LEVEL",
     )
+    _add_obs(parser)
+
+
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    """Observability flags; every subcommand gets them (repro.obs)."""
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the run's metric registry to FILE on exit (and on "
+             "SIGUSR1): Prometheus text format, or JSON when FILE ends "
+             "in .json",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the run's span tree to FILE as Chrome trace_event "
+             "JSON (chrome://tracing, Perfetto)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="wrap the run in cProfile and write a top-N cumulative "
+             "report (see --profile-out)",
+    )
+    parser.add_argument(
+        "--profile-out", default=None, metavar="FILE",
+        help="profile report path (default: the --checkpoint dir when "
+             "one is given, else next to --metrics-out, else "
+             "./profile.txt)",
+    )
+
+
+def _profile_out(args: argparse.Namespace) -> Path:
+    """Resolve where the ``--profile`` report should land."""
+    if getattr(args, "profile_out", None):
+        return Path(args.profile_out)
+    checkpoint = getattr(args, "checkpoint", None)
+    if checkpoint:
+        return Path(checkpoint) / "profile.txt"
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        return Path(metrics_out).with_name("profile.txt")
+    return Path("profile.txt")
 
 
 def _make_lab(args: argparse.Namespace) -> Lab:
@@ -381,6 +421,8 @@ def _event_source(args: argparse.Namespace, skip: int):
 
 def _make_service(args: argparse.Namespace, engine):
     from repro.lab import scaled_filter_config
+    from repro.obs.metrics import global_registry
+    from repro.serve.metrics import service_metrics
     from repro.serve.service import CellSpotService, ServiceConfig
 
     demand = as_classes = filter_config = None
@@ -399,6 +441,10 @@ def _make_service(args: argparse.Namespace, engine):
             ingest_batch=args.ingest_batch,
         ),
         snapshot_path=args.snapshot,
+        # Serve counters land on the process-global registry, so one
+        # --metrics-out dump covers the serving layer together with
+        # the stream/ingest instrumentation underneath it.
+        metrics=service_metrics(registry=global_registry()),
     )
 
 
@@ -429,7 +475,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"consumed, {engine.subnet_count():,} subnets",
               file=sys.stderr)
     service = _make_service(args, engine)
-    install_sigusr1_stats(service)
+    if not (args.metrics_out or args.trace_out):
+        # With --metrics-out / --trace-out the observability layer
+        # owns SIGUSR1 (atomic file dumps); without them, keep the
+        # legacy dump-JSON-to-stderr behavior.
+        install_sigusr1_stats(service)
     try:
         events, closer = _event_source(args, skip=resumed)
     except ValueError as exc:
@@ -500,6 +550,153 @@ def _cmd_query(args: argparse.Namespace) -> int:
         if result.error is not None:
             failures += 1
     return 1 if failures else 0
+
+
+def _format_metric_value(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.6g}"
+    return f"{value:,}"
+
+
+def _stats_metrics_rows(path: Path):
+    """Rows for the metrics table from a .json or Prometheus dump.
+
+    Raises ``ValueError`` (including
+    :class:`repro.obs.metrics.PrometheusFormatError`) on files that do
+    not parse -- the caller maps that to exit code 2.
+    """
+    import json as json_module
+
+    from repro.obs.metrics import parse_prometheus_text
+
+    text = path.read_text()
+    rows = []
+    if path.suffix == ".json":
+        raw = json_module.loads(text)
+        if not isinstance(raw, dict):
+            raise ValueError("metrics JSON is not an object")
+        for name in sorted(raw):
+            payload = raw[name]
+            if not isinstance(payload, dict):
+                if name == "_uptime_s":  # keep parity with prom export
+                    rows.append([
+                        "process_uptime_seconds", "gauge",
+                        _format_metric_value(float(payload)), "",
+                    ])
+                continue
+            kind = payload.get("type", "?")
+            if kind == "histogram":
+                detail = (
+                    f"mean={_format_metric_value(payload.get('mean'))} "
+                    f"p50={_format_metric_value(payload.get('p50'))} "
+                    f"p99={_format_metric_value(payload.get('p99'))}"
+                )
+                value = payload.get("count", 0)
+            else:
+                detail = ""
+                value = payload.get("value", 0)
+            rows.append(
+                [name, kind, _format_metric_value(value), detail]
+            )
+        return rows
+    parsed = parse_prometheus_text(text)
+    for name in sorted(parsed):
+        payload = parsed[name]
+        kind = payload["type"]
+        # Samples are (sample_name, labels, value) triples.
+        by_name = {
+            sample_name: value
+            for sample_name, _labels, value in payload["samples"]
+        }
+        if kind == "histogram":
+            count = by_name.get(f"{name}_count", 0)
+            total = by_name.get(f"{name}_sum", 0.0)
+            mean = total / count if count else 0.0
+            value = count
+            detail = f"mean={_format_metric_value(mean)}"
+        else:
+            value = payload["samples"][0][2]
+            detail = ""
+        rows.append([name, kind, _format_metric_value(value), detail])
+    return rows
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Summarize telemetry files a finished run left behind.
+
+    Exit codes: 0 on success, 2 when no file was given or a file is
+    missing/invalid -- strictness is the point, this doubles as the CI
+    validity check for ``--metrics-out`` / ``--trace-out`` artifacts.
+    """
+    import json as json_module
+
+    from repro.analysis.report import render_table
+
+    if not args.metrics and not args.trace:
+        print("error: nothing to summarize; give --metrics FILE and/or "
+              "--trace FILE", file=sys.stderr)
+        return 2
+    if args.metrics:
+        path = Path(args.metrics)
+        try:
+            rows = _stats_metrics_rows(path)
+        except (OSError, ValueError) as exc:
+            print(f"error: metrics {path}: {exc}", file=sys.stderr)
+            return 2
+        if not rows:
+            print(f"error: metrics {path}: no metrics found",
+                  file=sys.stderr)
+            return 2
+        print(render_table(
+            ["metric", "type", "value", "detail"], rows,
+            title=f"metrics ({path})",
+        ))
+        print()
+    if args.trace:
+        path = Path(args.trace)
+        try:
+            raw = json_module.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: trace {path}: {exc}", file=sys.stderr)
+            return 2
+        events = raw.get("traceEvents") if isinstance(raw, dict) else None
+        if not isinstance(events, list):
+            print(f"error: trace {path}: no traceEvents list",
+                  file=sys.stderr)
+            return 2
+        complete = [
+            event for event in events
+            if isinstance(event, dict) and event.get("ph") == "X"
+        ]
+        other = raw.get("otherData", {})
+        trace_id = other.get("trace_id", "-")
+        print(f"trace {trace_id}: {len(complete)} spans "
+              f"({other.get('dropped_spans', 0)} dropped)")
+        complete.sort(key=lambda event: event.get("dur", 0), reverse=True)
+        rows = [
+            [
+                event.get("name", "?"),
+                f"{event.get('dur', 0) / 1000:.2f}ms",
+                f"{event.get('ts', 0) / 1000:.2f}ms",
+                ", ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(
+                        (event.get("args") or {}).items()
+                    )
+                    if key not in ("span_id", "parent_id", "trace_id")
+                )[:48],
+            ]
+            for event in complete[: args.top]
+        ]
+        print(render_table(
+            ["span", "duration", "start", "attributes"], rows,
+            title=f"slowest spans ({path})",
+        ))
+    return 0
 
 
 def _add_stream_options(parser: argparse.ArgumentParser) -> None:
@@ -716,7 +913,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--quarantine-dir", default=None, metavar="DIR",
         help="also write rejected lines to DIR/<file>.quarantine.jsonl",
     )
+    _add_obs(validate)  # no _add_common here; obs flags still apply
     validate.set_defaults(func=_cmd_validate)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="summarize telemetry files from a finished run",
+        description="Pretty-print a --metrics-out dump (Prometheus text "
+                    "or JSON) and/or a --trace-out Chrome trace: metric "
+                    "values, histogram quantiles, and the slowest spans.",
+    )
+    stats.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="metrics dump to summarize (.prom/.txt Prometheus text, "
+             ".json JSON)",
+    )
+    stats.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="Chrome trace_event JSON to summarize",
+    )
+    stats.add_argument(
+        "--top", type=_positive_int, default=15, metavar="N",
+        help="spans shown in the slowest-span table (default: 15)",
+    )
+    stats.set_defaults(func=_cmd_stats)
 
     report = subparsers.add_parser(
         "report", help="write EXPERIMENTS.md (paper vs measured)"
@@ -787,7 +1007,17 @@ def main(argv=None) -> int:
 
         configure_logging(args.log_level)
         set_run_id()
-    return args.func(args)
+    from repro.obs import observed_command
+
+    profile = bool(getattr(args, "profile", False))
+    with observed_command(
+        args.command,
+        metrics_out=getattr(args, "metrics_out", None),
+        trace_out=getattr(args, "trace_out", None),
+        profile=profile,
+        profile_out=_profile_out(args) if profile else None,
+    ):
+        return args.func(args)
 
 
 if __name__ == "__main__":

@@ -106,8 +106,13 @@ class CellSpotter:
         timings: Dict[str, float] = {}
 
         def timed(stage: str, fn):
+            # Lazy: core must stay importable without pulling obs at
+            # module load (obs itself instruments layers above core).
+            from repro.obs.trace import span
+
             started = time.perf_counter()
-            value = fn()
+            with span(f"stage.{stage}"):
+                value = fn()
             timings[stage] = time.perf_counter() - started
             return value
 

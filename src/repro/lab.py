@@ -18,6 +18,7 @@ from repro.cdn.beacon import BeaconConfig, BeaconGenerator
 from repro.cdn.demand import DemandConfig, DemandGenerator
 from repro.core.asn_classifier import ASFilterConfig
 from repro.core.pipeline import CellSpotter, CellSpotterResult
+from repro.obs.trace import span
 from repro.datasets.beacon_dataset import BeaconDataset
 from repro.datasets.caida import ASClassificationDataset
 from repro.datasets.demand_dataset import DemandDataset
@@ -146,11 +147,19 @@ class Lab:
         key = cache.key_for(params)
         entry = cache.fetch(key)
         if entry is not None:
-            self._beacons, self._demand = cache.load_datasets(entry)
+            with span("dataset.cache_load", key=key[:12]):
+                self._beacons, self._demand = cache.load_datasets(entry)
             return
-        self._beacons = BeaconGenerator(self.world, self.beacon_config).summarize()
-        self._demand = DemandGenerator(self.world, self.demand_config).build_dataset()
-        cache.store(key, self._beacons, self._demand, params=params)
+        with span("dataset.generate_beacons"):
+            self._beacons = BeaconGenerator(
+                self.world, self.beacon_config
+            ).summarize()
+        with span("dataset.generate_demand"):
+            self._demand = DemandGenerator(
+                self.world, self.demand_config
+            ).build_dataset()
+        with span("dataset.cache_store", key=key[:12]):
+            cache.store(key, self._beacons, self._demand, params=params)
 
     # ---- datasets --------------------------------------------------------
 
@@ -161,9 +170,10 @@ class Lab:
             if self.cache_dir is not None:
                 self._materialize_cached()
             else:
-                self._beacons = BeaconGenerator(
-                    self.world, self.beacon_config
-                ).summarize()
+                with span("dataset.generate_beacons"):
+                    self._beacons = BeaconGenerator(
+                        self.world, self.beacon_config
+                    ).summarize()
         return self._beacons
 
     @property
@@ -173,9 +183,10 @@ class Lab:
             if self.cache_dir is not None:
                 self._materialize_cached()
             else:
-                self._demand = DemandGenerator(
-                    self.world, self.demand_config
-                ).build_dataset()
+                with span("dataset.generate_demand"):
+                    self._demand = DemandGenerator(
+                        self.world, self.demand_config
+                    ).build_dataset()
         return self._demand
 
     @property
@@ -198,13 +209,18 @@ class Lab:
     def result(self) -> CellSpotterResult:
         """The pipeline output on this lab's datasets (cached)."""
         if self._result is None:
-            self._result = self.spotter.run(
-                self.beacons,
-                self.demand,
-                self.as_classes,
+            with span(
+                "pipeline.run",
                 workers=self.workers,
-                shards=self.shards,
-            )
+                shards=self.shards if self.shards is not None else self.workers,
+            ):
+                self._result = self.spotter.run(
+                    self.beacons,
+                    self.demand,
+                    self.as_classes,
+                    workers=self.workers,
+                    shards=self.shards,
+                )
         return self._result
 
     @property

@@ -1,0 +1,74 @@
+"""Opt-in sampling/profiling hooks (``--profile``).
+
+Wraps a run in :mod:`cProfile` and emits the top-N cumulative-time
+stats as a text report (plus the raw ``pstats`` dump for offline
+digging) -- written atomically, so a crashed profiled run never leaves
+a torn report.  The CLI points the output at the run's manifest
+directory when one exists (``cellspot all --checkpoint DIR``), else
+next to the metrics dump.
+
+Deterministic-profiler overhead is real (~1.3-2x on tight Python
+loops), which is why this is opt-in and **never** wired into the
+default path; the <5% observability overhead budget pinned by
+``benchmarks/bench_obs_overhead.py`` covers metrics + tracing only.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+#: Rows of cumulative stats included in the text report.
+DEFAULT_TOP_N = 40
+
+
+def write_profile_report(
+    profiler: cProfile.Profile,
+    out_path: Union[str, Path],
+    top_n: int = DEFAULT_TOP_N,
+) -> Path:
+    """Render ``profiler`` to ``out_path`` (atomic); returns the path.
+
+    The text report holds the top ``top_n`` functions by cumulative
+    time; a sibling ``<out_path>.pstats`` carries the raw stats for
+    ``python -m pstats`` / snakeviz-style tooling.
+    """
+    from repro.runtime.checkpoint import atomic_write_text
+
+    out_path = Path(out_path)
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative")
+    buffer.write(f"top {top_n} functions by cumulative time\n")
+    stats.print_stats(top_n)
+    atomic_write_text(out_path, buffer.getvalue())
+    stats.dump_stats(str(out_path) + ".pstats")
+    return out_path
+
+
+@contextmanager
+def maybe_profile(
+    enabled: bool,
+    out_path: Optional[Union[str, Path]] = None,
+    top_n: int = DEFAULT_TOP_N,
+) -> Iterator[Optional[cProfile.Profile]]:
+    """Profile the body when ``enabled``; no-op (yields None) otherwise.
+
+    The report is written even when the body raises -- a profile of
+    the run that crashed is usually the one you wanted.
+    """
+    if not enabled:
+        yield None
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        if out_path is not None:
+            write_profile_report(profiler, out_path, top_n=top_n)

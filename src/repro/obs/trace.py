@@ -1,0 +1,294 @@
+"""Lightweight cross-layer span tracing.
+
+One ``cellspot`` command is one **trace**: a run-scoped ``trace_id``
+plus a tree of **spans** (ingest -> shard -> merge -> experiments ...)
+with monotonic start/duration, parent/child nesting, and per-span
+attributes (shard id, window seq, experiment name).  The same
+``trace_id`` is injected into structured log records
+(:mod:`repro.runtime.logging`) and the run manifest
+(:mod:`repro.runtime.manifest`), so a slow stage found in a trace can
+be joined against its log lines and its checkpointed run.
+
+API shapes:
+
+- ``with get_tracer().span("merge", shard=3):`` -- context manager;
+- ``@traced("experiment.run")`` -- decorator;
+- ``tracer.add_span(name, started, duration, ...)`` -- record work
+  timed elsewhere (pool workers measure inside the child process and
+  ship ``(started, elapsed)`` back; ``time.perf_counter`` is
+  ``CLOCK_MONOTONIC`` on Linux, comparable across local processes).
+
+Export is Chrome ``trace_event`` JSON (:meth:`Tracer.to_chrome_trace`,
+``--trace-out``): complete events (``"ph": "X"``) with microsecond
+timestamps, loadable in ``chrome://tracing`` and Perfetto.
+
+Thread model: the current span is a :class:`contextvars.ContextVar`
+(each thread starts a fresh context, so guard worker threads simply
+root their spans at the top level); the completed-span list is
+lock-protected and bounded (:data:`MAX_SPANS`) so a long serve loop
+cannot grow without bound.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import functools
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.runtime.logging import reset_trace_context, set_trace_context
+
+#: Completed spans retained per tracer; older spans beyond the cap are
+#: dropped (and counted) rather than exhausting memory.
+MAX_SPANS = 100_000
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass
+class Span:
+    """One timed unit of work inside a trace."""
+
+    name: str
+    trace_id: str
+    span_id: str = field(default_factory=_new_id)
+    parent_id: Optional[str] = None
+    #: ``time.perf_counter()`` at start (monotonic).
+    started: float = 0.0
+    #: Seconds; filled when the span ends.
+    duration: Optional[float] = None
+    attributes: Dict[str, object] = field(default_factory=dict)
+    #: Native thread id at start (Chrome trace ``tid``).
+    thread_id: int = 0
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    @property
+    def ended(self) -> bool:
+        return self.duration is not None
+
+
+class Tracer:
+    """A run-scoped collection of spans under one ``trace_id``."""
+
+    def __init__(
+        self, trace_id: Optional[str] = None, max_spans: int = MAX_SPANS
+    ) -> None:
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self.trace_id = trace_id or _new_id()
+        self.max_spans = max_spans
+        #: perf_counter anchor: exported timestamps are relative to it.
+        self.epoch = time.perf_counter()
+        #: Wall-clock at epoch, for human-readable export metadata.
+        self.started_at = time.time()
+        self.dropped = 0
+        self._spans: List[Span] = []
+        self._lock = threading.Lock()
+        self._current: contextvars.ContextVar[Optional[Span]] = (
+            contextvars.ContextVar(f"cellspot_span_{self.trace_id}",
+                                   default=None)
+        )
+
+    # ---- recording -------------------------------------------------------
+
+    def current_span(self) -> Optional[Span]:
+        return self._current.get()
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self.dropped += 1
+                return
+            self._spans.append(span)
+
+    def span(self, name: str, **attributes: object) -> "_SpanContext":
+        """Context manager opening a child of the current span."""
+        return _SpanContext(self, name, attributes)
+
+    def add_span(
+        self,
+        name: str,
+        started: float,
+        duration: float,
+        parent: Optional[Span] = None,
+        **attributes: object,
+    ) -> Span:
+        """Record externally timed work (e.g. a pool worker's shard).
+
+        ``started`` is a ``time.perf_counter()`` reading; ``parent``
+        defaults to the caller's current span.
+        """
+        if parent is None:
+            parent = self.current_span()
+        span = Span(
+            name=name,
+            trace_id=self.trace_id,
+            parent_id=parent.span_id if parent is not None else None,
+            started=started,
+            duration=duration,
+            attributes=dict(attributes),
+            thread_id=threading.get_ident(),
+        )
+        self._record(span)
+        return span
+
+    # ---- views -----------------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        """Completed spans, in completion order (snapshot copy)."""
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    # ---- export ----------------------------------------------------------
+
+    def to_chrome_trace(self) -> Dict:
+        """Chrome ``trace_event`` JSON object (``chrome://tracing``).
+
+        Complete events (``ph: "X"``) with microsecond ``ts``/``dur``
+        relative to the tracer's epoch; span attributes plus ids ride
+        in ``args``.
+        """
+        pid = os.getpid()
+        events = []
+        for span in self.spans():
+            args = {
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+            }
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            for key, value in span.attributes.items():
+                args[str(key)] = value
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "cellspot",
+                    "ph": "X",
+                    "ts": (span.started - self.epoch) * 1e6,
+                    "dur": (span.duration or 0.0) * 1e6,
+                    "pid": pid,
+                    "tid": span.thread_id,
+                    "args": args,
+                }
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "trace_id": self.trace_id,
+                "started_at": self.started_at,
+                "dropped_spans": self.dropped,
+            },
+        }
+
+    def render_chrome_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_chrome_trace(), indent=indent)
+
+
+class _SpanContext:
+    """Context manager produced by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_span", "_token",
+                 "_log_token")
+
+    def __init__(self, tracer: Tracer, name: str, attributes: Dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._span: Optional[Span] = None
+        self._token = None
+        self._log_token = None
+
+    def __enter__(self) -> Span:
+        parent = self._tracer.current_span()
+        span = Span(
+            name=self._name,
+            trace_id=self._tracer.trace_id,
+            parent_id=parent.span_id if parent is not None else None,
+            started=time.perf_counter(),
+            attributes=dict(self._attributes),
+            thread_id=threading.get_ident(),
+        )
+        self._span = span
+        self._token = self._tracer._current.set(span)
+        self._log_token = set_trace_context(
+            self._tracer.trace_id, span.span_id
+        )
+        return span
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        span = self._span
+        assert span is not None
+        span.duration = time.perf_counter() - span.started
+        if exc_type is not None:
+            span.attributes.setdefault("error", exc_type.__name__)
+        reset_trace_context(self._log_token)
+        self._tracer._current.reset(self._token)
+        self._tracer._record(span)
+        return None
+
+
+def traced(name: Optional[str] = None, **attributes: object):
+    """Decorator: run the function inside a span on the global tracer.
+
+    ``name`` defaults to the function's qualified name; extra keyword
+    arguments become span attributes.
+    """
+
+    def decorate(fn):
+        span_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with get_tracer().span(span_name, **attributes):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+# ---- process-global tracer -----------------------------------------------
+
+_GLOBAL_LOCK = threading.Lock()
+_GLOBAL_TRACER: Optional[Tracer] = None
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer instrumented library paths record into."""
+    global _GLOBAL_TRACER
+    with _GLOBAL_LOCK:
+        if _GLOBAL_TRACER is None:
+            _GLOBAL_TRACER = Tracer()
+        return _GLOBAL_TRACER
+
+
+def reset_tracer(trace_id: Optional[str] = None) -> Tracer:
+    """Swap in a fresh global tracer (one per CLI command / test)."""
+    global _GLOBAL_TRACER
+    with _GLOBAL_LOCK:
+        _GLOBAL_TRACER = Tracer(trace_id=trace_id)
+        return _GLOBAL_TRACER
+
+
+def current_trace_id() -> str:
+    """The run-scoped trace id (creates the tracer if needed)."""
+    return get_tracer().trace_id
+
+
+def span(name: str, **attributes: object) -> _SpanContext:
+    """Convenience: a span on the global tracer."""
+    return get_tracer().span(name, **attributes)

@@ -51,12 +51,40 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from repro.datasets.beacon_dataset import BeaconDataset, SubnetBeaconCounts
 from repro.datasets.demand_dataset import DemandDataset, SubnetDemand
 from repro.net.prefix import Prefix
+from repro.obs.metrics import MeterCache, instrument
 from repro.runtime.checkpoint import atomic_write_text
 from repro.runtime.policies import IngestError
 from repro.runtime.quarantine import QuarantineSink
 from repro.world.population import Browser
 
 from repro.parallel.sharding import partition_beacons, partition_demand
+
+#: Cache telemetry (``repro.obs``).  Cache operations are rare (a few
+#: per run) so these record unbatched at the call sites.
+_CACHE_METER = MeterCache(
+    lambda: (
+        instrument(
+            "counter", "dataset_cache_hits_total",
+            "verified dataset-cache fetches",
+        ),
+        instrument(
+            "counter", "dataset_cache_misses_total",
+            "dataset-cache fetches that found no usable entry",
+        ),
+        instrument(
+            "counter", "dataset_cache_evictions_total",
+            "entries removed by LRU pruning",
+        ),
+        instrument(
+            "counter", "dataset_cache_corruptions_total",
+            "entries quarantined after failing verification",
+        ),
+        instrument(
+            "counter", "dataset_cache_stored_bytes_total",
+            "bytes of shard + meta payload written by store()",
+        ),
+    )
+)
 
 #: Bump when the shard file layout changes; part of the cache key, so
 #: old-format entries become unreachable instead of misread.
@@ -249,10 +277,14 @@ class DatasetCache:
         directory = self.entry_dir(key)
         directory.mkdir(parents=True, exist_ok=True)
         files: Dict[str, str] = {}
+        stored_bytes = 0
 
         def put(name: str, payload: str) -> None:
+            nonlocal stored_bytes
             atomic_write_text(directory / name, payload)
-            files[name] = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            data = payload.encode("utf-8")
+            stored_bytes += len(data)
+            files[name] = hashlib.sha256(data).hexdigest()
 
         for index, part in enumerate(partition_beacons(beacons, shards)):
             put(
@@ -287,10 +319,10 @@ class DatasetCache:
             "files": files,
             "created_at": time.time(),
         }
-        atomic_write_text(
-            directory / META_NAME,
-            json.dumps(meta, indent=2, sort_keys=True),
-        )
+        meta_payload = json.dumps(meta, indent=2, sort_keys=True)
+        atomic_write_text(directory / META_NAME, meta_payload)
+        stored_bytes += len(meta_payload.encode("utf-8"))
+        _CACHE_METER.resolve()[4].inc(stored_bytes)
         if self.max_entries is not None:
             self.prune(self.max_entries)
         return CacheEntry(key=key, directory=directory, meta=meta)
@@ -305,16 +337,21 @@ class DatasetCache:
         digest mismatch) is quarantined and *also* reported as a miss:
         corruption must cost a rebuild, not a traceback.
         """
+        hits, misses, _evictions, corruptions, _bytes = _CACHE_METER.resolve()
         directory = self.entry_dir(key)
         meta_path = directory / META_NAME
         if not meta_path.exists():
+            misses.inc()
             return None
         try:
             entry = self._verify(key, directory, meta_path)
         except CacheCorruption as exc:
             self.quarantine(key, str(exc))
+            corruptions.inc()
+            misses.inc()
             return None
         self._touch(meta_path)
+        hits.inc()
         return entry
 
     @staticmethod
@@ -376,6 +413,8 @@ class DatasetCache:
         for _stamp, key in entries[:excess]:
             shutil.rmtree(self.entry_dir(key), ignore_errors=True)
             evicted.append(key)
+        if evicted:
+            _CACHE_METER.resolve()[2].inc(len(evicted))
         return evicted
 
     def _verify(self, key: str, directory: Path, meta_path: Path) -> CacheEntry:

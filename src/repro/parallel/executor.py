@@ -24,8 +24,33 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
+from repro.obs.metrics import BATCH_STAGE_BUCKETS, MeterCache, instrument
+from repro.obs.trace import get_tracer
+
 _A = TypeVar("_A")
 _R = TypeVar("_R")
+
+#: Executor telemetry (``repro.obs``), recorded parent-side per shard.
+#: Queue wait relies on ``time.perf_counter`` being ``CLOCK_MONOTONIC``
+#: on Linux -- the same clock across local processes -- so a child's
+#: start reading minus the parent's submit reading is real pool delay.
+_EXEC_METER = MeterCache(
+    lambda: (
+        instrument(
+            "histogram", "shard_wall_seconds",
+            "per-shard compute time measured inside the worker",
+            bounds=BATCH_STAGE_BUCKETS,
+        ),
+        instrument(
+            "histogram", "shard_queue_wait_seconds",
+            "delay between shard submission and worker start",
+        ),
+        instrument(
+            "counter", "shards_executed_total",
+            "shard function invocations (all executor modes)",
+        ),
+    )
+)
 
 
 def available_cpus() -> int:
@@ -87,17 +112,23 @@ class ShardPlan:
         return self.workers > 1
 
 
-def _timed_call(args: Tuple[Callable[[_A], _R], _A]) -> Tuple[float, _R]:
-    """Run one shard function, returning (elapsed_seconds, result).
+def _timed_call(
+    args: Tuple[Callable[[_A], _R], _A]
+) -> Tuple[float, float, _R]:
+    """Run one shard function, returning (started, elapsed, result).
 
     Module-level so it pickles into pool workers; the elapsed time is
     measured *inside* the worker, so per-shard timings reflect shard
-    compute, not queueing.
+    compute, not queueing.  ``started`` is the worker's
+    ``perf_counter`` reading at invocation -- on Linux that clock is
+    ``CLOCK_MONOTONIC``, shared across local processes, so the parent
+    can subtract its own submit reading to get queue wait and place
+    the shard on the run's trace timeline.
     """
     fn, arg = args
     started = time.perf_counter()
     result = fn(arg)
-    return time.perf_counter() - started, result
+    return started, time.perf_counter() - started, result
 
 
 class ShardExecutor:
@@ -105,6 +136,12 @@ class ShardExecutor:
 
     Results always come back in shard order regardless of completion
     order -- merges must never depend on scheduling.
+
+    Every mapped shard is observed (``repro.obs``): wall time and
+    queue wait land in the parent's global registry, and each shard
+    becomes a child span of whatever span is active at ``map`` time --
+    pool workers cannot record into the parent's telemetry themselves,
+    so the executor does it for them from the returned timings.
     """
 
     def __init__(self, plan: ShardPlan) -> None:
@@ -119,8 +156,34 @@ class ShardExecutor:
         results picklable (compact rows) when the plan uses processes.
         """
         jobs = [(fn, arg) for arg in shard_args]
+        submitted = time.perf_counter()
         if not self.plan.use_processes or len(jobs) <= 1:
-            return [_timed_call(job) for job in jobs]
-        workers = min(self.plan.workers, len(jobs))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_timed_call, jobs))
+            raw = [_timed_call(job) for job in jobs]
+        else:
+            workers = min(self.plan.workers, len(jobs))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                raw = list(pool.map(_timed_call, jobs))
+        self._observe(fn, raw, submitted)
+        return [(elapsed, result) for _started, elapsed, result in raw]
+
+    def _observe(
+        self,
+        fn: Callable,
+        raw: Sequence[Tuple[float, float, _R]],
+        submitted: float,
+    ) -> None:
+        """Record shard metrics + spans from worker-side timings."""
+        wall, queue_wait, executed = _EXEC_METER.resolve()
+        tracer = get_tracer()
+        fn_name = getattr(fn, "__name__", str(fn))
+        for index, (started, elapsed, _result) in enumerate(raw):
+            executed.inc()
+            wall.observe(elapsed)
+            queue_wait.observe(max(0.0, started - submitted))
+            tracer.add_span(
+                f"shard.{fn_name.lstrip('_')}",
+                started,
+                elapsed,
+                shard=index,
+                workers=self.plan.workers,
+            )

@@ -43,6 +43,7 @@ from repro.datasets.beacon_dataset import BeaconDataset
 from repro.datasets.caida import ASClassificationDataset
 from repro.datasets.demand_dataset import DemandDataset
 from repro.net.prefix import Prefix
+from repro.obs.trace import span
 
 from repro.parallel.cache import CacheEntry, load_shard_columns
 from repro.parallel.executor import ShardExecutor, ShardPlan
@@ -150,16 +151,20 @@ def _finish(
         threshold=spotter.threshold, labels=labels, records=dict(table)
     )
     started = time.perf_counter()
-    as_result = identify_cellular_ases(
-        classification,
-        demand_view,
-        as_classes=as_classes,
-        config=spotter.as_filter,
-        hits_by_asn=hits_by_asn,
-    )
+    with span("stage.as_identification"):
+        as_result = identify_cellular_ases(
+            classification,
+            demand_view,
+            as_classes=as_classes,
+            config=spotter.as_filter,
+            hits_by_asn=hits_by_asn,
+        )
     timings["as_identification"] = time.perf_counter() - started
     started = time.perf_counter()
-    operators = operator_profiles(as_result, cutoff=spotter.dedicated_cutoff)
+    with span("stage.operator_profiles"):
+        operators = operator_profiles(
+            as_result, cutoff=spotter.dedicated_cutoff
+        )
     timings["operator_profiles"] = time.perf_counter() - started
     return CellSpotterResult(
         ratios=ratios,
@@ -188,8 +193,9 @@ def run_sharded(
     timings: Dict[str, float] = {}
 
     started = time.perf_counter()
-    beacon_parts = partition_beacons(beacons, plan.shards)
-    demand_parts = partition_demand(demand, plan.shards)
+    with span("stage.partition", shards=plan.shards):
+        beacon_parts = partition_beacons(beacons, plan.shards)
+        demand_parts = partition_demand(demand, plan.shards)
     timings["partition"] = time.perf_counter() - started
 
     executor = ShardExecutor(plan)
@@ -197,25 +203,28 @@ def run_sharded(
         (part, spotter.min_api_hits, spotter.threshold)
         for part in beacon_parts
     ]
-    shard_results = executor.map(_spot_shard, shard_args)
+    with span("stage.spot_shards", shards=plan.shards, workers=plan.workers):
+        shard_results = executor.map(_spot_shard, shard_args)
 
     started = time.perf_counter()
-    spot_rows: List[SpotRow] = []
-    partials: List[Dict[int, int]] = []
-    for index, (secs, (rows, hit_partial)) in enumerate(shard_results):
-        timings[f"spot.shard{index}"] = secs
-        spot_rows.extend(rows)
-        partials.append(hit_partial)
-    spot_rows.sort()  # leading idx restores serial dataset order
-    table, labels = _assemble(spot_rows)
-    hits_by_asn = merge_hit_partials(partials)
+    with span("stage.merge", shards=plan.shards):
+        spot_rows: List[SpotRow] = []
+        partials: List[Dict[int, int]] = []
+        for index, (secs, (rows, hit_partial)) in enumerate(shard_results):
+            timings[f"spot.shard{index}"] = secs
+            spot_rows.extend(rows)
+            partials.append(hit_partial)
+        spot_rows.sort()  # leading idx restores serial dataset order
+        table, labels = _assemble(spot_rows)
+        hits_by_asn = merge_hit_partials(partials)
     timings["merge"] = time.perf_counter() - started
 
     started = time.perf_counter()
-    all_demand_rows: List[DemandRow] = []
-    for part in demand_parts:
-        all_demand_rows.extend(part)
-    demand_map = DemandMap.from_rows(all_demand_rows)
+    with span("stage.demand_map"):
+        all_demand_rows: List[DemandRow] = []
+        for part in demand_parts:
+            all_demand_rows.extend(part)
+        demand_map = DemandMap.from_rows(all_demand_rows)
     timings["demand_map"] = time.perf_counter() - started
 
     return _finish(
@@ -241,8 +250,9 @@ def run_from_entry(
     timings: Dict[str, float] = {}
     executor = ShardExecutor(plan)
 
-    beacon_loads = executor.map(_fetch_shard, entry.beacon_shards)
-    demand_loads = executor.map(_fetch_shard, entry.demand_shards)
+    with span("stage.load_shards", shards=plan.shards, workers=plan.workers):
+        beacon_loads = executor.map(_fetch_shard, entry.beacon_shards)
+        demand_loads = executor.map(_fetch_shard, entry.demand_shards)
     for index, (secs, _) in enumerate(beacon_loads):
         timings[f"load_beacon.shard{index}"] = secs
     for index, (secs, _) in enumerate(demand_loads):
@@ -281,24 +291,28 @@ def run_from_entry(
     timings["restore_rows"] = time.perf_counter() - started
 
     started = time.perf_counter()
-    min_api = spotter.min_api_hits
-    threshold = spotter.threshold
-    table: Dict[Prefix, RatioRecord] = {}
-    labels: Dict[Prefix, bool] = {}
-    hits_by_asn: Dict[int, int] = {}
-    hget = hits_by_asn.get
-    for _idx, family, value, length, asn, country, hits, api, cell in (
-        beacon_rows
-    ):
-        hits_by_asn[asn] = hget(asn, 0) + hits
-        if api >= min_api:
-            prefix = Prefix(family, value, length)
-            table[prefix] = RatioRecord(prefix, asn, country, api, cell, hits)
-            labels[prefix] = cell / api >= threshold
+    with span("stage.fused_spot"):
+        min_api = spotter.min_api_hits
+        threshold = spotter.threshold
+        table: Dict[Prefix, RatioRecord] = {}
+        labels: Dict[Prefix, bool] = {}
+        hits_by_asn: Dict[int, int] = {}
+        hget = hits_by_asn.get
+        for _idx, family, value, length, asn, country, hits, api, cell in (
+            beacon_rows
+        ):
+            hits_by_asn[asn] = hget(asn, 0) + hits
+            if api >= min_api:
+                prefix = Prefix(family, value, length)
+                table[prefix] = RatioRecord(
+                    prefix, asn, country, api, cell, hits
+                )
+                labels[prefix] = cell / api >= threshold
     timings["fused_spot"] = time.perf_counter() - started
 
     started = time.perf_counter()
-    demand_map = DemandMap.from_rows(demand_rows)
+    with span("stage.demand_map"):
+        demand_map = DemandMap.from_rows(demand_rows)
     timings["demand_map"] = time.perf_counter() - started
 
     return _finish(

@@ -32,9 +32,29 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Callable, Optional, Tuple, Type
 
+from repro.obs.metrics import MeterCache, instrument
 from repro.runtime.logging import get_logger, log_event
 
 _LOG = get_logger("runtime.guard")
+
+#: Guard telemetry (``repro.obs``): one span per guarded experiment
+#: (attempt count + final status as attributes) and coarse counters.
+_GUARD_METER = MeterCache(
+    lambda: (
+        instrument(
+            "counter", "experiments_total",
+            "experiments executed under the guard",
+        ),
+        instrument(
+            "counter", "experiment_retries_total",
+            "extra attempts after transient failures",
+        ),
+        instrument(
+            "counter", "experiment_failures_total",
+            "experiments that failed or timed out",
+        ),
+    )
+)
 
 
 class TransientError(RuntimeError):
@@ -136,7 +156,32 @@ def run_guarded(
     fn: Callable[[], Any],
     config: GuardConfig = GuardConfig(),
 ) -> ExperimentOutcome:
-    """Execute ``fn`` under the guard and report an outcome."""
+    """Execute ``fn`` under the guard and report an outcome.
+
+    Each execution is one ``experiment.run`` span on the global tracer
+    (attributes: experiment id, attempt count, final status) and bumps
+    the guard counters, so retry storms and chronic failures show up
+    in the run's telemetry, not just its logs.
+    """
+    from repro.obs.trace import span as _obs_span
+
+    experiments, retries, failures = _GUARD_METER.resolve()
+    experiments.inc()
+    with _obs_span("experiment.run", experiment=experiment_id) as sp:
+        outcome = _run_guarded(experiment_id, fn, config, retries)
+        sp.set_attribute("attempts", outcome.attempts)
+        sp.set_attribute("status", outcome.status.value)
+    if outcome.is_failure:
+        failures.inc()
+    return outcome
+
+
+def _run_guarded(
+    experiment_id: str,
+    fn: Callable[[], Any],
+    config: GuardConfig,
+    retry_counter,
+) -> ExperimentOutcome:
     started = time.perf_counter()
     attempts = 0
     last_error = "unknown failure"
@@ -180,6 +225,7 @@ def run_guarded(
                 duration_s=time.perf_counter() - started,
                 attempts=attempts,
             )
+        retry_counter.inc()
         log_event(
             _LOG, logging.WARNING, "experiment.retry",
             experiment=experiment_id, attempt=attempts, error=last_error,

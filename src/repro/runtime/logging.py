@@ -18,6 +18,13 @@ Design:
 - **A run id travels via contextvar**: :func:`set_run_id` tags every
   line emitted by the current context (server process, experiment
   batch) so interleaved runs can be separated after the fact.
+- **Trace context rides along**: when a :mod:`repro.obs.trace` span is
+  active, :func:`set_trace_context` (called by the span machinery, not
+  by log sites) makes every record emitted inside it carry
+  ``trace_id=... span_id=...`` fields; records outside any span omit
+  the fields entirely.  The indirection keeps this module free of any
+  ``repro.obs`` import -- the tracer depends on logging, never the
+  reverse.
 """
 
 from __future__ import annotations
@@ -36,6 +43,11 @@ _run_id: contextvars.ContextVar[str] = contextvars.ContextVar(
     "cellspot_run_id", default="-"
 )
 
+#: ``(trace_id, span_id)`` of the innermost active span, or None.
+_trace_context: contextvars.ContextVar[
+    "Optional[tuple[str, str]]"
+] = contextvars.ContextVar("cellspot_trace_context", default=None)
+
 #: Process-wide guard so repeated configure calls don't stack handlers.
 _configured_handler: Optional[logging.Handler] = None
 
@@ -52,6 +64,29 @@ def current_run_id() -> str:
     return _run_id.get()
 
 
+def set_trace_context(
+    trace_id: str, span_id: str
+) -> "contextvars.Token":
+    """Attach ``trace_id``/``span_id`` to subsequent log records.
+
+    Called by the span machinery on entry; pass the returned token to
+    :func:`reset_trace_context` on exit so nesting restores the parent
+    span's ids (and leaving the outermost span clears them).
+    """
+    return _trace_context.set((trace_id, span_id))
+
+
+def reset_trace_context(token: "Optional[contextvars.Token]") -> None:
+    """Restore the trace context captured when ``token`` was issued."""
+    if token is not None:
+        _trace_context.reset(token)
+
+
+def current_trace_context() -> "Optional[tuple[str, str]]":
+    """``(trace_id, span_id)`` of the active span, or ``None``."""
+    return _trace_context.get()
+
+
 class StructuredFormatter(logging.Formatter):
     """``ts level component run_id message`` with stable field order."""
 
@@ -63,9 +98,15 @@ class StructuredFormatter(logging.Formatter):
         prefix = ROOT_LOGGER + "."
         if component.startswith(prefix):
             component = component[len(prefix):]
+        context = _trace_context.get()
+        trace_fields = (
+            f"trace_id={context[0]} span_id={context[1]} "
+            if context is not None
+            else ""
+        )
         return (
             f"{stamp}Z {record.levelname.lower()} {component} "
-            f"run={_run_id.get()} {record.getMessage()}"
+            f"run={_run_id.get()} {trace_fields}{record.getMessage()}"
         )
 
 

@@ -50,6 +50,11 @@ class RunManifest:
     stage_timings: Dict[str, float] = field(default_factory=dict)
     created_at: float = field(default_factory=time.time)
     manifest_version: int = MANIFEST_VERSION
+    #: The run-scoped observability trace id (``repro.obs.trace``):
+    #: joins the manifest against the ``--trace-out`` span tree and
+    #: ``trace_id=`` structured log fields.  Informational -- never
+    #: part of the resume-compatibility check.
+    trace_id: Optional[str] = None
 
     @classmethod
     def for_run(
@@ -58,7 +63,14 @@ class RunManifest:
         scale: float,
         dataset_digests: Optional[Dict[str, str]] = None,
         stage_timings: Optional[Dict[str, float]] = None,
+        trace_id: Optional[str] = None,
     ) -> "RunManifest":
+        if trace_id is None:
+            # Lazy: obs depends on runtime.logging; keep manifest free
+            # of a module-level back edge into the obs package.
+            from repro.obs.trace import current_trace_id
+
+            trace_id = current_trace_id()
         return cls(
             seed=seed,
             scale=scale,
@@ -68,6 +80,7 @@ class RunManifest:
                 "python": platform.python_version(),
             },
             stage_timings=dict(stage_timings or {}),
+            trace_id=trace_id,
         )
 
     # ---- compatibility ---------------------------------------------------
@@ -111,6 +124,7 @@ class RunManifest:
                     for stage, seconds in self.stage_timings.items()
                 },
                 "created_at": self.created_at,
+                "trace_id": self.trace_id,
             },
             indent=2,
             sort_keys=True,
@@ -127,4 +141,5 @@ class RunManifest:
             stage_timings=dict(raw.get("stage_timings", {})),
             created_at=raw.get("created_at", 0.0),
             manifest_version=raw.get("manifest_version", MANIFEST_VERSION),
+            trace_id=raw.get("trace_id"),
         )

@@ -29,7 +29,34 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import List, Optional
 
+from repro.obs.metrics import MeterCache, instrument
+
 _SNIPPET_LEN = 80
+
+#: Batched ingest counters (``repro.obs``): every ingestion path --
+#: batch ``read_jsonl``, dataset loads, the stream tailer -- funnels
+#: through :meth:`IngestPolicy.accept` / :meth:`IngestPolicy.reject`,
+#: so instrumenting here covers them all.  Accepts are tallied locally
+#: and flushed every ``_FLUSH_EVERY`` lines (plus on ``finish``), so
+#: the per-line cost is an integer increment, not a lock round-trip.
+_FLUSH_EVERY = 1024
+
+_INGEST_METER = MeterCache(
+    lambda: (
+        instrument(
+            "counter", "ingest_lines_total",
+            "lines read by any ingestion path (accepted + rejected)",
+        ),
+        instrument(
+            "counter", "ingest_rejected_total",
+            "lines rejected by the ingest policy",
+        ),
+        instrument(
+            "counter", "ingest_quarantined_total",
+            "rejected lines written to a quarantine sidecar",
+        ),
+    )
+)
 
 
 class PolicyMode(str, Enum):
@@ -133,6 +160,8 @@ class IngestPolicy:
     #: Where quarantined lines go (required for QUARANTINE mode).
     sink: Optional["QuarantineSink"] = None  # noqa: F821 (forward ref)
     stats: IngestStats = field(default_factory=IngestStats)
+    #: Accepted lines not yet flushed to the global ingest counters.
+    _pending_ok: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.mode is PolicyMode.QUARANTINE and self.sink is None:
@@ -177,6 +206,22 @@ class IngestPolicy:
     def accept(self) -> None:
         """Record one successfully ingested line."""
         self.stats.record_ok()
+        self._pending_ok += 1
+        if self._pending_ok >= _FLUSH_EVERY:
+            self.flush_metrics()
+
+    def flush_metrics(self) -> None:
+        """Fold locally tallied accepts into the global ingest counters.
+
+        Called automatically every ``_FLUSH_EVERY`` accepted lines and
+        from :meth:`finish`; ingestion loops that never reach
+        ``finish`` (generators closed early) call it from their
+        ``finally`` blocks so no tail batch goes missing.
+        """
+        if self._pending_ok:
+            lines, _rejected, _quarantined = _INGEST_METER.resolve()
+            lines.inc(self._pending_ok)
+            self._pending_ok = 0
 
     def reject(self, error: IngestError, raw_line: str) -> None:
         """Handle one bad line according to the policy.
@@ -186,11 +231,15 @@ class IngestPolicy:
         records (and possibly quarantines) the line and returns.
         """
         self.stats.record_error(error)
+        lines, rejected, quarantined = _INGEST_METER.resolve()
+        lines.inc()
+        rejected.inc()
         if self.mode is PolicyMode.STRICT:
             raise IngestFault(error)
         if self.mode is PolicyMode.QUARANTINE:
             assert self.sink is not None
             self.sink.write(error, raw_line)
+            quarantined.inc()
         if (
             self.error_budget is not None
             and self.stats.total_lines >= self.budget_min_lines
@@ -202,6 +251,7 @@ class IngestPolicy:
 
     def finish(self) -> IngestStats:
         """End-of-stream check: enforce the budget on the final tally."""
+        self.flush_metrics()
         if (
             self.error_budget is not None
             and self.stats.rejected_lines > 0

@@ -1,219 +1,95 @@
-"""Service metrics: counters, gauges, fixed-bucket histograms.
+"""Serving-layer metrics (deprecation shim + the serving metric set).
 
-The online subsystem needs observability that batch commands never
-did: how fast are events arriving, how often do windows advance, what
-does query latency look like, how much input is being quarantined.
-This module is a small, dependency-free metrics layer:
+.. deprecated::
+    The metric primitives (:class:`Counter`, :class:`Gauge`,
+    :class:`Histogram`, :class:`MetricsRegistry`,
+    ``DEFAULT_LATENCY_BUCKETS``) moved to :mod:`repro.obs.metrics` --
+    the unified observability layer shared by the batch, parallel,
+    stream, and serve paths -- and are re-exported here unchanged so
+    existing imports keep working.  New code should import from
+    :mod:`repro.obs.metrics` directly.
 
-- :class:`Counter` -- monotonically increasing totals;
-- :class:`Gauge` -- last-written values (queue depths, rates);
-- :class:`Histogram` -- fixed-bucket distributions with conservative
-  quantile estimates (a quantile is reported as the upper bound of
-  the bucket it lands in, never an optimistic interpolation);
-- :class:`MetricsRegistry` -- the named collection, exported as JSON
-  for the ``stats`` query op and the SIGUSR1 dump.
-
-Everything is plain Python and single-threaded by design: the serve
-loop owns the registry, and exports are immutable dict snapshots.
+What legitimately still lives here is :func:`service_metrics`: the
+serving layer's standard metric set.  It can now register onto a
+caller-supplied registry (idempotently), which is how ``cellspot
+serve``/``query`` put the serve counters on the same process-global
+registry every other layer records into -- one ``--metrics-out`` dump
+covers the whole process.
 """
 
 from __future__ import annotations
 
-import bisect
-import json
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional
 
-#: Default latency buckets (seconds): 50us .. 1s, then overflow.
-DEFAULT_LATENCY_BUCKETS = (
-    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
-    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+from repro.obs.metrics import (  # noqa: F401 -- compatibility re-exports
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
 )
 
-
-class Counter:
-    """A monotonically increasing total."""
-
-    __slots__ = ("name", "help", "value")
-
-    def __init__(self, name: str, help_text: str = "") -> None:
-        self.name = name
-        self.help = help_text
-        self.value = 0
-
-    def inc(self, amount: int = 1) -> None:
-        if amount < 0:
-            raise ValueError("counters only go up")
-        self.value += amount
-
-    def as_dict(self) -> Dict:
-        return {"type": "counter", "value": self.value, "help": self.help}
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "service_metrics",
+]
 
 
-class Gauge:
-    """A last-written value."""
+def service_metrics(
+    clock=time.monotonic, registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """The serving layer's standard metric set, pre-registered.
 
-    __slots__ = ("name", "help", "value")
-
-    def __init__(self, name: str, help_text: str = "") -> None:
-        self.name = name
-        self.help = help_text
-        self.value: float = 0.0
-
-    def set(self, value: float) -> None:
-        self.value = value
-
-    def as_dict(self) -> Dict:
-        return {"type": "gauge", "value": self.value, "help": self.help}
-
-
-class Histogram:
-    """Fixed-bucket distribution (cumulative counts, like Prometheus).
-
-    ``bounds`` are the inclusive upper edges of each bucket; values
-    above the last bound land in the implicit overflow bucket.
+    With no ``registry`` a fresh one is created (test isolation, ad
+    hoc services).  Passing one -- typically
+    :func:`repro.obs.metrics.global_registry` -- registers the serving
+    set onto it idempotently (``exist_ok``), so serve metrics land in
+    the same export as the batch/stream instrumentation; ``clock`` is
+    ignored in that case (the shared registry keeps its own).
     """
-
-    __slots__ = ("name", "help", "bounds", "bucket_counts", "count", "total")
-
-    def __init__(
-        self,
-        name: str,
-        help_text: str = "",
-        bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
-    ) -> None:
-        if not bounds or list(bounds) != sorted(bounds):
-            raise ValueError("bucket bounds must be sorted and non-empty")
-        self.name = name
-        self.help = help_text
-        self.bounds: Tuple[float, ...] = tuple(bounds)
-        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
-        self.count = 0
-        self.total = 0.0
-
-    def observe(self, value: float) -> None:
-        index = bisect.bisect_left(self.bounds, value)
-        self.bucket_counts[index] += 1
-        self.count += 1
-        self.total += value
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def quantile(self, q: float) -> Optional[float]:
-        """Conservative quantile: the upper bound of the target bucket.
-
-        Returns ``None`` when empty; ``float('inf')`` when the
-        quantile falls in the overflow bucket (beyond the last bound).
-        """
-        if not 0 < q <= 1:
-            raise ValueError("quantile must be in (0, 1]")
-        if self.count == 0:
-            return None
-        rank = q * self.count
-        cumulative = 0
-        for index, bucket in enumerate(self.bucket_counts):
-            cumulative += bucket
-            if cumulative >= rank:
-                if index < len(self.bounds):
-                    return self.bounds[index]
-                return float("inf")
-        return float("inf")
-
-    def as_dict(self) -> Dict:
-        return {
-            "type": "histogram",
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.mean,
-            "buckets": {
-                str(bound): count
-                for bound, count in zip(self.bounds, self.bucket_counts)
-            },
-            "overflow": self.bucket_counts[-1],
-            "p50": self.quantile(0.5),
-            "p99": self.quantile(0.99),
-            "help": self.help,
-        }
-
-
-class MetricsRegistry:
-    """Named metrics plus a start timestamp for rate derivations."""
-
-    def __init__(self, clock=time.monotonic) -> None:
-        self._clock = clock
-        self.started_at = clock()
-        self._metrics: Dict[str, object] = {}
-
-    def _register(self, metric):
-        if metric.name in self._metrics:
-            raise ValueError(f"duplicate metric name: {metric.name}")
-        self._metrics[metric.name] = metric
-        return metric
-
-    def counter(self, name: str, help_text: str = "") -> Counter:
-        return self._register(Counter(name, help_text))
-
-    def gauge(self, name: str, help_text: str = "") -> Gauge:
-        return self._register(Gauge(name, help_text))
-
-    def histogram(
-        self,
-        name: str,
-        help_text: str = "",
-        bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
-    ) -> Histogram:
-        return self._register(Histogram(name, help_text, bounds))
-
-    def get(self, name: str):
-        return self._metrics[name]
-
-    @property
-    def uptime_s(self) -> float:
-        return self._clock() - self.started_at
-
-    def rate(self, counter_name: str) -> float:
-        """Per-second rate of a counter over the registry's lifetime."""
-        uptime = self.uptime_s
-        counter = self._metrics[counter_name]
-        if uptime <= 0:
-            return 0.0
-        return counter.value / uptime
-
-    def as_dict(self) -> Dict:
-        payload = {
-            name: metric.as_dict()
-            for name, metric in sorted(self._metrics.items())
-        }
-        payload["_uptime_s"] = self.uptime_s
-        return payload
-
-    def render_json(self, indent: Optional[int] = None) -> str:
-        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
-
-
-def service_metrics(clock=time.monotonic) -> MetricsRegistry:
-    """The serving layer's standard metric set, pre-registered."""
-    registry = MetricsRegistry(clock=clock)
+    if registry is None:
+        registry = MetricsRegistry(clock=clock)
     registry.counter(
-        "events_ingested_total", "beacon events folded into window state"
+        "events_ingested_total", "beacon events folded into window state",
+        exist_ok=True,
     )
     registry.counter(
-        "events_quarantined_total", "malformed events rejected by policy"
+        "events_quarantined_total", "malformed events rejected by policy",
+        exist_ok=True,
     )
-    registry.counter("window_advances_total", "windows closed into aggregate")
-    registry.counter("queries_total", "classification queries answered")
-    registry.counter("query_errors_total", "malformed or failed requests")
-    registry.counter("snapshots_written_total", "state snapshots persisted")
-    registry.counter("index_rebuilds_total", "LPM index rebuilds")
-    registry.gauge("tracked_subnets", "subnets with live window state")
-    registry.gauge("ingest_events_per_s", "lifetime ingest rate")
+    registry.counter(
+        "window_advances_total", "windows closed into aggregate",
+        exist_ok=True,
+    )
+    registry.counter(
+        "queries_total", "classification queries answered", exist_ok=True
+    )
+    registry.counter(
+        "query_errors_total", "malformed or failed requests", exist_ok=True
+    )
+    registry.counter(
+        "snapshots_written_total", "state snapshots persisted", exist_ok=True
+    )
+    registry.counter(
+        "index_rebuilds_total", "LPM index rebuilds", exist_ok=True
+    )
+    registry.gauge(
+        "tracked_subnets", "subnets with live window state", exist_ok=True
+    )
+    registry.gauge(
+        "ingest_events_per_s", "lifetime ingest rate", exist_ok=True
+    )
     registry.histogram(
-        "query_latency_seconds", "per-query service latency"
+        "query_latency_seconds", "per-query service latency", exist_ok=True
     )
     registry.histogram(
         "ingest_batch_seconds", "latency of ingest batches between requests",
         bounds=(0.0001, 0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
+        exist_ok=True,
     )
     return registry

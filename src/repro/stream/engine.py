@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import logging
+import time
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Union
 
@@ -36,6 +37,7 @@ from repro.core.classifier import (
     SubnetClassifier,
 )
 from repro.core.ratios import RatioRecord, RatioTable
+from repro.obs.metrics import MeterCache, instrument
 from repro.runtime.checkpoint import atomic_writer
 from repro.runtime.logging import get_logger, log_event
 from repro.stream.windows import WindowedSubnetState, WindowPolicy
@@ -45,6 +47,32 @@ from repro.stream.windows import WindowedSubnetState, WindowPolicy
 SNAPSHOT_FORMAT_VERSION = 1
 
 _LOG = get_logger("stream.engine")
+
+#: Stream-engine telemetry (``repro.obs``), recorded at window-close /
+#: snapshot granularity -- never per event.  ``ingest`` is the hottest
+#: loop in the online path; folded events are tallied on the engine
+#: and flushed to the global counter only when a window closes or a
+#: snapshot is cut, so steady-state ingest pays a plain integer add.
+_STREAM_METER = MeterCache(
+    lambda: (
+        instrument(
+            "counter", "stream_events_total",
+            "beacon events folded into windowed state",
+        ),
+        instrument(
+            "counter", "stream_window_advances_total",
+            "windows closed into the aggregate",
+        ),
+        instrument(
+            "gauge", "stream_tracked_subnets",
+            "subnets with live window state",
+        ),
+        instrument(
+            "histogram", "stream_snapshot_seconds",
+            "wall time of atomic snapshot writes",
+        ),
+    )
+)
 
 
 class SnapshotError(RuntimeError):
@@ -64,6 +92,8 @@ class StreamEngine:
         self.month = month
         #: Accepted events folded into state (the resume offset).
         self.events_consumed = 0
+        #: Events already flushed to the global counter (obs batching).
+        self._events_flushed = 0
 
     @property
     def policy(self) -> WindowPolicy:
@@ -92,6 +122,7 @@ class StreamEngine:
         )
         self.events_consumed += 1
         if closed:
+            self._flush_metrics(window_closed=True)
             log_event(
                 _LOG, logging.DEBUG, "window.advance",
                 windows=self.state.windows_closed,
@@ -99,6 +130,17 @@ class StreamEngine:
                 subnets=self.state.subnet_count(),
             )
         return closed
+
+    def _flush_metrics(self, window_closed: bool = False) -> None:
+        """Fold batched event counts + live gauges into the registry."""
+        events, advances, subnets, _snapshot = _STREAM_METER.resolve()
+        pending = self.events_consumed - self._events_flushed
+        if pending > 0:
+            events.inc(pending)
+            self._events_flushed = self.events_consumed
+        if window_closed:
+            advances.inc()
+        subnets.set(self.state.subnet_count())
 
     def ingest_many(self, events: Iterable[BeaconHit]) -> int:
         """Drain an event iterable; returns how many were folded in."""
@@ -161,8 +203,11 @@ class StreamEngine:
     def save_snapshot(self, path: Union[str, Path]) -> Path:
         """Atomically persist engine state (kill-9 safe)."""
         path = Path(path)
+        started = time.perf_counter()
         with atomic_writer(path) as stream:
             json.dump(self.to_snapshot(), stream, separators=(",", ":"))
+        _STREAM_METER.resolve()[3].observe(time.perf_counter() - started)
+        self._flush_metrics()
         log_event(
             _LOG, logging.INFO, "snapshot.saved",
             path=path, events=self.events_consumed,
@@ -181,6 +226,10 @@ class StreamEngine:
         engine.state = WindowedSubnetState.from_snapshot(raw["state"])
         engine.month = raw["month"]
         engine.events_consumed = raw["events_consumed"]
+        # Events restored from a snapshot were counted by the process
+        # that consumed them; this process's counter starts at the
+        # resume offset so totals reflect work done *here*.
+        engine._events_flushed = engine.events_consumed
         return engine
 
     @classmethod

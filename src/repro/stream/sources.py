@@ -60,37 +60,43 @@ def follow_jsonl(
     path = Path(path)
     line_no = 0
     idle = 0
-    with path.open() as stream:
-        buffer = ""
-        while True:
-            chunk = stream.readline()
-            if chunk:
-                buffer += chunk
-                if not buffer.endswith("\n"):
-                    continue  # incomplete line; wait for the rest
-                line, buffer = buffer, ""
-                idle = 0
-                line_no += 1
-                stripped = line.strip()
-                if not stripped:
-                    continue
-                try:
-                    record = BeaconHit.from_json(stripped)
-                except Exception as exc:  # noqa: BLE001 -- policy decides
-                    from repro.runtime.policies import line_error
+    try:
+        with path.open() as stream:
+            buffer = ""
+            while True:
+                chunk = stream.readline()
+                if chunk:
+                    buffer += chunk
+                    if not buffer.endswith("\n"):
+                        continue  # incomplete line; wait for the rest
+                    line, buffer = buffer, ""
+                    idle = 0
+                    line_no += 1
+                    stripped = line.strip()
+                    if not stripped:
+                        continue
+                    try:
+                        record = BeaconHit.from_json(stripped)
+                    except Exception as exc:  # noqa: BLE001 -- policy decides
+                        from repro.runtime.policies import line_error
 
-                    policy.reject(
-                        line_error(line_no, "BeaconHit", stripped, exc), line
-                    )
-                    continue
-                policy.accept()
-                yield record
-            else:
-                idle += 1
-                if idle_polls is not None and idle >= idle_polls:
-                    policy.finish()
-                    return
-                time.sleep(poll_interval_s)
+                        policy.reject(
+                            line_error(line_no, "BeaconHit", stripped, exc),
+                            line,
+                        )
+                        continue
+                    policy.accept()
+                    yield record
+                else:
+                    idle += 1
+                    if idle_polls is not None and idle >= idle_polls:
+                        policy.finish()
+                        return
+                    time.sleep(poll_interval_s)
+    finally:
+        # Covers early generator close (drains, tests): fold the tail
+        # batch of accepted-line counts into the global counters.
+        policy.flush_metrics()
 
 
 def generated_events(

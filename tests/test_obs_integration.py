@@ -1,0 +1,368 @@
+"""Cross-layer instrumentation lands on the shared registry/tracer.
+
+Each hot path -- ingestion, the dataset cache, the shard executor, the
+experiment guard, the stream engine, the batch lab -- is asserted to
+record the documented metrics and spans on the *process-global*
+observability state, which is what ``--metrics-out``/``--trace-out``
+export.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import random
+import signal
+
+import pytest
+
+from repro.cdn.logs import BeaconHit, read_jsonl, write_jsonl
+from repro.datasets.beacon_dataset import BeaconDataset, SubnetBeaconCounts
+from repro.datasets.demand_dataset import DemandDataset, SubnetDemand
+from repro.net.prefix import Prefix
+from repro.obs import observed_command
+from repro.obs.metrics import (
+    global_registry,
+    parse_prometheus_text,
+    reset_global_registry,
+    set_enabled,
+)
+from repro.obs.trace import get_tracer, reset_tracer, span
+from repro.parallel.cache import DatasetCache
+from repro.parallel.executor import ShardExecutor, ShardPlan
+from repro.runtime.guard import GuardConfig, TransientError, run_guarded
+from repro.runtime.policies import IngestPolicy
+from repro.runtime.quarantine import QuarantineSink
+from repro.stream import StreamEngine, WindowPolicy
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs_state():
+    set_enabled(True)
+    reset_global_registry()
+    reset_tracer()
+    yield
+    set_enabled(True)
+    reset_global_registry()
+    reset_tracer()
+
+
+def _value(name: str):
+    return global_registry().get(name).value
+
+
+def _span_names():
+    return [sp.name for sp in get_tracer().spans()]
+
+
+# ---- ingestion --------------------------------------------------------------
+
+
+def _hit_jsonl(beacon_hits, count: int) -> str:
+    buffer = io.StringIO()
+    write_jsonl(beacon_hits[:count], buffer)
+    return buffer.getvalue()
+
+
+class TestIngestCounters:
+    def test_skip_policy_counts_lines_and_rejections(self, beacon_hits):
+        text = _hit_jsonl(beacon_hits, 10) + "not json\n{\"half\": 1}\n"
+        policy = IngestPolicy.skip()
+        rows = list(read_jsonl(io.StringIO(text), BeaconHit, policy=policy))
+        assert len(rows) == 10
+        assert _value("ingest_lines_total") == 12
+        assert _value("ingest_rejected_total") == 2
+        assert _value("ingest_quarantined_total") == 0
+
+    def test_quarantined_lines_bump_their_own_counter(self, beacon_hits):
+        text = _hit_jsonl(beacon_hits, 5) + "garbage\n"
+        sink = QuarantineSink(io.StringIO())
+        policy = IngestPolicy.quarantine(sink)
+        list(read_jsonl(io.StringIO(text), BeaconHit, policy=policy))
+        assert _value("ingest_quarantined_total") == 1
+        assert _value("ingest_rejected_total") == 1
+
+    def test_closed_generator_still_flushes_its_tail_batch(self, beacon_hits):
+        # Accepted lines are batched; a generator abandoned mid-stream
+        # must flush what it counted from its ``finally`` block.
+        text = _hit_jsonl(beacon_hits, 20)
+        policy = IngestPolicy.skip()
+        stream = read_jsonl(io.StringIO(text), BeaconHit, policy=policy)
+        for _ in range(7):
+            next(stream)
+        stream.close()
+        assert _value("ingest_lines_total") == 7
+
+
+# ---- dataset cache ----------------------------------------------------------
+
+
+def _tiny_datasets():
+    rng = random.Random(20260806)
+    beacons = BeaconDataset(month="2016-12")
+    demand = DemandDataset(window_days=7)
+    for _ in range(40):
+        prefix = Prefix(4, rng.randrange(1 << 24) << 8, 24)
+        asn = rng.randrange(1, 50)
+        api = rng.randrange(1, 20)
+        beacons.add_counts(
+            SubnetBeaconCounts(
+                prefix, asn, "US",
+                hits=api + rng.randrange(0, 30),
+                api_hits=api,
+                cellular_hits=rng.randrange(0, api + 1),
+            )
+        )
+        demand._add(SubnetDemand(prefix, asn, "US", rng.random()))
+    return beacons, demand
+
+
+class TestCacheMetrics:
+    PARAMS = {"seed": 1, "scale": 0.001, "note": "obs"}
+
+    def test_miss_store_hit_eviction_counters(self, tmp_path):
+        cache = DatasetCache(tmp_path / "cache")
+        beacons, demand = _tiny_datasets()
+        key = cache.key_for(self.PARAMS)
+
+        assert cache.fetch(key) is None
+        assert _value("dataset_cache_misses_total") == 1
+
+        cache.store(key, beacons, demand, shards=2, params=self.PARAMS)
+        assert _value("dataset_cache_stored_bytes_total") > 0
+
+        assert cache.fetch(key) is not None
+        assert _value("dataset_cache_hits_total") == 1
+
+        other = {**self.PARAMS, "seed": 2}
+        cache.store(cache.key_for(other), beacons, demand, params=other)
+        evicted = cache.prune(max_entries=1)
+        assert len(evicted) == 1
+        assert _value("dataset_cache_evictions_total") == 1
+
+    def test_corruption_counts_as_corruption_and_miss(self, tmp_path):
+        cache = DatasetCache(tmp_path / "cache")
+        beacons, demand = _tiny_datasets()
+        key = cache.key_for(self.PARAMS)
+        entry = cache.store(key, beacons, demand, params=self.PARAMS)
+        with open(entry.beacon_shards[0][0], "w") as stream:
+            stream.write("{}")
+        assert cache.fetch(key) is None
+        assert _value("dataset_cache_corruptions_total") == 1
+        assert _value("dataset_cache_misses_total") == 1
+
+
+# ---- shard executor ---------------------------------------------------------
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestExecutorObservation:
+    def test_serial_map_records_metrics_and_spans(self):
+        executor = ShardExecutor(ShardPlan.plan(workers=1, shards=3))
+        with span("stage.test") as stage:
+            timed = executor.map(_square, [1, 2, 3])
+        assert [result for _secs, result in timed] == [1, 4, 9]
+        assert _value("shards_executed_total") == 3
+        registry = global_registry()
+        assert registry.get("shard_wall_seconds").count == 3
+        assert registry.get("shard_queue_wait_seconds").count == 3
+        shard_spans = [
+            sp for sp in get_tracer().spans() if sp.name == "shard.square"
+        ]
+        assert [sp.attributes["shard"] for sp in shard_spans] == [0, 1, 2]
+        assert all(sp.parent_id == stage.span_id for sp in shard_spans)
+
+    def test_process_pool_timings_reach_the_parent_registry(self):
+        executor = ShardExecutor(
+            ShardPlan.plan(workers=2, shards=2, force_processes=True)
+        )
+        executor.map(_square, [3, 4])
+        assert _value("shards_executed_total") == 2
+        # Worker-side perf_counter readings are comparable with the
+        # parent's submit reading, so queue wait is never negative.
+        hist = global_registry().get("shard_queue_wait_seconds")
+        assert hist.count == 2
+        assert hist.total >= 0.0
+
+
+# ---- experiment guard -------------------------------------------------------
+
+
+class TestGuardTelemetry:
+    def test_retries_and_success_are_counted_and_spanned(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientError("blip")
+            return "done"
+
+        outcome = run_guarded(
+            "exp-1", flaky, GuardConfig(retries=3, backoff_s=0.001)
+        )
+        assert outcome.ok and outcome.attempts == 3
+        assert _value("experiments_total") == 1
+        assert _value("experiment_retries_total") == 2
+        assert _value("experiment_failures_total") == 0
+        (sp,) = [
+            s for s in get_tracer().spans() if s.name == "experiment.run"
+        ]
+        assert sp.attributes["experiment"] == "exp-1"
+        assert sp.attributes["attempts"] == 3
+        assert sp.attributes["status"] == "ok"
+
+    def test_failures_bump_the_failure_counter(self):
+        outcome = run_guarded("exp-2", lambda: 1 / 0)
+        assert outcome.is_failure
+        assert _value("experiment_failures_total") == 1
+        (sp,) = [
+            s for s in get_tracer().spans() if s.name == "experiment.run"
+        ]
+        assert sp.attributes["status"] == "failed"
+
+
+# ---- stream engine ----------------------------------------------------------
+
+
+class TestStreamTelemetry:
+    def test_events_flush_at_window_close_granularity(self, beacon_hits):
+        engine = StreamEngine(policy=WindowPolicy(window_events=1000))
+        engine.ingest_many(beacon_hits[:2500])
+        # Only the two closed windows' events have been flushed.
+        assert _value("stream_events_total") == 2000
+        assert _value("stream_window_advances_total") == 2
+
+    def test_snapshot_flushes_the_open_window_and_times_itself(
+        self, beacon_hits, tmp_path
+    ):
+        engine = StreamEngine(policy=WindowPolicy(window_events=1000))
+        engine.ingest_many(beacon_hits[:2500])
+        engine.save_snapshot(tmp_path / "snap.json")
+        assert _value("stream_events_total") == 2500
+        registry = global_registry()
+        assert registry.get("stream_snapshot_seconds").count == 1
+        assert (
+            registry.get("stream_tracked_subnets").value
+            == engine.subnet_count()
+        )
+
+    def test_resumed_engines_do_not_recount_snapshot_events(
+        self, beacon_hits, tmp_path
+    ):
+        engine = StreamEngine(policy=WindowPolicy(window_events=1000))
+        engine.ingest_many(beacon_hits[:1500])
+        path = engine.save_snapshot(tmp_path / "snap.json")
+        reset_global_registry()
+        resumed = StreamEngine.load_snapshot(path)
+        resumed.ingest_many(beacon_hits[1500:2000])
+        resumed.save_snapshot(path)
+        assert _value("stream_events_total") == 500
+
+
+# ---- observed_command -------------------------------------------------------
+
+
+class TestObservedCommand:
+    def test_dumps_metrics_and_trace_on_success(self, tmp_path):
+        metrics_out = tmp_path / "m.prom"
+        trace_out = tmp_path / "t.json"
+        with observed_command(
+            "demo", metrics_out=metrics_out, trace_out=trace_out
+        ) as run:
+            global_registry().counter("demo_total", "demo").inc(4)
+            with span("demo.step"):
+                pass
+        parsed = parse_prometheus_text(metrics_out.read_text())
+        samples = {
+            name: value
+            for name, _labels, value in parsed["demo_total"]["samples"]
+        }
+        assert samples["demo_total"] == 4
+        trace = json.loads(trace_out.read_text())
+        names = [event["name"] for event in trace["traceEvents"]]
+        assert "cellspot.demo" in names
+        assert "demo.step" in names
+        assert trace["otherData"]["trace_id"] == run.trace_id
+
+    def test_dumps_telemetry_even_when_the_body_raises(self, tmp_path):
+        metrics_out = tmp_path / "m.prom"
+        trace_out = tmp_path / "t.json"
+        with pytest.raises(RuntimeError):
+            with observed_command(
+                "demo", metrics_out=metrics_out, trace_out=trace_out
+            ):
+                global_registry().counter("partial_total").inc()
+                raise RuntimeError("boom")
+        assert "partial_total 1" in metrics_out.read_text()
+        trace = json.loads(trace_out.read_text())
+        root = next(
+            event for event in trace["traceEvents"]
+            if event["name"] == "cellspot.demo"
+        )
+        assert root["args"]["error"] == "RuntimeError"
+
+    def test_fresh_registry_and_tracer_per_command(self):
+        global_registry().counter("stale_total").inc()
+        with observed_command("demo") as run:
+            assert "stale_total" not in run.registry.names()
+            assert len(run.tracer) == 0
+
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGUSR1"), reason="no SIGUSR1 on this platform"
+    )
+    def test_sigusr1_dumps_mid_run(self, tmp_path):
+        metrics_out = tmp_path / "m.prom"
+        before = signal.getsignal(signal.SIGUSR1)
+        with observed_command("demo", metrics_out=metrics_out):
+            during = signal.getsignal(signal.SIGUSR1)
+            global_registry().counter("live_total").inc(2)
+            os.kill(os.getpid(), signal.SIGUSR1)
+            assert metrics_out.exists()
+            assert "live_total 2" in metrics_out.read_text()
+        # The dump handler is swapped out again after the command
+        # (back to whatever was installed before, or SIG_DFL).
+        after = signal.getsignal(signal.SIGUSR1)
+        assert after is not during
+        assert after in (before, signal.SIG_DFL)
+
+
+# ---- batch lab + sharded pipeline ------------------------------------------
+
+
+class TestPipelineSpans:
+    def test_sharded_run_produces_the_documented_span_tree(self):
+        from repro.lab import Lab
+
+        lab = Lab.create(scale=0.002, seed=3, background_as_count=200,
+                         workers=2, shards=2)
+        lab.result
+        names = _span_names()
+        for expected in (
+            "dataset.generate_beacons",
+            "dataset.generate_demand",
+            "stage.partition",
+            "stage.spot_shards",
+            "stage.merge",
+            "stage.demand_map",
+            "stage.as_identification",
+            "stage.operator_profiles",
+            "pipeline.run",
+        ):
+            assert expected in names, expected
+        shard_spans = [
+            sp for sp in get_tracer().spans()
+            if sp.name == "shard.spot_shard"
+        ]
+        assert len(shard_spans) == 2
+        assert _value("shards_executed_total") >= 2
+        # Shards nest under the spot_shards stage, which nests under
+        # the pipeline.run span.
+        by_id = {sp.span_id: sp for sp in get_tracer().spans()}
+        stage = by_id[shard_spans[0].parent_id]
+        assert stage.name == "stage.spot_shards"
+        assert by_id[stage.parent_id].name == "pipeline.run"

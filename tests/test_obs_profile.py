@@ -1,0 +1,67 @@
+"""Opt-in cProfile hooks: reports, atomicity, failure behavior."""
+
+from __future__ import annotations
+
+import cProfile
+
+import pytest
+
+from repro.obs.profile import DEFAULT_TOP_N, maybe_profile, write_profile_report
+
+
+def _busy_work(n: int = 2_000) -> int:
+    return sum(i * i for i in range(n))
+
+
+class TestMaybeProfile:
+    def test_disabled_yields_none_and_writes_nothing(self, tmp_path):
+        out = tmp_path / "profile.txt"
+        with maybe_profile(False, out) as profiler:
+            assert profiler is None
+            _busy_work()
+        assert not out.exists()
+
+    def test_enabled_writes_report_and_pstats(self, tmp_path):
+        out = tmp_path / "profile.txt"
+        with maybe_profile(True, out) as profiler:
+            assert isinstance(profiler, cProfile.Profile)
+            _busy_work()
+        text = out.read_text()
+        assert f"top {DEFAULT_TOP_N} functions by cumulative time" in text
+        assert "_busy_work" in text
+        assert (tmp_path / "profile.txt.pstats").exists()
+
+    def test_report_is_written_even_when_the_body_raises(self, tmp_path):
+        out = tmp_path / "profile.txt"
+        with pytest.raises(RuntimeError):
+            with maybe_profile(True, out):
+                _busy_work()
+                raise RuntimeError("boom")
+        assert "_busy_work" in out.read_text()
+
+    def test_enabled_without_a_path_profiles_but_writes_nothing(
+        self, tmp_path
+    ):
+        with maybe_profile(True, None) as profiler:
+            _busy_work()
+        assert profiler is not None
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestWriteProfileReport:
+    def test_top_n_is_respected(self, tmp_path):
+        profiler = cProfile.Profile()
+        profiler.enable()
+        _busy_work()
+        profiler.disable()
+        out = write_profile_report(profiler, tmp_path / "p.txt", top_n=5)
+        assert "top 5 functions by cumulative time" in out.read_text()
+
+    def test_no_stale_temp_files_left_behind(self, tmp_path):
+        profiler = cProfile.Profile()
+        profiler.enable()
+        _busy_work()
+        profiler.disable()
+        write_profile_report(profiler, tmp_path / "p.txt")
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["p.txt", "p.txt.pstats"]

@@ -1,0 +1,261 @@
+"""Span tracing: nesting, attributes, export, global tracer."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    MAX_SPANS,
+    Span,
+    Tracer,
+    current_trace_id,
+    get_tracer,
+    reset_tracer,
+    span,
+    traced,
+)
+from repro.runtime.logging import current_trace_context
+
+
+@pytest.fixture(autouse=True)
+def _fresh_tracer():
+    reset_tracer()
+    yield
+    reset_tracer()
+
+
+class TestSpanNesting:
+    def test_child_records_parent_id(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                pass
+        assert child.parent_id == parent.span_id
+        assert parent.parent_id is None
+
+    def test_sibling_spans_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == parent.span_id
+        assert b.parent_id == parent.span_id
+
+    def test_spans_complete_in_exit_order(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in tracer.spans()] == ["inner", "outer"]
+
+    def test_all_spans_share_the_tracer_trace_id(self):
+        tracer = Tracer(trace_id="t1234")
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert {s.trace_id for s in tracer.spans()} == {"t1234"}
+
+    def test_durations_are_monotonic_and_nested(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.duration is not None and inner.duration >= 0
+        assert outer.duration >= inner.duration
+        assert outer.started <= inner.started
+
+    def test_thread_spans_root_at_top_level(self):
+        # Worker threads start a fresh contextvar context, so their
+        # spans do not accidentally parent under the main thread's.
+        tracer = Tracer()
+        seen = {}
+
+        def work():
+            with tracer.span("worker") as sp:
+                seen["span"] = sp
+
+        with tracer.span("main"):
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+        assert seen["span"].parent_id is None
+
+
+class TestAttributes:
+    def test_kwargs_become_attributes(self):
+        tracer = Tracer()
+        with tracer.span("s", shard=3, workers=2) as sp:
+            pass
+        assert sp.attributes == {"shard": 3, "workers": 2}
+
+    def test_set_attribute_inside_the_block(self):
+        tracer = Tracer()
+        with tracer.span("s") as sp:
+            sp.set_attribute("status", "ok")
+        assert sp.attributes["status"] == "ok"
+
+    def test_exception_sets_error_attribute_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(KeyError):
+            with tracer.span("boom") as sp:
+                raise KeyError("x")
+        assert sp.attributes["error"] == "KeyError"
+        assert sp.ended
+        # The failed span is still recorded.
+        assert [s.name for s in tracer.spans()] == ["boom"]
+
+
+class TestAddSpan:
+    def test_externally_timed_work_is_recorded(self):
+        tracer = Tracer()
+        sp = tracer.add_span("shard.spot", started=1.0, duration=0.5, shard=0)
+        assert sp.duration == 0.5
+        assert sp.attributes == {"shard": 0}
+        assert len(tracer) == 1
+
+    def test_parent_defaults_to_the_current_span(self):
+        tracer = Tracer()
+        with tracer.span("stage") as stage:
+            child = tracer.add_span("shard.spot", started=0.0, duration=0.1)
+        assert child.parent_id == stage.span_id
+
+    def test_explicit_parent_wins(self):
+        tracer = Tracer()
+        other = Span(name="other", trace_id=tracer.trace_id)
+        with tracer.span("stage"):
+            child = tracer.add_span(
+                "shard.spot", started=0.0, duration=0.1, parent=other
+            )
+        assert child.parent_id == other.span_id
+
+
+class TestBoundedBuffer:
+    def test_spans_beyond_the_cap_are_dropped_and_counted(self):
+        tracer = Tracer(max_spans=2)
+        for index in range(5):
+            tracer.add_span(f"s{index}", started=0.0, duration=0.0)
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        export = tracer.to_chrome_trace()
+        assert export["otherData"]["dropped_spans"] == 3
+
+    def test_default_cap_is_large(self):
+        assert Tracer().max_spans == MAX_SPANS == 100_000
+
+    def test_nonpositive_cap_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+
+class TestChromeExport:
+    def test_complete_events_with_microsecond_timestamps(self):
+        tracer = Tracer()
+        tracer.add_span(
+            "work", started=tracer.epoch + 0.25, duration=0.5, shard=1
+        )
+        export = tracer.to_chrome_trace()
+        assert export["displayTimeUnit"] == "ms"
+        assert export["otherData"]["trace_id"] == tracer.trace_id
+        (event,) = export["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["cat"] == "cellspot"
+        assert event["ts"] == pytest.approx(250_000.0)
+        assert event["dur"] == pytest.approx(500_000.0)
+        assert event["args"]["shard"] == 1
+        assert event["args"]["trace_id"] == tracer.trace_id
+
+    def test_parent_id_rides_in_args_only_when_present(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        by_name = {
+            event["name"]: event
+            for event in tracer.to_chrome_trace()["traceEvents"]
+        }
+        assert "parent_id" not in by_name["parent"]["args"]
+        assert (
+            by_name["child"]["args"]["parent_id"]
+            == by_name["parent"]["args"]["span_id"]
+        )
+
+    def test_render_is_valid_json(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        parsed = json.loads(tracer.render_chrome_json())
+        assert isinstance(parsed["traceEvents"], list)
+
+
+class TestTracedDecorator:
+    def test_records_a_span_on_the_global_tracer(self):
+        @traced("compute", kind="test")
+        def compute(x):
+            return x + 1
+
+        assert compute(1) == 2
+        (sp,) = get_tracer().spans()
+        assert sp.name == "compute"
+        assert sp.attributes == {"kind": "test"}
+
+    def test_name_defaults_to_the_qualified_name(self):
+        @traced()
+        def helper():
+            return None
+
+        helper()
+        (sp,) = get_tracer().spans()
+        assert sp.name.endswith("helper")
+
+    def test_wrapped_function_keeps_its_metadata(self):
+        @traced()
+        def documented():
+            """docstring"""
+
+        assert documented.__name__ == "documented"
+        assert documented.__doc__ == "docstring"
+
+
+class TestGlobalTracer:
+    def test_reset_swaps_the_tracer(self):
+        first = get_tracer()
+        second = reset_tracer()
+        assert first is not second
+        assert get_tracer() is second
+
+    def test_reset_accepts_an_explicit_trace_id(self):
+        reset_tracer("fixed-id")
+        assert current_trace_id() == "fixed-id"
+
+    def test_module_level_span_uses_the_global_tracer(self):
+        with span("global.work", n=1):
+            pass
+        (sp,) = get_tracer().spans()
+        assert sp.name == "global.work"
+
+
+class TestLogContextHandoff:
+    """The span machinery drives runtime.logging's trace contextvar."""
+
+    def test_context_is_set_inside_and_cleared_outside(self):
+        assert current_trace_context() is None
+        tracer = Tracer()
+        with tracer.span("outer") as sp:
+            assert current_trace_context() == (tracer.trace_id, sp.span_id)
+        assert current_trace_context() is None
+
+    def test_nested_spans_restore_the_parent_context(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert current_trace_context() == (
+                    tracer.trace_id, inner.span_id
+                )
+            assert current_trace_context() == (
+                tracer.trace_id, outer.span_id
+            )

@@ -89,6 +89,53 @@ class TestRunId:
         assert current_run_id() == "run-7"
 
 
+class TestTraceContextInjection:
+    """Records inside a span carry trace ids; outside they omit them."""
+
+    def test_record_inside_a_span_carries_trace_and_span_ids(self):
+        from repro.obs.trace import Tracer
+
+        sink = io.StringIO()
+        configure_logging("info", stream=sink)
+        set_run_id("abc123")
+        tracer = Tracer(trace_id="trace0001")
+        with tracer.span("work") as sp:
+            log_event(get_logger("traced"), logging.INFO, "step.done", n=1)
+        line = sink.getvalue().strip()
+        assert f"trace_id=trace0001 span_id={sp.span_id} " in line
+        assert line.endswith("step.done n=1")
+
+    def test_record_outside_any_span_omits_the_fields(self):
+        sink = io.StringIO()
+        configure_logging("info", stream=sink)
+        log_event(get_logger("plain"), logging.INFO, "step.done")
+        line = sink.getvalue().strip()
+        assert "trace_id=" not in line
+        assert "span_id=" not in line
+
+    def test_nested_spans_stamp_the_innermost_span_id(self):
+        from repro.obs.trace import Tracer
+
+        sink = io.StringIO()
+        configure_logging("info", stream=sink)
+        tracer = Tracer()
+        logger = get_logger("nested")
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                log_event(logger, logging.INFO, "deep")
+            log_event(logger, logging.INFO, "shallow")
+        deep, shallow = sink.getvalue().strip().splitlines()
+        assert f"span_id={inner.span_id}" in deep
+        assert f"span_id={outer.span_id}" in shallow
+
+    def test_set_and_reset_are_balanced(self):
+        token = rlog.set_trace_context("t", "s")
+        assert rlog.current_trace_context() == ("t", "s")
+        rlog.reset_trace_context(token)
+        assert rlog.current_trace_context() is None
+        rlog.reset_trace_context(None)  # tolerated no-op
+
+
 class TestFormatFields:
     def test_sorted_and_deterministic(self):
         assert format_fields(b=1, a=2) == "a=2 b=1"

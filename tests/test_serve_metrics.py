@@ -15,6 +15,18 @@ from repro.serve.metrics import (
 )
 
 
+class TestObsShim:
+    """serve.metrics is a compatibility façade over repro.obs.metrics."""
+
+    def test_classes_are_the_obs_classes(self):
+        import repro.obs.metrics as obs
+
+        assert Counter is obs.Counter
+        assert Gauge is obs.Gauge
+        assert Histogram is obs.Histogram
+        assert MetricsRegistry is obs.MetricsRegistry
+
+
 class TestCounter:
     def test_monotonic(self):
         counter = Counter("requests")
