@@ -38,17 +38,22 @@ def _dump_text(corrupt_rate: float) -> "tuple[str, int]":
     return "\n".join(lines) + "\n", corrupted
 
 
-def _report(benchmark, label: str, lines: int) -> None:
+def _report(benchmark, label: str, lines: int,
+            bench_record=None, metric=None) -> None:
     stats = getattr(benchmark, "stats", None)
     if stats is not None:  # absent under --benchmark-disable
         seconds = stats.stats.mean
         print(f"\n{label}: {lines:,} lines in {seconds * 1000:.0f} ms "
               f"({lines / seconds:,.0f} lines/s)")
+        if bench_record is not None and metric is not None:
+            bench_record(metric, lines / seconds, unit="op/s",
+                         higher_is_better=True)
 
 
 @pytest.mark.parametrize("corrupt_rate", [0.0, 0.01, 0.10],
                          ids=["clean", "1pct", "10pct"])
-def test_ingestion_throughput_with_policy(benchmark, corrupt_rate):
+def test_ingestion_throughput_with_policy(benchmark, corrupt_rate,
+                                          bench_record):
     text, corrupted = _dump_text(corrupt_rate)
 
     def load():
@@ -60,10 +65,11 @@ def test_ingestion_throughput_with_policy(benchmark, corrupt_rate):
     assert len(dataset) == SUBNETS - corrupted
     assert policy.stats.rejected_lines == corrupted
     _report(benchmark, f"skip policy @ {100 * corrupt_rate:g}% corrupt",
-            SUBNETS)
+            SUBNETS, bench_record,
+            f"ingest_lines_per_s_{100 * corrupt_rate:g}pct_corrupt")
 
 
-def test_ingestion_throughput_raw_baseline(benchmark):
+def test_ingestion_throughput_raw_baseline(benchmark, bench_record):
     """The pre-policy load loop: parse + merge, zero error handling.
 
     This replicates what ``BeaconDataset.load`` did before the policy
@@ -86,4 +92,5 @@ def test_ingestion_throughput_raw_baseline(benchmark):
 
     dataset = benchmark(load)
     assert len(dataset) == SUBNETS
-    _report(benchmark, "raw baseline (no policy)", SUBNETS)
+    _report(benchmark, "raw baseline (no policy)", SUBNETS,
+            bench_record, "ingest_lines_per_s_raw_baseline")

@@ -31,7 +31,7 @@ WORKERS = 4
 ROUNDS = 3
 
 
-def test_pipeline_throughput(lab, benchmark):
+def test_pipeline_throughput(lab, benchmark, bench_record):
     spotter = CellSpotter(as_filter=lab.spotter.as_filter)
     result = benchmark(
         spotter.run, lab.beacons, lab.demand, lab.as_classes
@@ -42,6 +42,8 @@ def test_pipeline_throughput(lab, benchmark):
         seconds = stats.stats.mean
         print(f"\nclassified {subnets:,} subnets in {seconds * 1000:.0f} ms "
               f"({subnets / seconds:,.0f} subnets/s)")
+        bench_record("pipeline_subnets_per_s", subnets / seconds,
+                     unit="op/s", higher_is_better=True)
     assert result.cellular_as_count > 0
 
 
@@ -56,7 +58,7 @@ def _best_of(fn, rounds=ROUNDS):
     return best, value
 
 
-def test_cached_fused_run_speedup(lab, tmp_path):
+def test_cached_fused_run_speedup(lab, tmp_path, bench_record):
     """Cache + fused sharded run vs JSONL ingest + serial run."""
     beacon_buffer, demand_buffer = io.StringIO(), io.StringIO()
     lab.beacons.dump(beacon_buffer)
@@ -89,6 +91,8 @@ def test_cached_fused_run_speedup(lab, tmp_path):
     print(f"\nserial ingest+run: {serial_s * 1000:.0f} ms | "
           f"cached fused run ({WORKERS} workers): {fast_s * 1000:.0f} ms | "
           f"speedup {speedup:.2f}x (floor {SPEEDUP_FLOOR}x)")
+    bench_record("cached_fused_speedup", speedup, unit="ratio",
+                 higher_is_better=True, threshold=SPEEDUP_FLOOR)
 
     # Differential proof first: identical output, down to the floats.
     assert fast_result.ratios == serial_result.ratios

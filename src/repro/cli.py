@@ -200,10 +200,16 @@ def _cmd_all(args: argparse.Namespace) -> int:
     manifest pinning seed/scale/dataset digests) and skipped on re-run.
     """
     from repro.analysis.report import render_table
+    from repro.obs.alerts import AlertRuleError
 
     lab = _make_lab(args)
     store = None
     manifest = None
+    try:
+        scraper, alert_engine, _monitor = _build_telemetry(args)
+    except AlertRuleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.checkpoint:
         store = CheckpointStore(args.checkpoint)
         manifest = RunManifest.for_run(
@@ -213,14 +219,25 @@ def _cmd_all(args: argparse.Namespace) -> int:
                 "beacon": dataset_digest(lab.beacons),
                 "demand": dataset_digest(lab.demand),
             },
+            alert_log=args.alert_log,
         )
         try:
             manifest = store.bind(manifest)
         except CheckpointMismatch as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        if args.alert_log:
+            # A resumed manifest keeps its identity fields but should
+            # point at *this* run's alert log (informational only).
+            manifest.alert_log = str(args.alert_log)
     guard = GuardConfig(timeout_s=args.timeout, retries=args.retries)
-    outcomes = run_all_guarded(lab, guard, checkpoint=store)
+    if scraper is not None:
+        scraper.start()
+    try:
+        outcomes = run_all_guarded(lab, guard, checkpoint=store)
+    finally:
+        if scraper is not None:
+            scraper.stop(final_scrape=True)
 
     for outcome in outcomes.values():
         if outcome.ok:
@@ -419,7 +436,8 @@ def _event_source(args: argparse.Namespace, skip: int):
     return events, closer
 
 
-def _make_service(args: argparse.Namespace, engine):
+def _make_service(args: argparse.Namespace, engine,
+                  alert_engine=None, drift_monitor=None):
     from repro.lab import scaled_filter_config
     from repro.obs.metrics import global_registry
     from repro.serve.metrics import service_metrics
@@ -445,6 +463,8 @@ def _make_service(args: argparse.Namespace, engine):
         # --metrics-out dump covers the serving layer together with
         # the stream/ingest instrumentation underneath it.
         metrics=service_metrics(registry=global_registry()),
+        alert_engine=alert_engine,
+        drift_monitor=drift_monitor,
     )
 
 
@@ -457,6 +477,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     the window state is persisted atomically and a killed server
     resumes without duplicating or losing a single count.
     """
+    from repro.obs.alerts import AlertRuleError
     from repro.serve.service import install_sigusr1_stats
     from repro.stream.engine import SnapshotError
 
@@ -474,7 +495,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"resumed from snapshot: {resumed:,} events already "
               f"consumed, {engine.subnet_count():,} subnets",
               file=sys.stderr)
-    service = _make_service(args, engine)
+    try:
+        scraper, alert_engine, drift_monitor = _build_telemetry(args)
+    except AlertRuleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    service = _make_service(
+        args, engine, alert_engine=alert_engine, drift_monitor=drift_monitor
+    )
     if not (args.metrics_out or args.trace_out):
         # With --metrics-out / --trace-out the observability layer
         # owns SIGUSR1 (atomic file dumps); without them, keep the
@@ -485,6 +513,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if scraper is not None:
+        scraper.start()
     try:
         if args.socket:
             answered = service.serve_socket(
@@ -497,10 +527,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
     finally:
         closer()
+        if scraper is not None:
+            scraper.stop(final_scrape=True)
     print(f"served {answered:,} requests; "
           f"{service.engine.events_consumed:,} events consumed, "
           f"{service.engine.windows_advanced:,} windows advanced",
           file=sys.stderr)
+    if alert_engine is not None:
+        counts = alert_engine.counts()
+        print(f"alerting: {counts.get('firing', 0)} firing / "
+              f"{len(alert_engine.rules)} rules, "
+              f"{len(alert_engine.events)} transition(s) logged",
+              file=sys.stderr)
     return 0
 
 
@@ -809,6 +847,8 @@ def _cmd_prefixlist(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     """Write EXPERIMENTS.md: paper-vs-measured for every table/figure."""
+    if args.health:
+        return _report_health(args)
     lab = _make_lab(args)
     results = run_all(lab)
     ok_count = sum(1 for result in results.values() if result.all_ok)
@@ -840,6 +880,257 @@ def _cmd_report(args: argparse.Namespace) -> int:
     Path(args.out).write_text("\n".join(lines))
     print(f"wrote {args.out} ({ok_count}/{len(results)} experiments ok)")
     return 0 if ok_count == len(results) else 1
+
+
+def _fetch_health(args: argparse.Namespace):
+    """A zero-arg health fetcher from --socket/--timeseries-dir/--metrics.
+
+    Returns ``(fetch, live)``; ``fetch()`` yields a health dict or
+    ``None`` when the source is gone, ``live`` says whether the source
+    can change between polls (a serve socket or a growing time-series
+    directory) or is a static one-shot file.
+    """
+    from repro.obs import dashboard
+
+    if getattr(args, "socket", None):
+        def fetch():
+            try:
+                return dashboard.query_socket(
+                    args.socket, "health", timeout=args.timeout
+                )
+            except (OSError, ValueError):
+                return None
+        return fetch, True
+    if getattr(args, "timeseries_dir", None):
+        def fetch():
+            try:
+                return dashboard.health_from_timeseries(args.timeseries_dir)
+            except (OSError, ValueError):
+                return None
+        return fetch, True
+    if getattr(args, "metrics", None):
+        def fetch():
+            try:
+                return dashboard.health_from_metrics_dump(args.metrics)
+            except (OSError, ValueError):
+                return None
+        return fetch, False
+    return None, False
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard over a serve session (curses-free).
+
+    Polls a running ``cellspot serve --socket`` session's ``health``
+    op once per ``--interval`` and repaints with plain ANSI escapes.
+    Without a live session it degrades gracefully: ``--timeseries-dir``
+    renders from the latest scrape (and keeps following it),
+    ``--metrics`` renders one static frame from a ``--metrics-out``
+    dump.
+    """
+    from repro.obs.dashboard import run_top
+
+    fetch, live = _fetch_health(args)
+    if fetch is None:
+        print("error: give --socket PATH, --timeseries-dir DIR, or "
+              "--metrics FILE", file=sys.stderr)
+        return 2
+    iterations = 1 if args.once else args.iterations
+    if iterations is None and not live:
+        iterations = 1  # static file: a repaint loop would show nothing new
+    frames = run_top(
+        fetch,
+        sys.stdout,
+        interval_s=args.interval,
+        iterations=iterations,
+        ansi=not args.no_ansi and iterations != 1,
+    )
+    if frames == 0:
+        print("error: no health data (is the serve session up / the "
+              "telemetry directory populated?)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_alerts(args: argparse.Namespace) -> int:
+    """Validate rule files and inspect alert logs / live rule states."""
+    import json as json_module
+
+    from repro.obs.alerts import (
+        AlertRuleError,
+        episodes,
+        load_rules,
+        read_alert_log,
+    )
+
+    if args.rules:
+        try:
+            rules = load_rules(args.rules)
+        except AlertRuleError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"{args.rules}: {len(rules)} valid rule(s)")
+        for rule in rules:
+            suffix = f" for {rule.for_s:g}s" if rule.for_s else ""
+            print(f"  {rule.name}: {rule.condition()}{suffix}")
+        if not args.log and not args.socket:
+            return 0
+
+    if args.socket:
+        from repro.obs.dashboard import query_socket
+
+        try:
+            payload = query_socket(args.socket, "alerts", timeout=args.timeout)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json_module.dumps(payload, separators=(",", ":")))
+            return 0
+        for state in payload.get("rules", []):
+            print(f"[{state['state']:>7}] {state['rule']}: "
+                  f"{state['condition']} (value {state['value']})")
+        if payload.get("note"):
+            print(payload["note"])
+        return 0
+
+    if not args.log:
+        print("error: give --log FILE, --socket PATH, or --rules FILE",
+              file=sys.stderr)
+        return 2
+    try:
+        events = read_alert_log(args.log)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        for episode in episodes(events, args.rule):
+            print(json_module.dumps(episode, separators=(",", ":")))
+        return 0
+    if args.rule:
+        events = [e for e in events if e.get("rule") == args.rule]
+    for event in events:
+        print(f"{event['ts']:.3f} {event['rule']}: "
+              f"{event['from']} -> {event['to']} "
+              f"(value {event['value']}, threshold {event['threshold']}, "
+              f"trace {event.get('trace_id', '-')})")
+    fired = [e for e in episodes(events, args.rule) if e["fired"]]
+    print(f"{len(events)} transition(s), {len(fired)} firing episode(s)")
+    return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    """Compare two BENCH_<name>.json reports; exit 1 on regression."""
+    from repro.obs.benchdiff import (
+        compare_bench_reports,
+        load_bench_report,
+        render_diff,
+    )
+
+    try:
+        old = load_bench_report(args.old)
+        new = load_bench_report(args.new)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    findings = compare_bench_reports(old, new, tolerance=args.tolerance)
+    print(render_diff(findings, args.old, args.new))
+    regressed = [f for f in findings if f["status"] == "regressed"]
+    if regressed:
+        print(f"error: {len(regressed)} metric(s) regressed beyond "
+              f"{args.tolerance:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _report_health(args: argparse.Namespace) -> int:
+    """The ``cellspot report --health`` rollup (markdown or HTML)."""
+    from repro.obs.alerts import read_alert_log
+    from repro.obs.dashboard import render_health_report
+
+    fetch, _live = _fetch_health(args)
+    if fetch is None:
+        print("error: --health needs --socket PATH, --timeseries-dir DIR, "
+              "or --metrics FILE", file=sys.stderr)
+        return 2
+    health = fetch()
+    if health is None:
+        print("error: no health data from the requested source",
+              file=sys.stderr)
+        return 1
+    events = []
+    if args.alert_log:
+        try:
+            events = read_alert_log(args.alert_log)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    out = Path(args.out if args.out != "EXPERIMENTS.md" else "HEALTH.md")
+    fmt = args.format or ("html" if out.suffix == ".html" else "markdown")
+    out.write_text(render_health_report(health, events, fmt=fmt))
+    print(f"wrote {out} ({fmt}; {len(events)} alert transition(s))")
+    return 0
+
+
+def _build_telemetry(args: argparse.Namespace):
+    """(scraper, alert_engine, drift_monitor) from the telemetry flags.
+
+    Telemetry is opt-in: with none of ``--timeseries-dir`` /
+    ``--alert-rules`` / ``--alert-log`` set, everything is ``None``
+    and the command runs exactly as before.  When only alerting is
+    requested the backing time-series store lands in a temp directory
+    (the scraper needs one; the samples are still useful for
+    post-mortem reconstruction).
+    """
+    enabled = bool(
+        getattr(args, "timeseries_dir", None)
+        or getattr(args, "alert_rules", None)
+        or getattr(args, "alert_log", None)
+    )
+    if not enabled:
+        return None, None, None
+    import tempfile
+
+    from repro.obs.alerts import AlertEngine, default_rules, load_rules
+    from repro.obs.health import CensusDriftMonitor
+    from repro.obs.timeseries import MetricScraper, TimeSeriesStore
+    from repro.obs.trace import current_trace_id
+
+    directory = args.timeseries_dir or tempfile.mkdtemp(prefix="cellspot-ts-")
+    store = TimeSeriesStore(directory)
+    scraper = MetricScraper(store, interval_s=args.scrape_interval)
+    rules = (
+        load_rules(args.alert_rules) if args.alert_rules else default_rules()
+    )
+    engine = AlertEngine(
+        rules, log_path=args.alert_log, trace_id=current_trace_id()
+    )
+    scraper.subscribe(engine.observe)
+    return scraper, engine, CensusDriftMonitor()
+
+
+def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
+    """Continuous-telemetry knobs (time-series scraping + alerting)."""
+    parser.add_argument(
+        "--timeseries-dir", default=None, metavar="DIR",
+        help="append fixed-interval metric samples to a bounded ring of "
+             "JSONL segments under DIR ('cellspot top --timeseries-dir' "
+             "renders them)",
+    )
+    parser.add_argument(
+        "--alert-rules", default=None, metavar="FILE",
+        help="TOML/JSON alert rule file (default: the built-in SLO rule "
+             "set when alerting is enabled)",
+    )
+    parser.add_argument(
+        "--alert-log", default=None, metavar="FILE",
+        help="append alert state transitions (pending/firing/resolved) "
+             "as JSONL, joined to the run's trace id",
+    )
+    parser.add_argument(
+        "--scrape-interval", type=float, default=1.0, metavar="SECONDS",
+        help="seconds between metric scrapes (default: 1.0)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -878,6 +1169,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=1,
         help="retry attempts for transient experiment failures (default: 1)",
     )
+    _add_telemetry_options(everything)
     _add_common(everything)
     everything.set_defaults(func=_cmd_all)
 
@@ -939,9 +1231,45 @@ def build_parser() -> argparse.ArgumentParser:
     stats.set_defaults(func=_cmd_stats)
 
     report = subparsers.add_parser(
-        "report", help="write EXPERIMENTS.md (paper vs measured)"
+        "report",
+        help="write EXPERIMENTS.md (paper vs measured) or a health rollup",
+        description="Default mode regenerates EXPERIMENTS.md.  With "
+                    "--health it instead writes a static telemetry "
+                    "rollup (engine progress, census drift, alert "
+                    "episodes) from a serve socket, a time-series "
+                    "directory, or a --metrics-out dump.",
     )
-    report.add_argument("--out", default="EXPERIMENTS.md")
+    report.add_argument("--out", default="EXPERIMENTS.md",
+                        help="output file (default: EXPERIMENTS.md; "
+                             "--health defaults to HEALTH.md)")
+    report.add_argument(
+        "--health", action="store_true",
+        help="write the telemetry health rollup instead of EXPERIMENTS.md",
+    )
+    report.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="health source: a live 'cellspot serve --socket' session",
+    )
+    report.add_argument(
+        "--timeseries-dir", default=None, metavar="DIR",
+        help="health source: a --timeseries-dir scrape directory",
+    )
+    report.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="health source: a --metrics-out dump",
+    )
+    report.add_argument(
+        "--alert-log", default=None, metavar="FILE",
+        help="include firing episodes from this alert transition log",
+    )
+    report.add_argument(
+        "--format", choices=["markdown", "html"], default=None,
+        help="rollup format (default: by --out extension)",
+    )
+    report.add_argument(
+        "--timeout", type=float, default=2.0, metavar="SECONDS",
+        help="socket timeout for --socket health fetches (default: 2.0)",
+    )
     _add_common(report)
     report.set_defaults(func=_cmd_report)
 
@@ -980,6 +1308,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-connections", type=_positive_int, default=None, metavar="N",
         help="stop after N socket connections (tests/smoke runs)",
     )
+    _add_telemetry_options(serve)
     _add_common(serve)
     serve.set_defaults(func=_cmd_serve)
 
@@ -997,6 +1326,102 @@ def build_parser() -> argparse.ArgumentParser:
     _add_stream_options(query)
     _add_common(query)
     query.set_defaults(func=_cmd_query)
+
+    top = subparsers.add_parser(
+        "top",
+        help="live terminal dashboard over a serve session",
+        description="Repaint engine progress, ingest/query rates, "
+                    "census drift scores, and alert states once per "
+                    "--interval.  Sources, most to least live: a "
+                    "serve --socket session, a --timeseries-dir scrape "
+                    "directory, a static --metrics-out dump.",
+    )
+    top.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="poll a running 'cellspot serve --socket' session",
+    )
+    top.add_argument(
+        "--timeseries-dir", default=None, metavar="DIR",
+        help="render from the latest scrape in a --timeseries-dir "
+             "directory (follows new samples)",
+    )
+    top.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="render one frame from a --metrics-out dump",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="seconds between repaints (default: 1.0)",
+    )
+    top.add_argument(
+        "--iterations", type=_positive_int, default=None, metavar="N",
+        help="stop after N frames (default: until the source goes away "
+             "or Ctrl-C)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (no ANSI clearing)",
+    )
+    top.add_argument(
+        "--no-ansi", action="store_true",
+        help="never emit ANSI escapes (frames separated by newlines)",
+    )
+    top.add_argument(
+        "--timeout", type=float, default=2.0, metavar="SECONDS",
+        help="socket timeout per poll (default: 2.0)",
+    )
+    top.set_defaults(func=_cmd_top)
+
+    alerts = subparsers.add_parser(
+        "alerts",
+        help="validate alert rules and inspect alert logs",
+        description="Three modes, composable: --rules FILE validates a "
+                    "TOML/JSON rule file; --log FILE pretty-prints the "
+                    "transition log and its firing episodes; --socket "
+                    "PATH shows the live rule states of a serve "
+                    "session.",
+    )
+    alerts.add_argument(
+        "--rules", default=None, metavar="FILE",
+        help="validate this TOML/JSON alert rule file",
+    )
+    alerts.add_argument(
+        "--log", default=None, metavar="FILE",
+        help="alert transition log (--alert-log) to inspect",
+    )
+    alerts.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="query a live serve session's alert states",
+    )
+    alerts.add_argument(
+        "--rule", default=None, metavar="NAME",
+        help="restrict --log output to one rule",
+    )
+    alerts.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON (episodes for --log, the raw "
+             "payload for --socket)",
+    )
+    alerts.add_argument(
+        "--timeout", type=float, default=2.0, metavar="SECONDS",
+        help="socket timeout (default: 2.0)",
+    )
+    alerts.set_defaults(func=_cmd_alerts)
+
+    bench_diff = subparsers.add_parser(
+        "bench-diff",
+        help="compare two BENCH_<name>.json benchmark reports",
+        description="Flag metrics that moved more than --tolerance in "
+                    "their bad direction (or whose floor/ceiling "
+                    "verdict flipped to fail).  Exit 1 on regression.",
+    )
+    bench_diff.add_argument("old", help="baseline BENCH_<name>.json")
+    bench_diff.add_argument("new", help="candidate BENCH_<name>.json")
+    bench_diff.add_argument(
+        "--tolerance", type=float, default=0.10, metavar="FRACTION",
+        help="relative regression tolerance (default: 0.10)",
+    )
+    bench_diff.set_defaults(func=_cmd_bench_diff)
     return parser
 
 

@@ -20,14 +20,21 @@ from repro.evolution.churn import (
     prefix_list_staleness,
     run_monthly_census,
 )
-from repro.evolution.drift import EvolutionConfig, evolve_world
+from repro.evolution.drift import (
+    DriftScore,
+    EvolutionConfig,
+    evolve_world,
+    snapshot_distribution_shift,
+)
 
 __all__ = [
     "ChurnReport",
+    "DriftScore",
     "EvolutionConfig",
     "MonthlyCensus",
     "churn_between",
     "prefix_list_staleness",
     "evolve_world",
     "run_monthly_census",
+    "snapshot_distribution_shift",
 ]

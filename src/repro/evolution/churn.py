@@ -66,6 +66,22 @@ class MonthlyCensus:
             )
         return result
 
+    def drift_scores(self) -> List["DriftScore"]:
+        """PSI/KS distribution shift between consecutive month pairs.
+
+        Same scoring the live streaming monitor exports as the
+        ``census_ratio_psi`` / ``census_ratio_ks`` gauges, so offline
+        censuses and live alert rules agree on what "drifted" means.
+        """
+        from repro.evolution.drift import snapshot_distribution_shift
+
+        return [
+            snapshot_distribution_shift(
+                self.classifications[earlier], self.classifications[later]
+            )
+            for earlier, later in zip(self.months, self.months[1:])
+        ]
+
 
 def churn_between(
     before: Set[Prefix],

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
+from typing import Dict
 
 from repro.world.allocation import AllocationPlan, SubnetPlan
 from repro.world.build import World
@@ -44,6 +45,55 @@ class EvolutionConfig:
                 raise ValueError(f"{name} must be in [0, 1)")
         if self.demand_drift_sigma < 0:
             raise ValueError("demand_drift_sigma must be non-negative")
+
+
+@dataclass(frozen=True)
+class DriftScore:
+    """Distribution-shift verdict between two census snapshots.
+
+    The same PSI/KS semantics the live streaming monitor
+    (:class:`repro.obs.health.CensusDriftMonitor`) exports as gauges,
+    so an offline month-over-month census and a live window-over-
+    baseline alert speak one drift language.
+    """
+
+    psi: float
+    ks: float
+
+    #: Conventional PSI bars: < 0.10 stable, 0.10-0.25 moderate, above
+    #: that a major shift (the default alert rule threshold).
+    PSI_MODERATE = 0.10
+    PSI_MAJOR = 0.25
+
+    @property
+    def verdict(self) -> str:
+        if self.psi > self.PSI_MAJOR:
+            return "major"
+        if self.psi > self.PSI_MODERATE:
+            return "moderate"
+        return "stable"
+
+    def to_dict(self) -> Dict:
+        return {"psi": self.psi, "ks": self.ks, "verdict": self.verdict}
+
+
+def snapshot_distribution_shift(
+    before_classification, after_classification
+) -> DriftScore:
+    """Score the cellular-ratio distribution shift between two censuses.
+
+    ``*_classification`` are
+    :class:`~repro.core.classifier.ClassificationResult` objects; their
+    per-subnet ratio records are sketched into the shared decile
+    histogram and scored with PSI + KS.
+    """
+    from repro.obs.health import ratio_distribution_shift
+
+    psi, ks = ratio_distribution_shift(
+        before_classification.records.values(),
+        after_classification.records.values(),
+    )
+    return DriftScore(psi=psi, ks=ks)
 
 
 def evolve_world(

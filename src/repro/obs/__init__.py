@@ -29,6 +29,26 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    AlertRuleError,
+    default_rules,
+    episodes,
+    load_rules,
+    read_alert_log,
+)
+from repro.obs.dashboard import (
+    render_dashboard,
+    render_health_report,
+    run_top,
+)
+from repro.obs.health import (
+    CensusDriftMonitor,
+    RatioSketch,
+    ks_statistic,
+    population_stability_index,
+)
 from repro.obs.metrics import (
     BATCH_STAGE_BUCKETS,
     COUNT_BUCKETS,
@@ -46,8 +66,15 @@ from repro.obs.metrics import (
     render_prometheus,
     reset_global_registry,
     set_enabled,
+    validate_bounds,
 )
 from repro.obs.profile import maybe_profile, write_profile_report
+from repro.obs.timeseries import (
+    MetricScraper,
+    TimeSeriesReader,
+    TimeSeriesStore,
+    scrape_registry,
+)
 from repro.obs.trace import (
     Span,
     Tracer,
@@ -184,33 +211,52 @@ def observed_command(
 
 
 __all__ = [
+    "AlertEngine",
+    "AlertRule",
+    "AlertRuleError",
     "BATCH_STAGE_BUCKETS",
     "COUNT_BUCKETS",
+    "CensusDriftMonitor",
     "DEFAULT_LATENCY_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
+    "MetricScraper",
     "MetricsRegistry",
     "NullMetric",
     "ObservedRun",
     "PrometheusFormatError",
+    "RatioSketch",
     "Span",
+    "TimeSeriesReader",
+    "TimeSeriesStore",
     "Tracer",
     "current_trace_id",
+    "default_rules",
     "dump_metrics",
     "dump_trace",
+    "episodes",
     "get_tracer",
     "global_registry",
     "instrument",
+    "ks_statistic",
+    "load_rules",
     "maybe_profile",
     "metrics_enabled",
     "observed_command",
     "parse_prometheus_text",
+    "population_stability_index",
+    "read_alert_log",
+    "render_dashboard",
+    "render_health_report",
     "render_prometheus",
     "reset_global_registry",
     "reset_tracer",
+    "run_top",
+    "scrape_registry",
     "set_enabled",
     "span",
     "traced",
+    "validate_bounds",
     "write_profile_report",
 ]

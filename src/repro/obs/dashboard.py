@@ -1,0 +1,377 @@
+"""``cellspot top``: a curses-free live terminal dashboard.
+
+Renders the ``health`` payload (:meth:`CellSpotService.health`) as a
+fixed-width panel layout and repaints it in place with two ANSI
+control sequences (cursor-home + clear-to-end) -- no curses, no
+alternate screen, degrades to plain sequential prints on dumb
+terminals (``--no-ansi`` / not a TTY).
+
+Three data sources, in preference order:
+
+1. a running ``cellspot serve --socket`` session (the ``health`` op
+   over AF_UNIX) -- live repaint mode;
+2. a time-series directory (``--timeseries-dir``) -- single-shot
+   reconstruction from the latest scrape;
+3. a ``--metrics-out`` dump file -- single-shot.
+
+:func:`render_health_report` is the static twin: the same rollup as
+markdown (or minimal HTML) for ``cellspot report --health``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+#: ANSI repaint prelude: home the cursor, clear to end of screen.
+ANSI_HOME_CLEAR = "\x1b[H\x1b[J"
+ANSI_HIDE_CURSOR = "\x1b[?25l"
+ANSI_SHOW_CURSOR = "\x1b[?25h"
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: List[float], width: int = 24) -> str:
+    """A unicode sparkline of the last ``width`` values."""
+    tail = [float(v) for v in values[-width:]]
+    if not tail:
+        return ""
+    top = max(tail)
+    if top <= 0:
+        return _BARS[0] * len(tail)
+    return "".join(
+        _BARS[min(int(value / top * (len(_BARS) - 1)), len(_BARS) - 1)]
+        for value in tail
+    )
+
+
+def _fmt(value, digits: int = 4) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.{digits}g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _panel(title: str, rows: List[str], width: int) -> List[str]:
+    inner = width - 4
+    lines = [f"┌─ {title} " + "─" * max(0, width - len(title) - 5) + "┐"]
+    for row in rows:
+        lines.append("│ " + row[:inner].ljust(inner) + " │")
+    lines.append("└" + "─" * (width - 2) + "┘")
+    return lines
+
+
+_STATE_GLYPHS = {"ok": "·", "pending": "▲", "firing": "✖"}
+
+
+def render_dashboard(health: Dict, width: int = 78) -> str:
+    """The ``cellspot top`` frame for one health payload."""
+    engine = health.get("engine") or {}
+    rates = health.get("rates") or {}
+    drift = health.get("drift") or {}
+    alerts = health.get("alerts") or []
+    lines: List[str] = []
+    stamp = time.strftime("%H:%M:%S", time.localtime(health.get("ts", time.time())))
+    title = f"cellspot top · {stamp}"
+    source = health.get("source", "")
+    if source:
+        title += f" · {source}"
+    lines.append(title[:width])
+
+    engine_rows = [
+        f"month {engine.get('month') or '-'}   "
+        f"events {_fmt(engine.get('events_consumed', 0))}   "
+        f"windows {_fmt(engine.get('windows_advanced', 0))}",
+        f"subnets {_fmt(engine.get('subnets', 0))}   "
+        f"window fill {_fmt(engine.get('window_fill', 0))}   "
+        f"index entries {_fmt(health.get('index_entries', 0))}",
+        f"ingest {_fmt(rates.get('events_per_s'))} ev/s   "
+        f"queries {_fmt(rates.get('queries_per_s'))} q/s   "
+        f"p99 {_fmt(rates.get('query_p99_s'))} s",
+    ]
+    lines += _panel("engine", engine_rows, width)
+
+    last = drift.get("last") or {}
+    drift_rows = [
+        f"psi {_fmt(last.get('psi'))}   ks {_fmt(last.get('ks'))}   "
+        f"churn {_fmt(last.get('churn_rate'))}   "
+        f"scored {_fmt(drift.get('windows_scored', 0))} windows",
+        f"psi trend {sparkline(drift.get('recent_psi') or [])}",
+        f"baseline: {_fmt(drift.get('baseline_windows', 0))} windows, "
+        f"{_fmt(drift.get('baseline_subnets', 0))} subnets",
+    ]
+    lines += _panel("census drift", drift_rows, width)
+
+    if alerts:
+        alert_rows = []
+        ordering = {"firing": 0, "pending": 1, "ok": 2}
+        for state in sorted(
+            alerts, key=lambda s: (ordering.get(s.get("state"), 3),
+                                   s.get("rule", ""))
+        ):
+            glyph = _STATE_GLYPHS.get(state.get("state"), "?")
+            alert_rows.append(
+                f"{glyph} {state.get('state', '?'):7s} "
+                f"{state.get('rule', '?'):24s} "
+                f"{state.get('condition', '')}  "
+                f"[{_fmt(state.get('value'))}]"
+            )
+    else:
+        alert_rows = ["(no alert rules loaded)"]
+    lines += _panel("alerts", alert_rows, width)
+    return "\n".join(lines)
+
+
+# ---- data sources ---------------------------------------------------------
+
+
+def query_socket(socket_path: Union[str, Path], op: str, timeout: float = 2.0) -> Dict:
+    """One request against a running serve session's AF_UNIX socket."""
+    import socket as socket_module
+
+    connection = socket_module.socket(
+        socket_module.AF_UNIX, socket_module.SOCK_STREAM
+    )
+    connection.settimeout(timeout)
+    try:
+        connection.connect(str(socket_path))
+        connection.sendall(
+            (json.dumps({"op": op}) + "\n").encode("utf-8")
+        )
+        reader = connection.makefile("r")
+        line = reader.readline()
+    finally:
+        connection.close()
+    if not line:
+        raise OSError(f"no response from {socket_path}")
+    return json.loads(line)
+
+
+def health_from_metrics_dump(path: Union[str, Path]) -> Dict:
+    """A best-effort health payload from a --metrics-out dump file."""
+    from repro.obs.metrics import parse_prometheus_text
+
+    path = Path(path)
+    text = path.read_text()
+    values: Dict[str, float] = {}
+    if path.suffix == ".json":
+        raw = json.loads(text)
+        for name, payload in raw.items():
+            if isinstance(payload, dict) and "value" in payload:
+                values[name] = payload["value"]
+            elif isinstance(payload, dict) and payload.get("type") == "histogram":
+                values[f"{name}_p99"] = payload.get("p99") or 0.0
+    else:
+        for name, payload in parse_prometheus_text(text).items():
+            for sample_name, _labels, value in payload["samples"]:
+                values[sample_name] = value
+    return _health_from_values(values, source=str(path))
+
+
+def health_from_timeseries(directory: Union[str, Path]) -> Dict:
+    """A health payload from the latest scrape in a time-series dir."""
+    from repro.obs.timeseries import TimeSeriesReader
+
+    reader = TimeSeriesReader(directory)
+    latest: Optional[Dict] = None
+    for sample in reader.samples():
+        latest = sample
+    if latest is None:
+        raise OSError(f"no samples under {directory}")
+    values: Dict[str, float] = {}
+    for name, payload in latest.get("m", {}).items():
+        if payload[0] in ("c", "g"):
+            values[name] = payload[1]
+        elif payload[0] == "h":
+            values[f"{name}_p99"] = payload[4] or 0.0
+    health = _health_from_values(values, source=str(directory))
+    health["ts"] = latest.get("ts")
+    # Rates come from the stored counter deltas, not lifetime averages.
+    ingest = reader.rate("stream_events_total")
+    if ingest:
+        health["rates"]["events_per_s"] = ingest[-1][1]
+    queries = reader.rate("queries_total")
+    if queries:
+        health["rates"]["queries_per_s"] = queries[-1][1]
+    return health
+
+
+def _health_from_values(values: Dict[str, float], source: str) -> Dict:
+    return {
+        "ok": True,
+        "source": source,
+        "ts": time.time(),
+        "engine": {
+            "month": None,
+            "events_consumed": int(
+                values.get("stream_events_total")
+                or values.get("events_ingested_total")
+                or 0
+            ),
+            "windows_advanced": int(
+                values.get("stream_window_advances_total")
+                or values.get("window_advances_total")
+                or 0
+            ),
+            "subnets": int(
+                values.get("stream_tracked_subnets")
+                or values.get("tracked_subnets")
+                or 0
+            ),
+            "window_fill": int(values.get("stream_window_lag_events") or 0),
+        },
+        "rates": {
+            "events_per_s": values.get("ingest_events_per_s"),
+            "queries_per_s": None,
+            "query_p99_s": values.get("query_latency_seconds_p99"),
+        },
+        "drift": {
+            "windows_scored": int(
+                values.get("census_windows_scored_total") or 0
+            ),
+            "baseline_windows": None,
+            "baseline_subnets": None,
+            "recent_psi": [],
+            "last": {
+                "psi": values.get("census_ratio_psi"),
+                "ks": values.get("census_ratio_ks"),
+                "churn_rate": values.get("census_churn_rate"),
+            },
+        },
+        "alerts": [],
+        "index_entries": 0,
+    }
+
+
+# ---- the top loop ---------------------------------------------------------
+
+
+def run_top(
+    fetch: Callable[[], Optional[Dict]],
+    out,
+    interval_s: float = 1.0,
+    iterations: Optional[int] = None,
+    ansi: bool = True,
+    width: int = 78,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Repaint loop: fetch -> render -> sleep, until exhausted.
+
+    ``fetch`` returns a health payload or None (source gone -- stop).
+    ``iterations=None`` runs until KeyboardInterrupt or fetch failure;
+    returns the number of frames painted.
+    """
+    frames = 0
+    try:
+        if ansi:
+            out.write(ANSI_HIDE_CURSOR)
+        while iterations is None or frames < iterations:
+            health = fetch()
+            if health is None:
+                break
+            if ansi:
+                out.write(ANSI_HOME_CLEAR)
+            out.write(render_dashboard(health, width=width))
+            out.write("\n")
+            out.flush()
+            frames += 1
+            if iterations is not None and frames >= iterations:
+                break
+            sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; the frames already
+        # painted still count, and the cursor restore below is moot.
+        return frames
+    finally:
+        if ansi:
+            try:
+                out.write(ANSI_SHOW_CURSOR)
+                out.flush()
+            except BrokenPipeError:
+                pass
+    return frames
+
+
+# ---- static rollup (cellspot report --health) -----------------------------
+
+
+def render_health_report(
+    health: Dict,
+    alert_events: Optional[List[Dict]] = None,
+    fmt: str = "markdown",
+) -> str:
+    """The dashboard's static twin: a markdown (or HTML) rollup."""
+    from repro.obs.alerts import episodes
+
+    engine = health.get("engine") or {}
+    drift = health.get("drift") or {}
+    last = drift.get("last") or {}
+    lines = [
+        "# cellspot health rollup",
+        "",
+        f"source: `{health.get('source', 'live service')}`",
+        "",
+        "## engine",
+        "",
+        f"- events consumed: {_fmt(engine.get('events_consumed', 0))}",
+        f"- windows advanced: {_fmt(engine.get('windows_advanced', 0))}",
+        f"- tracked subnets: {_fmt(engine.get('subnets', 0))}",
+        "",
+        "## census drift",
+        "",
+        f"- PSI (latest window vs baseline): {_fmt(last.get('psi'))}",
+        f"- KS distance: {_fmt(last.get('ks'))}",
+        f"- classification churn rate: {_fmt(last.get('churn_rate'))}",
+        f"- windows scored: {_fmt(drift.get('windows_scored', 0))}",
+    ]
+    trend = sparkline(drift.get("recent_psi") or [])
+    if trend:
+        lines.append(f"- PSI trend: `{trend}`")
+    lines += ["", "## alerts", ""]
+    states = health.get("alerts") or []
+    if states:
+        lines.append("| rule | state | condition | value |")
+        lines.append("|---|---|---|---|")
+        for state in states:
+            lines.append(
+                f"| {state.get('rule')} | {state.get('state')} "
+                f"| `{state.get('condition')}` "
+                f"| {_fmt(state.get('value'))} |"
+            )
+    else:
+        lines.append("(no live alert states)")
+    if alert_events:
+        lines += ["", "### firing episodes", ""]
+        for episode in episodes(alert_events):
+            ended = (
+                _fmt(episode.get("ended")) if episode.get("ended") else "open"
+            )
+            lines.append(
+                f"- `{episode['rule']}` "
+                f"{'fired' if episode['fired'] else 'pending only'}: "
+                f"{_fmt(episode.get('started'))} → {ended}, "
+                f"peak {_fmt(episode.get('peak_value'))} "
+                f"(trace `{episode.get('trace_id')}`)"
+            )
+    text = "\n".join(lines) + "\n"
+    if fmt == "html":
+        body = (
+            text.replace("&", "&amp;")
+            .replace("<", "&lt;")
+            .replace(">", "&gt;")
+        )
+        return (
+            "<!doctype html><html><head><meta charset='utf-8'>"
+            "<title>cellspot health</title></head>"
+            f"<body><pre>{body}</pre></body></html>\n"
+        )
+    return text

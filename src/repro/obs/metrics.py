@@ -44,7 +44,11 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Default latency buckets (seconds): 50us .. 1s, then overflow.
-#: Defined once here; ``repro.serve.metrics`` re-exports it.
+#: Defined once here; ``repro.serve.metrics`` re-exports it.  All
+#: three presets are frozen tuples and validated (sorted, duplicate-
+#: free) by :func:`validate_bounds` at registry time, so a preset
+#: typo -- or a caller-supplied list with repeated edges, which would
+#: silently create a dead bucket -- fails loudly at registration.
 DEFAULT_LATENCY_BUCKETS = (
     0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
     0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
@@ -67,6 +71,28 @@ COUNT_BUCKETS = (
     1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0,
     1_000_000.0, 10_000_000.0,
 )
+
+
+def validate_bounds(bounds: Sequence[float]) -> Tuple[float, ...]:
+    """Validate histogram bucket bounds; returns them as a tuple.
+
+    Rejects empty, unsorted, and *duplicate* bounds (a repeated edge
+    creates a bucket that can never be hit, silently skewing cumulative
+    Prometheus exports).  Every registration path -- direct
+    :class:`Histogram` construction, :meth:`MetricsRegistry.histogram`,
+    :func:`instrument` -- funnels through this check.
+    """
+    if not bounds:
+        raise ValueError("bucket bounds must be non-empty")
+    as_tuple = tuple(float(bound) for bound in bounds)
+    for earlier, later in zip(as_tuple, as_tuple[1:]):
+        if later <= earlier:
+            kind = "duplicate" if later == earlier else "unsorted"
+            raise ValueError(
+                f"bucket bounds must be strictly increasing: "
+                f"{kind} bound {later!r} after {earlier!r}"
+            )
+    return as_tuple
 
 
 class Counter:
@@ -128,11 +154,9 @@ class Histogram:
         help_text: str = "",
         bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
     ) -> None:
-        if not bounds or list(bounds) != sorted(bounds):
-            raise ValueError("bucket bounds must be sorted and non-empty")
         self.name = name
         self.help = help_text
-        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.bounds: Tuple[float, ...] = validate_bounds(bounds)
         self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.total = 0.0

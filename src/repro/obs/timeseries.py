@@ -1,0 +1,376 @@
+"""Append-only metric time-series: scrape, ring segments, range reads.
+
+PR 4's telemetry spine is point-in-time -- one registry snapshot at
+exit or on ``SIGUSR1``.  This module adds *history*: a fixed-interval
+:class:`MetricScraper` samples the process-global
+:class:`~repro.obs.metrics.MetricsRegistry` into an on-disk
+:class:`TimeSeriesStore`, and :class:`TimeSeriesReader` answers range
+queries (values, counter deltas, per-second rates) afterwards -- the
+substrate the alert engine (:mod:`repro.obs.alerts`) and the
+``cellspot top`` dashboard (:mod:`repro.obs.dashboard`) evaluate over.
+
+**File format.**  A store directory holds a bounded ring of JSONL
+*segment* files (``segment-00000001.jsonl`` ...).  One line is one
+scrape::
+
+    {"ts": 1700000000.5, "m": {"stream_events_total": ["c", 8192],
+                               "tracked_subnets": ["g", 311.0],
+                               "query_latency_seconds":
+                                   ["h", 120, 0.031, 0.00025, 0.001]}}
+
+Metric payloads are compact tagged arrays -- ``["c", value]`` for
+counters, ``["g", value]`` for gauges, ``["h", count, sum, p50, p99]``
+for histograms.  Counters are stored *raw* (cumulative); the reader is
+delta/rate-aware and derives per-interval rates, treating a negative
+delta as a process restart (rate from the new raw value, never a
+negative rate).
+
+**Rotation.**  The active segment rotates after
+``max_segment_samples`` lines: the new segment file is created first
+and the oldest ring member is unlinked only afterwards, so a reader
+(or a crash) at any instant sees complete JSONL lines in a contiguous
+ring -- never a torn or half-rotated view.  Appends are
+write-then-flush of a single line, which POSIX appends atomically for
+lines under the pipe buffer size; a truncated final line (hard kill)
+is skipped by the reader rather than poisoning the whole store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.obs.metrics import MetricsRegistry, global_registry
+
+SEGMENT_PREFIX = "segment-"
+SEGMENT_SUFFIX = ".jsonl"
+
+#: Default scrape cadence (seconds); deliberately coarse -- the store
+#: is an SLO/drift substrate, not a profiler.
+DEFAULT_INTERVAL_S = 1.0
+
+
+def scrape_registry(
+    registry: Optional[MetricsRegistry] = None,
+    clock: Callable[[], float] = time.time,
+) -> Dict:
+    """One scrape: the registry as a compact tagged-array sample."""
+    registry = registry if registry is not None else global_registry()
+    snapshot = registry.as_dict()
+    snapshot.pop("_uptime_s", None)
+    metrics: Dict[str, List] = {}
+    for name, payload in snapshot.items():
+        kind = payload.get("type")
+        if kind == "counter":
+            metrics[name] = ["c", payload["value"]]
+        elif kind == "gauge":
+            metrics[name] = ["g", payload["value"]]
+        elif kind == "histogram":
+            metrics[name] = [
+                "h",
+                payload["count"],
+                payload["sum"],
+                payload["p50"],
+                payload["p99"],
+            ]
+    return {"ts": clock(), "m": metrics}
+
+
+class TimeSeriesStore:
+    """Bounded ring of append-only JSONL segments under one directory."""
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        max_segment_samples: int = 512,
+        max_segments: int = 8,
+    ) -> None:
+        if max_segment_samples < 1:
+            raise ValueError("max_segment_samples must be >= 1")
+        if max_segments < 2:
+            raise ValueError("max_segments must be >= 2 (ring semantics)")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_segment_samples = max_segment_samples
+        self.max_segments = max_segments
+        self._lock = threading.Lock()
+        existing = _segment_indices(self.directory)
+        self._active_index = existing[-1] if existing else 1
+        self._active_samples = (
+            _count_lines(self._segment_path(self._active_index))
+            if existing
+            else 0
+        )
+
+    def _segment_path(self, index: int) -> Path:
+        return self.directory / f"{SEGMENT_PREFIX}{index:08d}{SEGMENT_SUFFIX}"
+
+    @property
+    def active_segment(self) -> Path:
+        return self._segment_path(self._active_index)
+
+    def append(self, sample: Dict) -> None:
+        """Append one scrape sample (thread-safe, single-line write)."""
+        line = json.dumps(sample, separators=(",", ":"))
+        with self._lock:
+            if self._active_samples >= self.max_segment_samples:
+                self._rotate_locked()
+            with self.active_segment.open("a") as stream:
+                stream.write(line)
+                stream.write("\n")
+                stream.flush()
+            self._active_samples += 1
+
+    def _rotate_locked(self) -> None:
+        """Open the next segment, then trim the ring (create-then-unlink)."""
+        self._active_index += 1
+        self._active_samples = 0
+        # Create the new segment *first* so the ring never shrinks below
+        # its floor mid-rotation, then drop members beyond the bound.
+        self.active_segment.touch()
+        indices = _segment_indices(self.directory)
+        while len(indices) > self.max_segments:
+            oldest = indices.pop(0)
+            try:
+                self._segment_path(oldest).unlink()
+            except OSError:
+                break
+
+    def segment_count(self) -> int:
+        return len(_segment_indices(self.directory))
+
+
+def _segment_indices(directory: Path) -> List[int]:
+    indices = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    for name in names:
+        if name.startswith(SEGMENT_PREFIX) and name.endswith(SEGMENT_SUFFIX):
+            middle = name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)]
+            try:
+                indices.append(int(middle))
+            except ValueError:
+                continue
+    return sorted(indices)
+
+
+def _count_lines(path: Path) -> int:
+    try:
+        with path.open() as stream:
+            return sum(1 for _ in stream)
+    except OSError:
+        return 0
+
+
+class TimeSeriesReader:
+    """Range queries over a :class:`TimeSeriesStore` directory."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+
+    def samples(
+        self,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Iterator[Dict]:
+        """Every parseable sample in ``[start, end]``, in time order.
+
+        Unparseable lines (a torn final line after a hard kill) are
+        skipped, never raised.
+        """
+        for index in _segment_indices(self.directory):
+            path = self.directory / (
+                f"{SEGMENT_PREFIX}{index:08d}{SEGMENT_SUFFIX}"
+            )
+            try:
+                text = path.read_text()
+            except OSError:
+                continue
+            for line in text.splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    sample = json.loads(line)
+                except ValueError:
+                    continue
+                ts = sample.get("ts")
+                if not isinstance(ts, (int, float)):
+                    continue
+                if start is not None and ts < start:
+                    continue
+                if end is not None and ts > end:
+                    continue
+                yield sample
+
+    def series(
+        self,
+        name: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[Tuple[float, object]]:
+        """``[(ts, decoded value)]`` for one metric over a range.
+
+        Counters/gauges decode to their scalar; histograms decode to
+        ``{"count", "sum", "p50", "p99"}``.
+        """
+        points: List[Tuple[float, object]] = []
+        for sample in self.samples(start, end):
+            payload = sample.get("m", {}).get(name)
+            if payload is None:
+                continue
+            decoded = _decode(payload)
+            if decoded is not None:
+                points.append((sample["ts"], decoded))
+        return points
+
+    def metric_names(self) -> List[str]:
+        names = set()
+        for sample in self.samples():
+            names.update(sample.get("m", {}))
+        return sorted(names)
+
+    def latest(self, name: str) -> Optional[Tuple[float, object]]:
+        points = self.series(name)
+        return points[-1] if points else None
+
+    def rate(
+        self,
+        name: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[Tuple[float, float]]:
+        """Per-second counter rates between consecutive scrapes.
+
+        Each point is stamped with the *later* scrape's timestamp.  A
+        negative delta means the process restarted (counters are
+        process-local and monotonic); the rate is then derived from the
+        new raw value alone, so restarts never produce negative rates.
+        """
+        raw: List[Tuple[float, float]] = []
+        for sample in self.samples(start, end):
+            payload = sample.get("m", {}).get(name)
+            if payload and payload[0] == "c":
+                raw.append((sample["ts"], float(payload[1])))
+        rates: List[Tuple[float, float]] = []
+        for (t0, v0), (t1, v1) in zip(raw, raw[1:]):
+            dt = t1 - t0
+            if dt <= 0:
+                continue
+            delta = v1 - v0
+            if delta < 0:  # counter reset: process restart
+                delta = v1
+            rates.append((t1, delta / dt))
+        return rates
+
+
+def _decode(payload) -> Optional[object]:
+    try:
+        tag = payload[0]
+        if tag in ("c", "g"):
+            return payload[1]
+        if tag == "h":
+            return {
+                "count": payload[1],
+                "sum": payload[2],
+                "p50": payload[3],
+                "p99": payload[4],
+            }
+    except (TypeError, IndexError, KeyError):
+        return None
+    return None
+
+
+class MetricScraper:
+    """Fixed-interval background scraper feeding a store + subscribers.
+
+    ``on_sample`` callbacks (the alert engine, the drift dashboard)
+    run on the scraper thread after each append; a raising callback is
+    isolated (counted, never kills the thread).  :meth:`scrape_once`
+    is the deterministic entry point tests and single-shot CLI paths
+    use -- the thread is optional.
+    """
+
+    def __init__(
+        self,
+        store: TimeSeriesStore,
+        registry: Optional[MetricsRegistry] = None,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.store = store
+        self._registry = registry
+        self.interval_s = interval_s
+        self.clock = clock
+        self.samples_taken = 0
+        self.callback_errors = 0
+        self._callbacks: List[Callable[[Dict], None]] = []
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        # Late-bound: observed_command swaps the global registry per
+        # run, and a scraper built before that must follow the swap.
+        return (
+            self._registry
+            if self._registry is not None
+            else global_registry()
+        )
+
+    def subscribe(self, callback: Callable[[Dict], None]) -> None:
+        self._callbacks.append(callback)
+
+    def scrape_once(self, ts: Optional[float] = None) -> Dict:
+        sample = scrape_registry(self.registry, clock=self.clock)
+        if ts is not None:
+            sample["ts"] = ts
+        self.store.append(sample)
+        self.samples_taken += 1
+        for callback in self._callbacks:
+            try:
+                callback(sample)
+            except Exception:  # noqa: BLE001 -- observers must not kill scraping
+                self.callback_errors += 1
+        return sample
+
+    # ---- thread management ----------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="cellspot-metric-scraper", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.scrape_once()
+            except OSError:
+                # A full disk must not kill telemetry; next tick retries.
+                continue
+
+    def stop(self, final_scrape: bool = True) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if final_scrape:
+            try:
+                self.scrape_once()
+            except OSError:
+                pass

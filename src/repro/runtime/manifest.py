@@ -55,6 +55,11 @@ class RunManifest:
     #: ``trace_id=`` structured log fields.  Informational -- never
     #: part of the resume-compatibility check.
     trace_id: Optional[str] = None
+    #: Where the run's structured alert log (``repro.obs.alerts``)
+    #: landed, when alerting was enabled -- the third leg of the
+    #: trace_id join (manifest <-> trace <-> alert episodes).
+    #: Informational, never part of the resume check.
+    alert_log: Optional[str] = None
 
     @classmethod
     def for_run(
@@ -64,6 +69,7 @@ class RunManifest:
         dataset_digests: Optional[Dict[str, str]] = None,
         stage_timings: Optional[Dict[str, float]] = None,
         trace_id: Optional[str] = None,
+        alert_log: Optional[str] = None,
     ) -> "RunManifest":
         if trace_id is None:
             # Lazy: obs depends on runtime.logging; keep manifest free
@@ -81,6 +87,7 @@ class RunManifest:
             },
             stage_timings=dict(stage_timings or {}),
             trace_id=trace_id,
+            alert_log=str(alert_log) if alert_log is not None else None,
         )
 
     # ---- compatibility ---------------------------------------------------
@@ -125,6 +132,7 @@ class RunManifest:
                 },
                 "created_at": self.created_at,
                 "trace_id": self.trace_id,
+                "alert_log": self.alert_log,
             },
             indent=2,
             sort_keys=True,
@@ -142,4 +150,5 @@ class RunManifest:
             created_at=raw.get("created_at", 0.0),
             manifest_version=raw.get("manifest_version", MANIFEST_VERSION),
             trace_id=raw.get("trace_id"),
+            alert_log=raw.get("alert_log"),
         )

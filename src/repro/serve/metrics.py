@@ -20,6 +20,7 @@ covers the whole process.
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Optional
 
 from repro.obs.metrics import (  # noqa: F401 -- compatibility re-exports
@@ -28,6 +29,18 @@ from repro.obs.metrics import (  # noqa: F401 -- compatibility re-exports
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+
+# One warning per process, at first import (module execution runs once;
+# later imports hit sys.modules).  stacklevel=2 points at the importer,
+# not this shim.  The filter key is pinned by tests/test_serve_metrics.
+warnings.warn(
+    "repro.serve.metrics is a compatibility shim: the metric primitives "
+    "(Counter, Gauge, Histogram, MetricsRegistry, "
+    "DEFAULT_LATENCY_BUCKETS) live in repro.obs.metrics; import them "
+    "from there.  service_metrics() remains canonical here.",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = [

@@ -10,6 +10,8 @@ Protocol (one JSON object per line)::
     {"op": "query",   "q": "192.0.2.17"}          -> one classification
     {"op": "query",   "qs": ["192.0.2.17", ...]}  -> batch answers
     {"op": "stats"}                                -> metrics + engine state
+    {"op": "health"}                               -> engine + drift + alerts
+    {"op": "alerts"}                               -> alert rule states
     {"op": "refresh"}                              -> force index rebuild
     {"op": "snapshot"}                             -> force a state snapshot
     {"op": "shutdown"}                             -> snapshot, ack, stop
@@ -92,6 +94,8 @@ class CellSpotService:
         config: Optional[ServiceConfig] = None,
         snapshot_path: Optional[Union[str, Path]] = None,
         metrics: Optional[MetricsRegistry] = None,
+        alert_engine=None,
+        drift_monitor=None,
     ) -> None:
         self.engine = engine
         self.demand = demand
@@ -102,6 +106,14 @@ class CellSpotService:
             Path(snapshot_path) if snapshot_path is not None else None
         )
         self.metrics = metrics or service_metrics()
+        #: Optional :class:`repro.obs.alerts.AlertEngine` (the
+        #: ``health`` / ``alerts`` ops surface its rule states).
+        self.alert_engine = alert_engine
+        #: Optional :class:`repro.obs.health.CensusDriftMonitor`,
+        #: attached to the engine's window-close boundary.
+        self.drift_monitor = drift_monitor
+        if drift_monitor is not None:
+            engine.attach_monitor(drift_monitor)
         self._index: Optional[ClassificationIndex] = None
         self._index_events = -1  # events_consumed at last build
         self._windows_at_build = -1
@@ -233,6 +245,62 @@ class CellSpotService:
             "metrics": self.metrics.as_dict(),
         }
 
+    def health(self) -> Dict:
+        """The continuous-observability payload (``cellspot top`` food).
+
+        Engine progress, derived rates, census drift scores, and live
+        alert rule states -- everything the dashboard renders in one
+        response, cheap enough to poll every second (no index rebuild,
+        no ratio-table materialization).
+        """
+        import time as time_module
+
+        latency = self.metrics.get("query_latency_seconds")
+        payload = {
+            "ok": True,
+            "ts": time_module.time(),
+            "engine": {
+                "month": self.engine.month,
+                "events_consumed": self.engine.events_consumed,
+                "windows_advanced": self.engine.windows_advanced,
+                "window_fill": self.engine.state.window_fill,
+                "subnets": self.engine.subnet_count(),
+            },
+            "rates": {
+                "events_per_s": self.metrics.rate("events_ingested_total"),
+                "queries_per_s": self.metrics.rate("queries_total"),
+                "query_p99_s": latency.quantile(0.99),
+            },
+            "index_entries": (
+                len(self._index) if self._index is not None else 0
+            ),
+            "drift": (
+                self.drift_monitor.summary()
+                if self.drift_monitor is not None
+                else {}
+            ),
+            "alerts": (
+                self.alert_engine.snapshot()
+                if self.alert_engine is not None
+                else []
+            ),
+        }
+        if self.alert_engine is not None:
+            payload["alert_counts"] = self.alert_engine.counts()
+        return payload
+
+    def alerts(self) -> Dict:
+        """Alert rule states plus recent transitions."""
+        if self.alert_engine is None:
+            return {"ok": True, "rules": [], "events": [],
+                    "note": "no alert engine configured"}
+        return {
+            "ok": True,
+            "rules": self.alert_engine.snapshot(),
+            "events": self.alert_engine.events[-100:],
+            "trace_id": self.alert_engine.trace_id,
+        }
+
     def handle_request(self, request: Dict) -> Dict:
         """Answer one request dict; never raises."""
         try:
@@ -241,6 +309,10 @@ class CellSpotService:
                 return self._handle_query(request)
             if op == "stats":
                 return self.stats()
+            if op == "health":
+                return self.health()
+            if op == "alerts":
+                return self.alerts()
             if op == "refresh":
                 index = self.index(force=True)
                 return {"ok": True, "index_entries": len(index)}

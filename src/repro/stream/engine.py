@@ -71,6 +71,11 @@ _STREAM_METER = MeterCache(
             "histogram", "stream_snapshot_seconds",
             "wall time of atomic snapshot writes",
         ),
+        instrument(
+            "gauge", "stream_window_lag_events",
+            "open-window fill at the last metrics flush (a window "
+            "that stops closing shows a climbing lag here)",
+        ),
     )
 )
 
@@ -94,10 +99,27 @@ class StreamEngine:
         self.events_consumed = 0
         #: Events already flushed to the global counter (obs batching).
         self._events_flushed = 0
+        #: Optional census drift monitor (attach_monitor).
+        self.monitor = None
 
     @property
     def policy(self) -> WindowPolicy:
         return self.state.policy
+
+    def attach_monitor(self, monitor) -> None:
+        """Hook a census drift monitor at the window-close boundary.
+
+        ``monitor`` is a :class:`repro.obs.health.CensusDriftMonitor`
+        (anything with ``on_window_close(window_seq, window_counts)``).
+        Scoring happens only when a window closes -- never per event --
+        so the ingest hot path is untouched.  Monitors are process
+        state, not window state: a snapshot-resumed engine needs the
+        monitor re-attached.
+        """
+        self.monitor = monitor
+        self.state.on_advance = (
+            None if monitor is None else monitor.on_window_close
+        )
 
     @property
     def windows_advanced(self) -> int:
@@ -133,7 +155,7 @@ class StreamEngine:
 
     def _flush_metrics(self, window_closed: bool = False) -> None:
         """Fold batched event counts + live gauges into the registry."""
-        events, advances, subnets, _snapshot = _STREAM_METER.resolve()
+        events, advances, subnets, _snapshot, lag = _STREAM_METER.resolve()
         pending = self.events_consumed - self._events_flushed
         if pending > 0:
             events.inc(pending)
@@ -141,6 +163,7 @@ class StreamEngine:
         if window_closed:
             advances.inc()
         subnets.set(self.state.subnet_count())
+        lag.set(self.state.window_fill)
 
     def ingest_many(self, events: Iterable[BeaconHit]) -> int:
         """Drain an event iterable; returns how many were folded in."""
@@ -226,6 +249,9 @@ class StreamEngine:
         engine.state = WindowedSubnetState.from_snapshot(raw["state"])
         engine.month = raw["month"]
         engine.events_consumed = raw["events_consumed"]
+        # Monitors are process state, not snapshot state; re-attach
+        # (attach_monitor) after resume to keep scoring.
+        engine.monitor = None
         # Events restored from a snapshot were counted by the process
         # that consumed them; this process's counter starts at the
         # resume offset so totals reflect work done *here*.

@@ -116,6 +116,12 @@ class WindowedSubnetState:
         self.windows_closed = 0
         self._window: Dict[Prefix, SubnetWindowCounts] = {}
         self._aggregate: Dict[Prefix, SubnetWindowCounts] = {}
+        #: Optional observer called at the top of :meth:`advance` with
+        #: ``(window_seq, window_counts)`` -- the *closing* window's raw
+        #: counters before they are folded into the (possibly decayed)
+        #: aggregate.  The census drift monitor
+        #: (:class:`repro.obs.health.CensusDriftMonitor`) hangs here.
+        self.on_advance = None
 
     # ---- ingestion -------------------------------------------------------
 
@@ -141,6 +147,10 @@ class WindowedSubnetState:
 
     def advance(self) -> None:
         """Close the open window into the aggregate (decay applies)."""
+        if self.on_advance is not None:
+            # Observe-before-fold: the monitor sees the closing
+            # window's fresh evidence, untouched by decay or history.
+            self.on_advance(self.windows_closed + 1, self._window)
         decay = self.policy.decay
         if decay != 1.0:
             for subnet in list(self._aggregate):

@@ -1,0 +1,282 @@
+"""Alert rules engine: parsing, debouncing, transitions, episodes."""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import pytest
+
+from repro.obs.alerts import (
+    STATE_FIRING,
+    STATE_OK,
+    STATE_PENDING,
+    AlertEngine,
+    AlertRule,
+    AlertRuleError,
+    default_rules,
+    episodes,
+    load_rules,
+    read_alert_log,
+)
+
+
+def _sample(ts, **metrics):
+    return {"ts": float(ts), "m": metrics}
+
+
+class TestAlertRule:
+    def test_defaults(self):
+        rule = AlertRule(name="r", metric="depth", threshold=5)
+        assert rule.kind == "gauge" and rule.op == ">"
+
+    @pytest.mark.parametrize("op,value,breaches", [
+        (">", 6, True), (">", 5, False),
+        (">=", 5, True), ("<", 4, True), ("<=", 5, True), ("<", 5, False),
+    ])
+    def test_breaches(self, op, value, breaches):
+        rule = AlertRule(name="r", metric="m", op=op, threshold=5)
+        assert rule.breaches(value) is breaches
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(AlertRuleError, match="unknown kind"):
+            AlertRule(name="r", metric="m", kind="derivative")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(AlertRuleError, match="unknown op"):
+            AlertRule(name="r", metric="m", op="!=")
+
+    def test_ratio_needs_denominator(self):
+        with pytest.raises(AlertRuleError, match="denominator"):
+            AlertRule(name="r", metric="m", kind="ratio")
+
+    def test_quantile_must_be_scraped(self):
+        with pytest.raises(AlertRuleError, match="0.5 and 0.99"):
+            AlertRule(name="r", metric="m", kind="quantile", q=0.95)
+
+    def test_negative_for_s_rejected(self):
+        with pytest.raises(AlertRuleError, match="for_s"):
+            AlertRule(name="r", metric="m", for_s=-1)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(AlertRuleError, match="unknown keys"):
+            AlertRule.from_dict({"name": "r", "metric": "m", "window": 5})
+
+    def test_from_dict_requires_metric(self):
+        with pytest.raises(AlertRuleError, match="metric"):
+            AlertRule.from_dict({"name": "r"})
+
+    def test_condition_strings(self):
+        assert AlertRule(
+            name="r", metric="m", kind="counter_rate", threshold=10
+        ).condition() == "rate(m) > 10"
+        assert AlertRule(
+            name="r", metric="a", kind="ratio", denominator="b",
+            threshold=0.1, for_s=2,
+        ).condition() == "a/b > 0.1 for 2s"
+        assert AlertRule(
+            name="r", metric="m", kind="quantile", q=0.5, threshold=1
+        ).condition() == "p50(m) > 1"
+
+
+class TestLoadRules:
+    def test_json_rules(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps({"rules": [
+            {"name": "depth", "metric": "queue_depth", "threshold": 10},
+        ]}))
+        rules = load_rules(path)
+        assert len(rules) == 1 and rules[0].name == "depth"
+
+    @pytest.mark.skipif(sys.version_info < (3, 11),
+                        reason="tomllib needs python >= 3.11")
+    def test_toml_rules(self, tmp_path):
+        path = tmp_path / "rules.toml"
+        path.write_text(
+            '[[rules]]\n'
+            'name = "rejects"\n'
+            'kind = "ratio"\n'
+            'metric = "ingest_rejected_total"\n'
+            'denominator = "ingest_lines_total"\n'
+            'threshold = 0.1\n'
+            'for_s = 2.0\n'
+        )
+        rules = load_rules(path)
+        assert rules[0].kind == "ratio" and rules[0].for_s == 2.0
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(AlertRuleError, match="cannot read"):
+            load_rules(tmp_path / "absent.json")
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text("{nope")
+        with pytest.raises(AlertRuleError, match="bad JSON"):
+            load_rules(path)
+
+    def test_missing_rules_array(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text('{"alerts": []}')
+        with pytest.raises(AlertRuleError, match="'rules' array"):
+            load_rules(path)
+
+    def test_empty_rules_rejected(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text('{"rules": []}')
+        with pytest.raises(AlertRuleError, match="empty"):
+            load_rules(path)
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps({"rules": [
+            {"name": "x", "metric": "a"},
+            {"name": "x", "metric": "b"},
+        ]}))
+        with pytest.raises(AlertRuleError, match="duplicate"):
+            load_rules(path)
+
+    def test_default_rules_are_valid_and_named_uniquely(self):
+        rules = default_rules()
+        names = [rule.name for rule in rules]
+        assert len(names) == len(set(names))
+        assert "census-ratio-drift" in names
+        assert "ingest-reject-budget" in names
+
+
+class TestEngineTransitions:
+    def test_gauge_rule_fires_immediately_without_for_s(self):
+        engine = AlertEngine([AlertRule(name="depth", metric="d",
+                                        threshold=10)])
+        events = engine.observe(_sample(1, d=["g", 50]))
+        assert [(e["from"], e["to"]) for e in events] == [("ok", "firing")]
+        assert engine.firing()[0]["rule"] == "depth"
+
+    def test_for_s_debounces_through_pending(self):
+        rule = AlertRule(name="depth", metric="d", threshold=10, for_s=5)
+        engine = AlertEngine([rule])
+        assert [e["to"] for e in engine.observe(_sample(0, d=["g", 50]))] \
+            == ["pending"]
+        assert engine.observe(_sample(3, d=["g", 50])) == []  # still pending
+        assert [e["to"] for e in engine.observe(_sample(6, d=["g", 50]))] \
+            == ["firing"]
+
+    def test_breach_clearing_during_pending_returns_to_ok(self):
+        rule = AlertRule(name="depth", metric="d", threshold=10, for_s=5)
+        engine = AlertEngine([rule])
+        engine.observe(_sample(0, d=["g", 50]))
+        events = engine.observe(_sample(2, d=["g", 1]))
+        assert [(e["from"], e["to"]) for e in events] == [("pending", "ok")]
+
+    def test_firing_resolves_when_breach_clears(self):
+        engine = AlertEngine([AlertRule(name="depth", metric="d",
+                                        threshold=10)])
+        engine.observe(_sample(1, d=["g", 50]))
+        events = engine.observe(_sample(2, d=["g", 0]))
+        assert [(e["from"], e["to"]) for e in events] == [("firing", "ok")]
+
+    def test_missing_metric_keeps_state(self):
+        engine = AlertEngine([AlertRule(name="depth", metric="d",
+                                        threshold=10)])
+        engine.observe(_sample(1, d=["g", 50]))
+        assert engine.observe(_sample(2)) == []  # no data: stay firing
+        assert engine.firing()
+
+    def test_ratio_rule(self):
+        rule = AlertRule(name="rej", kind="ratio", metric="bad",
+                         denominator="all", threshold=0.10)
+        engine = AlertEngine([rule])
+        assert engine.observe(
+            _sample(1, bad=["c", 5], all=["c", 100])
+        ) == []
+        events = engine.observe(_sample(2, bad=["c", 30], all=["c", 200]))
+        assert events and events[0]["to"] == "firing"
+        assert events[0]["value"] == pytest.approx(0.15)
+
+    def test_zero_denominator_reads_zero(self):
+        rule = AlertRule(name="rej", kind="ratio", metric="bad",
+                         denominator="all", threshold=0.10)
+        engine = AlertEngine([rule])
+        assert engine.observe(_sample(1, bad=["c", 5], all=["c", 0])) == []
+
+    def test_counter_rate_rule_uses_consecutive_samples(self):
+        rule = AlertRule(name="rate", kind="counter_rate",
+                         metric="events_total", threshold=100)
+        engine = AlertEngine([rule])
+        assert engine.observe(_sample(10, events_total=["c", 0])) == []
+        events = engine.observe(_sample(11, events_total=["c", 500]))
+        assert events and events[0]["value"] == pytest.approx(500.0)
+
+    def test_quantile_rule_reads_scraped_p99(self):
+        rule = AlertRule(name="p99", kind="quantile",
+                         metric="latency_seconds", q=0.99, threshold=0.001)
+        engine = AlertEngine([rule])
+        histogram = ["h", 10, 0.5, 0.0005, 0.25]
+        events = engine.observe(_sample(1, latency_seconds=histogram))
+        assert events and events[0]["to"] == "firing"
+
+    def test_counts_summarize_states(self):
+        engine = AlertEngine([
+            AlertRule(name="a", metric="x", threshold=1),
+            AlertRule(name="b", metric="y", threshold=1),
+        ])
+        engine.observe(_sample(1, x=["g", 5], y=["g", 0]))
+        counts = engine.counts()
+        assert counts[STATE_FIRING] == 1
+        assert counts[STATE_OK] == 1
+        assert counts[STATE_PENDING] == 0
+
+
+class TestAlertLog:
+    def test_transitions_logged_with_trace_id(self, tmp_path):
+        log = tmp_path / "alerts.jsonl"
+        engine = AlertEngine(
+            [AlertRule(name="depth", metric="d", threshold=10)],
+            log_path=log, trace_id="abc123",
+        )
+        engine.observe(_sample(1, d=["g", 50]))
+        engine.observe(_sample(2, d=["g", 0]))
+        events = read_alert_log(log)
+        assert [(e["from"], e["to"]) for e in events] == [
+            ("ok", "firing"), ("firing", "ok"),
+        ]
+        assert all(e["trace_id"] == "abc123" for e in events)
+        assert all("condition" in e for e in events)
+
+    def test_read_skips_junk_lines(self, tmp_path):
+        log = tmp_path / "alerts.jsonl"
+        log.write_text('{"ts": 1, "rule": "r", "from": "ok", "to": '
+                       '"firing", "value": 1, "threshold": 0}\n'
+                       "not json\n"
+                       "[1, 2]\n")
+        events = read_alert_log(log)
+        assert len(events) == 1
+
+    def test_read_missing_log_is_empty(self, tmp_path):
+        assert read_alert_log(tmp_path / "absent.jsonl") == []
+
+    def test_episodes_group_fire_resolve_cycles(self):
+        events = [
+            {"ts": 1.0, "rule": "r", "from": "ok", "to": "pending",
+             "value": 5, "threshold": 1, "trace_id": "t"},
+            {"ts": 2.0, "rule": "r", "from": "pending", "to": "firing",
+             "value": 7, "threshold": 1, "trace_id": "t"},
+            {"ts": 3.0, "rule": "r", "from": "firing", "to": "ok",
+             "value": 0, "threshold": 1, "trace_id": "t"},
+            {"ts": 4.0, "rule": "other", "from": "ok", "to": "firing",
+             "value": 9, "threshold": 1, "trace_id": "t"},
+        ]
+        all_episodes = episodes(events)
+        assert len(all_episodes) == 2
+        first = episodes(events, "r")[0]
+        assert first["fired"] is True
+        assert first["started"] == 1.0 and first["ended"] == 3.0
+        assert first["peak_value"] == 7
+        assert first["trace_id"] == "t"
+
+    def test_unresolved_episode_has_open_end(self):
+        events = [
+            {"ts": 1.0, "rule": "r", "from": "ok", "to": "firing",
+             "value": 5, "threshold": 1, "trace_id": "t"},
+        ]
+        episode = episodes(events)[0]
+        assert episode["fired"] and episode["ended"] is None

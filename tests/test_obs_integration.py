@@ -330,6 +330,74 @@ class TestObservedCommand:
         assert after is not during
         assert after in (before, signal.SIG_DFL)
 
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGUSR1"), reason="no SIGUSR1 on this platform"
+    )
+    def test_sigusr1_dump_racing_command_exit_stays_atomic(self, tmp_path):
+        """A dump signal landing during command exit must never corrupt.
+
+        The handler and the exit path both write ``metrics_out`` /
+        ``trace_out`` through tmp-then-rename; a background thread
+        hammers SIGUSR1 (delivered to the main thread between
+        bytecodes) while the context manager unwinds, so handler dumps
+        interleave with the final exit dump.  Whatever interleaving
+        happens, both artifacts parse and no orphaned ``*.tmp`` files
+        survive.
+        """
+        import threading
+        import time
+
+        metrics_out = tmp_path / "m.json"
+        trace_out = tmp_path / "t.json"
+        stop = threading.Event()
+
+        def hammer():
+            # Bounded burst: an unbounded hammer can livelock the main
+            # thread -- each Python-level handler dump takes longer
+            # than a sub-millisecond inter-signal gap, so handlers
+            # re-enter back to back and the context exit that would
+            # stop the hammer never runs.  A fixed signal budget still
+            # straddles the unwind while guaranteeing forward progress.
+            for _ in range(40):
+                if stop.is_set():
+                    break
+                os.kill(os.getpid(), signal.SIGUSR1)
+                time.sleep(0.002)
+
+        thread = threading.Thread(target=hammer, daemon=True)
+        # Park a benign outer handler: when observed_command restores
+        # the previous handler on exit, any hammer signal still in
+        # flight must not hit SIG_DFL (whose default action is fatal).
+        outer = signal.signal(signal.SIGUSR1, lambda *_args: None)
+        try:
+            with observed_command(
+                "demo", metrics_out=metrics_out, trace_out=trace_out
+            ):
+                global_registry().counter("raced_total").inc(7)
+                thread.start()
+                # Give the hammer a head start so signals straddle
+                # the context-manager unwind below.
+                time.sleep(0.02)
+            stop.set()
+            thread.join(timeout=5.0)
+        finally:
+            stop.set()
+            signal.signal(signal.SIGUSR1, outer)
+        # Both artifacts are valid, complete documents.
+        metrics = json.loads(metrics_out.read_text())
+        assert metrics["raced_total"]["value"] == 7
+        trace = json.loads(trace_out.read_text())
+        assert any(
+            event["name"] == "cellspot.demo"
+            for event in trace["traceEvents"]
+        )
+        # Tmp-then-rename leaves no partial files behind.
+        leftovers = [
+            p.name for p in tmp_path.iterdir()
+            if p.name not in ("m.json", "t.json")
+        ]
+        assert leftovers == []
+
 
 # ---- batch lab + sharded pipeline ------------------------------------------
 
