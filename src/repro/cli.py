@@ -63,6 +63,36 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    """argparse type: an integer >= 0 (``--max-retries 0`` is legal)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid integer: {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a float strictly greater than zero."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid number: {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {value}"
+        )
+    return value
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.005,
                         help="world scale factor (1.0 = paper scale)")
@@ -80,6 +110,22 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None, metavar="DIR",
         help="dataset cache directory; repeated runs with the same "
              "seed/scale skip dataset regeneration",
+    )
+    parser.add_argument(
+        "--max-retries", type=_nonnegative_int, default=2, metavar="N",
+        help="per-shard retry budget for transient failures and "
+             "crashed workers (default: 2)",
+    )
+    parser.add_argument(
+        "--shard-timeout", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="per-shard wall-clock budget; a shard exceeding it is "
+             "retried against the --max-retries budget (default: none)",
+    )
+    parser.add_argument(
+        "--hedge", action="store_true",
+        help="duplicate-submit straggler shards (first result wins); "
+             "results stay identical either way",
     )
     parser.add_argument(
         "--log-level", default=None, metavar="LEVEL",
@@ -135,6 +181,9 @@ def _make_lab(args: argparse.Namespace) -> Lab:
         workers=args.workers,
         shards=args.shards,
         cache_dir=args.cache_dir,
+        max_retries=getattr(args, "max_retries", 2),
+        shard_timeout_s=getattr(args, "shard_timeout", None),
+        hedge=getattr(args, "hedge", False),
     )
 
 
@@ -457,6 +506,8 @@ def _make_service(args: argparse.Namespace, engine,
         config=ServiceConfig(
             snapshot_every_events=args.snapshot_every,
             ingest_batch=args.ingest_batch,
+            max_pending=getattr(args, "max_pending", None),
+            deadline_s=getattr(args, "deadline", None),
         ),
         snapshot_path=args.snapshot,
         # Serve counters land on the process-global registry, so one
@@ -513,6 +564,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    import signal
+
+    previous_sigterm = None
+
+    def _graceful(_signum, _frame):
+        # Drain accepted requests, write a final snapshot, exit 0.
+        service.request_shutdown()
+
+    try:
+        previous_sigterm = signal.signal(signal.SIGTERM, _graceful)
+    except ValueError:
+        pass  # not the main thread; SIGTERM keeps its default action
     if scraper is not None:
         scraper.start()
     try:
@@ -525,10 +588,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             answered = service.serve_lines(
                 sys.stdin, sys.stdout, events=events
             )
+    except OSError as exc:
+        # e.g. the socket path is owned by a live server.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     finally:
         closer()
         if scraper is not None:
             scraper.stop(final_scrape=True)
+        if previous_sigterm is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous_sigterm)
+            except ValueError:
+                pass
     print(f"served {answered:,} requests; "
           f"{service.engine.events_consumed:,} events consumed, "
           f"{service.engine.windows_advanced:,} windows advanced",
@@ -540,6 +612,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"{len(alert_engine.events)} transition(s) logged",
               file=sys.stderr)
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a fault plan end-to-end and report injected vs. recovered.
+
+    Exit codes: 0 every drill healed with identical output (or shed
+    explicitly), 1 a drill diverged or failed to recover, 2 the plan
+    file is unusable.
+    """
+    import json as json_module
+
+    from repro.runtime.chaos import run_chaos
+    from repro.runtime.faults import (
+        FaultPlanError,
+        default_fault_plan,
+        load_fault_plan,
+    )
+
+    if args.plan:
+        try:
+            plan = load_fault_plan(args.plan)
+        except FaultPlanError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        plan = default_fault_plan()
+    report = run_chaos(plan, state_dir=args.state_dir)
+    print(report.render())
+    if args.report:
+        path = Path(args.report)
+        with atomic_writer(path) as stream:
+            json_module.dump(report.to_dict(), stream, indent=2)
+        print(f"report written to {path}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -1308,9 +1414,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-connections", type=_positive_int, default=None, metavar="N",
         help="stop after N socket connections (tests/smoke runs)",
     )
+    serve.add_argument(
+        "--max-pending", type=_positive_int, default=None, metavar="N",
+        help="admission bound: shed requests queued beyond N with an "
+             "explicit 'overloaded' response (default: unbounded)",
+    )
+    serve.add_argument(
+        "--deadline", type=_positive_float, default=None, metavar="SECONDS",
+        help="per-request wall budget; batch items past it are "
+             "answered 'overloaded' (default: none)",
+    )
     _add_telemetry_options(serve)
     _add_common(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run a fault-injection drill and prove recovery",
+        description="Activate a FaultPlan (TOML/JSON, or the built-in "
+                    "smoke plan) against the executor, cache, stream, "
+                    "and serve layers, and verify the self-healing "
+                    "contract: census output bit-identical to the "
+                    "fault-free run, or load shed explicitly.",
+    )
+    chaos.add_argument(
+        "--plan", default=None, metavar="FILE",
+        help="fault plan file (.toml or .json); default: the built-in "
+             "smoke plan (one fault per healed layer)",
+    )
+    chaos.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="also write the full chaos report as JSON to FILE",
+    )
+    chaos.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="cross-process fault ledger directory (default: a "
+             "temporary directory)",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     query = subparsers.add_parser(
         "query",

@@ -78,6 +78,9 @@ class CellSpotter:
         workers: int = 1,
         shards: Optional[int] = None,
         force_processes: bool = False,
+        max_retries: int = 2,
+        shard_timeout_s: Optional[float] = None,
+        hedge: bool = False,
     ) -> CellSpotterResult:
         """Run all stages on observable datasets.
 
@@ -91,13 +94,23 @@ class CellSpotter:
         asserts exactly that.  ``force_processes`` bypasses the
         hardware clamp so tests exercise the process-pool path even on
         single-core machines.
+
+        ``max_retries``, ``shard_timeout_s``, and ``hedge`` tune the
+        sharded path's self-healing (crashed-worker resubmission,
+        per-shard wall budget, straggler hedging -- see
+        :class:`repro.parallel.executor.ShardPlan`); shard purity
+        keeps retried or hedged runs byte-identical to clean ones.
         """
         plan = None
         if workers != 1 or shards is not None or force_processes:
             from repro.parallel.executor import ShardPlan
 
             plan = ShardPlan.plan(
-                workers=workers, shards=shards, force_processes=force_processes
+                workers=workers, shards=shards,
+                force_processes=force_processes,
+                max_retries=max_retries,
+                shard_timeout_s=shard_timeout_s,
+                hedge=hedge,
             )
         if plan is not None and not plan.is_serial:
             from repro.parallel.pipeline import run_sharded

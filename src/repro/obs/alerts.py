@@ -255,6 +255,16 @@ def default_rules() -> List[AlertRule]:
             description="cellular-ratio distribution shifted vs baseline "
                         "(PSI above 0.25, the classic 'major shift' bar)",
         ),
+        AlertRule(
+            name="shard-retry-storm",
+            kind="counter_rate",
+            metric="shard_retries_total",
+            op=">",
+            threshold=0.5,
+            for_s=0.0,
+            description="shard executor retrying faster than 1 every 2s "
+                        "-- workers are crashing or timing out in bulk",
+        ),
     ]
 
 

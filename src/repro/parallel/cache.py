@@ -53,6 +53,7 @@ from repro.datasets.demand_dataset import DemandDataset, SubnetDemand
 from repro.net.prefix import Prefix
 from repro.obs.metrics import MeterCache, instrument
 from repro.runtime.checkpoint import atomic_write_text
+from repro.runtime.faults import fault_point
 from repro.runtime.policies import IngestError
 from repro.runtime.quarantine import QuarantineSink
 from repro.world.population import Browser
@@ -285,6 +286,11 @@ class DatasetCache:
             data = payload.encode("utf-8")
             stored_bytes += len(data)
             files[name] = hashlib.sha256(data).hexdigest()
+            # Chaos hook: a torn-write fault truncates the shard file
+            # *after* the hash was recorded, exactly the corruption the
+            # fetch-time verifier must catch and quarantine.
+            fault_point("cache.store", index=len(files) - 1,
+                        path=directory / name)
 
         for index, part in enumerate(partition_beacons(beacons, shards)):
             put(

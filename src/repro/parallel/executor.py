@@ -14,21 +14,63 @@ differential suite can assert serial ≡ in-process-sharded ≡
 process-pool-sharded for any worker and shard count.  Tests force the
 pool with ``force_processes=True`` so the pickle path is exercised
 even on single-core CI runners.
+
+**Self-healing.**  The pool path no longer dies with its workers.
+Each shard is submitted individually and tracked:
+
+* a shard that raises a retryable error (``TransientError``,
+  ``OSError``, an injected fault) is resubmitted with bounded
+  exponential backoff, up to ``max_retries`` attempts per shard;
+* ``BrokenProcessPool`` (a SIGKILL'd or OOM'd worker) rebuilds the
+  pool and resubmits *only the incomplete shards* -- safe because the
+  merge algebra is order-restoring and shard functions are pure;
+* ``shard_timeout_s`` bounds each shard's submission-to-completion
+  wall clock; a hung worker is reclaimed by rebuilding the pool and
+  the timed-out shard retried against its budget;
+* ``hedge=True`` duplicate-submits stragglers (shards running far
+  past the completed median); the first result wins, and purity makes
+  either copy's answer identical.
+
+Recovery is observable: ``shard_retries_total``,
+``shard_timeouts_total``, ``shard_pool_rebuilds_total`` and
+``shard_hedges_total`` land on the global registry, and the default
+alert set watches the retry rate (``shard-retry-storm``).
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.obs.metrics import BATCH_STAGE_BUCKETS, MeterCache, instrument
 from repro.obs.trace import get_tracer
+from repro.runtime.faults import (
+    InjectedFault,
+    active_plan,
+    fault_point,
+    pool_initializer,
+)
+from repro.runtime.guard import TransientError
 
 _A = TypeVar("_A")
 _R = TypeVar("_R")
+
+#: Exceptions a shard attempt may be retried on.  Anything else is a
+#: deterministic bug: retrying it would burn the budget to reproduce
+#: the same traceback, so it propagates unchanged on first sight.
+RETRYABLE = (TransientError, InjectedFault, OSError)
+
+#: Extra pool rebuilds tolerated beyond the per-shard retry budget --
+#: a crash dooms every pending future without naming its culprit, so
+#: rebuilds carry their own bound instead of charging innocent shards.
+_EXTRA_REBUILDS = 2
+
+#: Poll tick for the completion loop (also the timeout-check cadence).
+_WAIT_TICK_S = 0.05
 
 #: Executor telemetry (``repro.obs``), recorded parent-side per shard.
 #: Queue wait relies on ``time.perf_counter`` being ``CLOCK_MONOTONIC``
@@ -49,8 +91,28 @@ _EXEC_METER = MeterCache(
             "counter", "shards_executed_total",
             "shard function invocations (all executor modes)",
         ),
+        instrument(
+            "counter", "shard_retries_total",
+            "shard attempts resubmitted after a failure or timeout",
+        ),
+        instrument(
+            "counter", "shard_timeouts_total",
+            "shards that exceeded their wall-clock budget",
+        ),
+        instrument(
+            "counter", "shard_pool_rebuilds_total",
+            "process pools rebuilt after a broken/hung worker",
+        ),
+        instrument(
+            "counter", "shard_hedges_total",
+            "straggler shards duplicate-submitted (hedging)",
+        ),
     )
 )
+
+
+class ShardExecutionError(RuntimeError):
+    """A shard could not be completed within its retry/rebuild budget."""
 
 
 def available_cpus() -> int:
@@ -73,6 +135,14 @@ class ShardPlan:
     shards: int
     #: Bypass the hardware clamp (tests exercising the pickle path).
     force_processes: bool = False
+    #: Per-shard submission-to-completion budget (None = unbounded).
+    shard_timeout_s: Optional[float] = None
+    #: Retry budget per shard (failures and timeouts each count one).
+    max_retries: int = 2
+    #: Duplicate-submit stragglers; first result wins.
+    hedge: bool = False
+    #: Base of the exponential retry backoff (0.05, 0.1, 0.2, ...).
+    backoff_s: float = 0.05
 
     @classmethod
     def plan(
@@ -80,6 +150,10 @@ class ShardPlan:
         workers: int = 1,
         shards: Optional[int] = None,
         force_processes: bool = False,
+        shard_timeout_s: Optional[float] = None,
+        max_retries: int = 2,
+        hedge: bool = False,
+        backoff_s: float = 0.05,
     ) -> "ShardPlan":
         """Resolve a worker request into an executable plan.
 
@@ -91,6 +165,12 @@ class ShardPlan:
         """
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if shard_timeout_s is not None and shard_timeout_s <= 0:
+            raise ValueError("shard_timeout_s must be > 0")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
         effective = workers if force_processes else min(workers, available_cpus())
         resolved_shards = shards if shards is not None else effective
         if resolved_shards < 1:
@@ -100,6 +180,10 @@ class ShardPlan:
             workers=effective,
             shards=resolved_shards,
             force_processes=force_processes,
+            shard_timeout_s=shard_timeout_s,
+            max_retries=max_retries,
+            hedge=hedge,
+            backoff_s=backoff_s,
         )
 
     @property
@@ -113,7 +197,7 @@ class ShardPlan:
 
 
 def _timed_call(
-    args: Tuple[Callable[[_A], _R], _A]
+    args: Tuple[Callable[[_A], _R], _A, int]
 ) -> Tuple[float, float, _R]:
     """Run one shard function, returning (started, elapsed, result).
 
@@ -123,12 +207,33 @@ def _timed_call(
     ``perf_counter`` reading at invocation -- on Linux that clock is
     ``CLOCK_MONOTONIC``, shared across local processes, so the parent
     can subtract its own submit reading to get queue wait and place
-    the shard on the run's trace timeline.
+    the shard on the run's trace timeline.  The shard index feeds the
+    ``executor.shard`` injection point (a no-op without a fault plan).
     """
-    fn, arg = args
+    fn, arg, index = args
+    fault_point("executor.shard", index=index)
     started = time.perf_counter()
     result = fn(arg)
     return started, time.perf_counter() - started, result
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down hard: cancel queued work, kill live workers.
+
+    A hung worker ignores ``shutdown`` forever; killing the processes
+    is the only way to reclaim its slot, and shard purity makes the
+    lost work resubmittable.
+    """
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except TypeError:  # pragma: no cover -- cancel_futures needs py3.9+
+        pool.shutdown(wait=False)
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except Exception:  # noqa: BLE001 -- already-dead workers
+            pass
 
 
 class ShardExecutor:
@@ -155,16 +260,195 @@ class ShardExecutor:
         ``fn`` must be a module-level callable and its arguments and
         results picklable (compact rows) when the plan uses processes.
         """
-        jobs = [(fn, arg) for arg in shard_args]
+        jobs = [(fn, arg, index) for index, arg in enumerate(shard_args)]
         submitted = time.perf_counter()
         if not self.plan.use_processes or len(jobs) <= 1:
-            raw = [_timed_call(job) for job in jobs]
+            raw = [self._run_inline(job) for job in jobs]
         else:
-            workers = min(self.plan.workers, len(jobs))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                raw = list(pool.map(_timed_call, jobs))
+            raw = self._run_pool(jobs)
         self._observe(fn, raw, submitted)
         return [(elapsed, result) for _started, elapsed, result in raw]
+
+    # ---- in-process path -------------------------------------------------
+
+    def _run_inline(
+        self, job: Tuple[Callable[[_A], _R], _A, int]
+    ) -> Tuple[float, float, _R]:
+        """One shard with the same bounded retry budget as the pool."""
+        attempts = 0
+        while True:
+            try:
+                return _timed_call(job)
+            except RETRYABLE as exc:
+                attempts += 1
+                _EXEC_METER.resolve()[3].inc()
+                if attempts > self.plan.max_retries:
+                    raise ShardExecutionError(
+                        f"shard {job[2]} failed after {attempts} attempts: "
+                        f"{type(exc).__name__}: {exc}"
+                    ) from exc
+                self._backoff(attempts)
+
+    def _backoff(self, attempt: int) -> None:
+        delay = min(1.0, self.plan.backoff_s * (2.0 ** (attempt - 1)))
+        if delay > 0:
+            time.sleep(delay)
+
+    # ---- process-pool path -----------------------------------------------
+
+    def _new_pool(self, jobs: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=min(self.plan.workers, jobs),
+            # Re-arm the active fault plan inside each worker so chaos
+            # drills reach the worker-side injection points.
+            initializer=pool_initializer,
+            initargs=(active_plan(),),
+        )
+
+    def _run_pool(
+        self, jobs: List[Tuple[Callable[[_A], _R], _A, int]]
+    ) -> List[Tuple[float, float, _R]]:
+        plan = self.plan
+        meter = _EXEC_METER.resolve()
+        retries, timeouts, rebuilds_meter, hedges_meter = meter[3:7]
+        tracer = get_tracer()
+
+        results: Dict[int, Tuple[float, float, _R]] = {}
+        attempts: Dict[int, int] = {index: 0 for _f, _a, index in jobs}
+        by_index = {index: job for job in jobs for index in (job[2],)}
+        rebuilds = 0
+        max_rebuilds = plan.max_retries + _EXTRA_REBUILDS
+
+        pool = self._new_pool(len(jobs))
+        primary: Dict[int, object] = {}
+        hedges: Dict[object, int] = {}
+        started_at: Dict[int, float] = {}
+        hedged: set = set()
+
+        def submit(index: int) -> None:
+            primary[index] = pool.submit(_timed_call, by_index[index])
+            started_at[index] = time.perf_counter()
+
+        def charge(index: int, counter, why: str, cause=None) -> None:
+            """One retry against the shard's budget; raise when spent."""
+            attempts[index] += 1
+            counter.inc()
+            if attempts[index] > plan.max_retries:
+                raise ShardExecutionError(
+                    f"shard {index} {why} after {attempts[index]} attempts"
+                    + (f": {type(cause).__name__}: {cause}" if cause else "")
+                ) from cause
+
+        def rebuild(incomplete_hint: str) -> None:
+            nonlocal pool, rebuilds
+            rebuilds += 1
+            rebuilds_meter.inc()
+            if rebuilds > max_rebuilds:
+                raise ShardExecutionError(
+                    f"gave up after {rebuilds} pool rebuilds "
+                    f"({incomplete_hint}); workers keep dying"
+                )
+            tracer.add_span(
+                "shard.pool_rebuild", time.perf_counter(), 0.0,
+                rebuilds=rebuilds, reason=incomplete_hint,
+            )
+            _kill_pool(pool)
+            pool = self._new_pool(len(jobs))
+            primary.clear()
+            hedges.clear()
+            hedged.clear()
+            for index in by_index:
+                if index not in results:
+                    submit(index)
+
+        try:
+            for index in by_index:
+                submit(index)
+            while len(results) < len(jobs):
+                waiting = set(primary.values()) | set(hedges)
+                if not waiting:
+                    rebuild("no live futures")
+                    continue
+                done, _pending = wait(
+                    waiting, timeout=_WAIT_TICK_S,
+                    return_when=FIRST_COMPLETED,
+                )
+                broken = False
+                for future in done:
+                    index = hedges.pop(future, None)
+                    if index is None:
+                        index = next(
+                            (i for i, f in primary.items() if f is future),
+                            None,
+                        )
+                        if index is None:
+                            continue
+                        del primary[index]
+                    try:
+                        value = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        continue
+                    except RETRYABLE as exc:
+                        if index in results:
+                            continue  # the twin already answered
+                        charge(index, retries, "failed", exc)
+                        self._backoff(attempts[index])
+                        submit(index)
+                        continue
+                    if index not in results:
+                        results[index] = value
+                if broken:
+                    rebuild(
+                        f"{len(jobs) - len(results)} shards incomplete"
+                    )
+                    continue
+                if plan.shard_timeout_s is not None:
+                    now = time.perf_counter()
+                    expired = [
+                        index for index, begun in started_at.items()
+                        if index not in results and index in primary
+                        and now - begun > plan.shard_timeout_s
+                    ]
+                    if expired:
+                        for index in expired:
+                            charge(index, timeouts, "timed out")
+                            retries.inc()
+                        # The worker may be wedged; only a rebuild
+                        # reclaims its slot.  Completed shards stay
+                        # completed -- only the stragglers resubmit.
+                        rebuild(
+                            f"shards {sorted(expired)} over "
+                            f"{plan.shard_timeout_s:g}s budget"
+                        )
+                        continue
+                if plan.hedge and results:
+                    self._maybe_hedge(
+                        pool, primary, hedges, hedged, started_at,
+                        results, by_index, hedges_meter,
+                    )
+        finally:
+            _kill_pool(pool)
+        return [results[index] for _f, _a, index in jobs]
+
+    @staticmethod
+    def _maybe_hedge(
+        pool, primary, hedges, hedged, started_at, results, by_index,
+        hedges_meter,
+    ) -> None:
+        """Duplicate-submit shards running far past the typical time."""
+        finished = sorted(elapsed for _s, elapsed, _r in results.values())
+        typical = finished[len(finished) // 2]
+        cutoff = max(4.0 * typical, 0.1)
+        now = time.perf_counter()
+        for index in list(primary):
+            if index in results or index in hedged:
+                continue
+            if now - started_at[index] <= cutoff:
+                continue
+            hedged.add(index)
+            hedges_meter.inc()
+            hedges[pool.submit(_timed_call, by_index[index])] = index
 
     def _observe(
         self,
@@ -173,7 +457,7 @@ class ShardExecutor:
         submitted: float,
     ) -> None:
         """Record shard metrics + spans from worker-side timings."""
-        wall, queue_wait, executed = _EXEC_METER.resolve()
+        wall, queue_wait, executed = _EXEC_METER.resolve()[:3]
         tracer = get_tracer()
         fn_name = getattr(fn, "__name__", str(fn))
         for index, (started, elapsed, _result) in enumerate(raw):

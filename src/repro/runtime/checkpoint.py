@@ -89,7 +89,24 @@ class CheckpointStore:
     def load_manifest(self) -> Optional[RunManifest]:
         if not self.manifest_path.exists():
             return None
-        return RunManifest.from_json(self.manifest_path.read_text())
+        try:
+            raw = self.manifest_path.read_text()
+        except OSError as exc:
+            raise CheckpointMismatch(
+                f"checkpoint manifest {self.manifest_path} is unreadable "
+                f"({exc}); delete the checkpoint directory to start fresh"
+            ) from exc
+        try:
+            return RunManifest.from_json(raw)
+        except (ValueError, KeyError, TypeError) as exc:
+            # A crash mid-write (pre-atomic-writer tooling, full disk,
+            # manual edits) leaves truncated JSON behind; surface it as
+            # a checkpoint problem with a remedy, not a decode traceback.
+            raise CheckpointMismatch(
+                f"checkpoint manifest {self.manifest_path} is truncated "
+                f"or malformed ({type(exc).__name__}: {exc}); delete the "
+                "checkpoint directory to start fresh"
+            ) from exc
 
     def save_manifest(self, manifest: RunManifest) -> None:
         atomic_write_text(self.manifest_path, manifest.to_json())

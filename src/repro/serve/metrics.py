@@ -91,8 +91,43 @@ def service_metrics(
     registry.counter(
         "index_rebuilds_total", "LPM index rebuilds", exist_ok=True
     )
+    registry.counter(
+        "requests_shed_total",
+        "requests refused by admission control or deadline",
+        exist_ok=True,
+    )
+    registry.counter(
+        "degraded_answers_total",
+        "queries answered stale from the last good index",
+        exist_ok=True,
+    )
+    registry.counter(
+        "index_rebuild_failures_total",
+        "index rebuild attempts that raised",
+        exist_ok=True,
+    )
+    registry.counter(
+        "snapshot_failures_total",
+        "snapshot writes that failed (serving continued)",
+        exist_ok=True,
+    )
     registry.gauge(
         "tracked_subnets", "subnets with live window state", exist_ok=True
+    )
+    registry.gauge(
+        "breaker_open",
+        "1 while the index-rebuild circuit breaker is open",
+        exist_ok=True,
+    )
+    registry.gauge(
+        "degraded_mode",
+        "1 while queries are served stale from the last good index",
+        exist_ok=True,
+    )
+    registry.gauge(
+        "pending_requests",
+        "requests queued awaiting the serve loop",
+        exist_ok=True,
     )
     registry.gauge(
         "ingest_events_per_s", "lifetime ingest rate", exist_ok=True

@@ -35,21 +35,48 @@ duplicated or lost.
 
 ``SIGUSR1`` dumps the metrics JSON to stderr without disturbing the
 request stream (installed by the CLI front end, main thread only).
+
+**Overload and degradation.**  The service degrades explicitly, never
+silently:
+
+- *Admission control* -- with ``max_pending`` set, requests beyond the
+  bounded queue are shed with ``{"ok": false, "error": "overloaded",
+  "overloaded": true}`` (in request order), counted in
+  ``requests_shed_total``.
+- *Deadlines* -- with ``deadline_s`` set, batch-query items past the
+  request's budget are answered ``overloaded`` instead of holding the
+  line occupied.
+- *Circuit breaker + degraded mode* -- ``breaker_failures``
+  consecutive index-rebuild failures open a breaker; while it is open
+  (and until ``breaker_reset_s`` allows a probe) queries are answered
+  from the last good index with a top-level ``"stale": true`` marker
+  and counted in ``degraded_answers_total``.  A successful rebuild
+  closes the breaker and clears the marker.
+- *Snapshot failures* inside the serve loop degrade (counted in
+  ``snapshot_failures_total``) instead of killing the server; only the
+  explicit ``snapshot`` op reports them as errors.
+
+:meth:`CellSpotService.request_shutdown` is the SIGTERM hook: the
+serve loops finish already-accepted requests, write a final snapshot,
+and return cleanly.
 """
 
 from __future__ import annotations
 
 import json
 import logging
+import queue
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Dict, Iterator, Optional, Union
+from typing import IO, Callable, Dict, Iterator, Optional, Union
 
 from repro.cdn.logs import BeaconHit
 from repro.core.asn_classifier import ASFilterConfig
 from repro.core.classifier import DEFAULT_THRESHOLD
 from repro.datasets.demand_dataset import DemandDataset
+from repro.runtime.faults import fault_point
 from repro.runtime.logging import get_logger, log_event
 from repro.serve.index import ClassificationIndex
 from repro.serve.metrics import MetricsRegistry, service_metrics
@@ -70,6 +97,16 @@ class ServiceConfig:
     ingest_batch: int = 5_000
     #: Rebuild the index every N window advances (>=1).
     rebuild_every_windows: int = 1
+    #: Admission bound: requests queued beyond this are shed with an
+    #: explicit ``overloaded`` response (None = legacy unbounded).
+    max_pending: Optional[int] = None
+    #: Per-request wall budget; batch items past it are shed (None =
+    #: no deadline).
+    deadline_s: Optional[float] = None
+    #: Consecutive index-rebuild failures that open the breaker.
+    breaker_failures: int = 3
+    #: Seconds an open breaker waits before allowing a probe rebuild.
+    breaker_reset_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.snapshot_every_events is not None and (
@@ -80,6 +117,56 @@ class ServiceConfig:
             raise ValueError("ingest_batch must be >= 1")
         if self.rebuild_every_windows < 1:
             raise ValueError("rebuild_every_windows must be >= 1")
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0")
+        if self.breaker_failures < 1:
+            raise ValueError("breaker_failures must be >= 1")
+        if self.breaker_reset_s < 0:
+            raise ValueError("breaker_reset_s must be >= 0")
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker guarding an expensive operation.
+
+    Closed (normal) until ``failures`` consecutive
+    :meth:`record_failure` calls open it; while open, :meth:`allow`
+    refuses until ``reset_s`` has elapsed, then admits a single probe.
+    Any success closes it again.  The clock is injectable so tests can
+    step time instead of sleeping.
+    """
+
+    def __init__(
+        self,
+        failures: int = 3,
+        reset_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.failures = failures
+        self.reset_s = reset_s
+        self._clock = clock
+        self._consecutive = 0
+        self._opened_at: Optional[float] = None
+
+    @property
+    def is_open(self) -> bool:
+        return self._opened_at is not None
+
+    def allow(self) -> bool:
+        """True when the guarded operation may be attempted now."""
+        if self._opened_at is None:
+            return True
+        return self._clock() - self._opened_at >= self.reset_s
+
+    def record_failure(self) -> None:
+        self._consecutive += 1
+        if self._consecutive >= self.failures:
+            self._opened_at = self._clock()
+
+    def record_success(self) -> None:
+        self._consecutive = 0
+        self._opened_at = None
 
 
 class CellSpotService:
@@ -119,8 +206,29 @@ class CellSpotService:
         self._windows_at_build = -1
         self._events_since_snapshot = 0
         self.shutdown_requested = False
+        #: Set by :meth:`request_shutdown` (SIGTERM): serve loops drain
+        #: already-accepted requests before snapshotting and exiting.
+        self._drain_on_shutdown = False
+        #: True while queries are answered stale from the last good
+        #: index because rebuilds keep failing (breaker open).
+        self.degraded = False
+        self._breaker = CircuitBreaker(
+            failures=self.config.breaker_failures,
+            reset_s=self.config.breaker_reset_s,
+        )
+        self._requests_handled = 0
         # A resumed engine may already hold consumed events.
         self.metrics.get("tracked_subnets").set(engine.subnet_count())
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to stop after draining accepted work.
+
+        Signal-handler safe (sets flags only); the loop notices on its
+        next tick, answers what was already queued, writes a final
+        snapshot, and returns.
+        """
+        self.shutdown_requested = True
+        self._drain_on_shutdown = True
 
     # ---- ingestion -------------------------------------------------------
 
@@ -135,6 +243,7 @@ class CellSpotService:
         (currently) exhausted.
         """
         budget = self.config.ingest_batch if max_events is None else max_events
+        fault_point("serve.ingest", index=self.engine.events_consumed)
         ingested = 0
         windows_before = self.engine.windows_advanced
         started = time.perf_counter()
@@ -163,7 +272,9 @@ class CellSpotService:
                 and self.snapshot_path is not None
                 and self._events_since_snapshot >= every
             ):
-                self.write_snapshot()
+                # A failed periodic snapshot degrades; it must not
+                # take ingestion (and with it, serving) down.
+                self.write_snapshot(raise_errors=False)
         return ingested
 
     def drain(self, events: Iterator[BeaconHit]) -> int:
@@ -175,10 +286,27 @@ class CellSpotService:
                 return total
             total += pulled
 
-    def write_snapshot(self) -> Optional[Path]:
+    def write_snapshot(self, raise_errors: bool = True) -> Optional[Path]:
+        """Persist engine state; ``raise_errors=False`` degrades instead.
+
+        Serve-loop call sites pass ``False``: a full disk must cost
+        durability (counted in ``snapshot_failures_total``), not
+        availability.  The explicit ``snapshot`` op keeps ``True`` so
+        the caller hears about the failure.
+        """
         if self.snapshot_path is None:
             return None
-        path = self.engine.save_snapshot(self.snapshot_path)
+        try:
+            path = self.engine.save_snapshot(self.snapshot_path)
+        except Exception as exc:  # noqa: BLE001 -- policy decided by caller
+            if raise_errors:
+                raise
+            self.metrics.get("snapshot_failures_total").inc()
+            log_event(
+                _LOG, logging.ERROR, "snapshot.failed",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            return None
         self.metrics.get("snapshots_written_total").inc()
         self._events_since_snapshot = 0
         return path
@@ -197,10 +325,43 @@ class CellSpotService:
             self._index_events <= 0
         )
 
+    def _enter_degraded(self) -> None:
+        if not self.degraded:
+            self.degraded = True
+            self.metrics.get("degraded_mode").set(1.0)
+            log_event(
+                _LOG, logging.WARNING, "serve.degraded",
+                index_events=self._index_events,
+            )
+
+    def _leave_degraded(self) -> None:
+        if self.degraded:
+            self.degraded = False
+            self.metrics.get("degraded_mode").set(0.0)
+            log_event(_LOG, logging.INFO, "serve.recovered")
+
     def index(self, force: bool = False) -> ClassificationIndex:
-        """The current LPM index, rebuilt if stale (or ``force``)."""
-        if force or self._index_stale():
-            self._index = ClassificationIndex.build(
+        """The current LPM index, rebuilt if stale (or ``force``).
+
+        Rebuilds run behind a circuit breaker: while it is open (too
+        many consecutive rebuild failures), the last good index is
+        served in degraded mode instead of hammering the failing
+        build.  Only when there is no index at all does the failure
+        propagate -- there is nothing stale to answer from.
+        """
+        if not (force or self._index_stale()):
+            return self._index
+        if not self._breaker.allow():
+            if self._index is not None:
+                self._enter_degraded()
+                return self._index
+            raise RuntimeError(
+                "index unavailable: rebuild circuit breaker is open "
+                "and no previous index exists"
+            )
+        try:
+            fault_point("serve.refresh")
+            built = ClassificationIndex.build(
                 self.engine.ratio_table(self.config.min_api_hits),
                 demand=self.demand,
                 threshold=self.config.threshold,
@@ -213,14 +374,33 @@ class CellSpotService:
                     else None
                 ),
             )
-            self._index_events = self.engine.events_consumed
-            self._windows_at_build = self.engine.windows_advanced
-            self.metrics.get("index_rebuilds_total").inc()
-            log_event(
-                _LOG, logging.INFO, "index.rebuilt",
-                entries=len(self._index),
-                events=self.engine.events_consumed,
+        except Exception as exc:  # noqa: BLE001 -- degrade, don't crash
+            self._breaker.record_failure()
+            self.metrics.get("index_rebuild_failures_total").inc()
+            self.metrics.get("breaker_open").set(
+                1.0 if self._breaker.is_open else 0.0
             )
+            log_event(
+                _LOG, logging.ERROR, "index.rebuild_failed",
+                error=f"{type(exc).__name__}: {exc}",
+                breaker_open=self._breaker.is_open,
+            )
+            if self._index is not None:
+                self._enter_degraded()
+                return self._index
+            raise
+        self._breaker.record_success()
+        self.metrics.get("breaker_open").set(0.0)
+        self._leave_degraded()
+        self._index = built
+        self._index_events = self.engine.events_consumed
+        self._windows_at_build = self.engine.windows_advanced
+        self.metrics.get("index_rebuilds_total").inc()
+        log_event(
+            _LOG, logging.INFO, "index.rebuilt",
+            entries=len(self._index),
+            events=self.engine.events_consumed,
+        )
         return self._index
 
     # ---- request handling ------------------------------------------------
@@ -304,6 +484,8 @@ class CellSpotService:
     def handle_request(self, request: Dict) -> Dict:
         """Answer one request dict; never raises."""
         try:
+            fault_point("serve.request", index=self._requests_handled)
+            self._requests_handled += 1
             op = request.get("op")
             if op == "query":
                 return self._handle_query(request)
@@ -351,6 +533,11 @@ class CellSpotService:
         index = self.index()
         latency = self.metrics.get("query_latency_seconds")
         counter = self.metrics.get("queries_total")
+        deadline = (
+            time.perf_counter() + self.config.deadline_s
+            if self.config.deadline_s is not None
+            else None
+        )
 
         def answer(text) -> Dict:
             started = time.perf_counter()
@@ -361,9 +548,30 @@ class CellSpotService:
                 self.metrics.get("query_errors_total").inc()
             return result.to_dict()
 
+        def over_deadline() -> bool:
+            return deadline is not None and time.perf_counter() > deadline
+
+        def finish(response: Dict) -> Dict:
+            if self.degraded:
+                # Explicit staleness: degraded answers come from the
+                # last good index, and the client must know.
+                response["stale"] = True
+                self.metrics.get("degraded_answers_total").inc()
+            return response
+
         if queries is not None:
-            return {"ok": True, "results": [answer(q) for q in queries]}
-        return {"ok": True, "result": answer(single)}
+            results = []
+            for item in queries:
+                if over_deadline():
+                    self.metrics.get("requests_shed_total").inc()
+                    results.append(
+                        {"ok": False, "error": "overloaded",
+                         "overloaded": True}
+                    )
+                    continue
+                results.append(answer(item))
+            return finish({"ok": True, "results": results})
+        return finish({"ok": True, "result": answer(single)})
 
     def handle_line(self, line: str) -> Dict:
         """Parse one protocol line and answer it; never raises."""
@@ -395,21 +603,90 @@ class CellSpotService:
         batch is pulled from ``events``, so ingestion makes progress
         while the request stream is quiet.  Returns the number of
         requests answered.
+
+        A reader thread feeds requests through a queue so the loop
+        stays responsive while the handler is busy; with
+        ``max_pending`` set, requests arriving beyond the bound are
+        shed -- in request order -- with an explicit ``overloaded``
+        response instead of queueing without limit.  SIGTERM
+        (:meth:`request_shutdown`) drains already-queued requests,
+        snapshots, and returns.
         """
         answered = 0
+        pending: "queue.Queue" = queue.Queue()
+        admit_lock = threading.Lock()
+        admitted = 0
+        pending_gauge = self.metrics.get("pending_requests")
+        eof_seen = False
+
+        def feed() -> None:
+            nonlocal admitted
+            for line in requests:
+                with admit_lock:
+                    bound = self.config.max_pending
+                    if bound is not None and admitted >= bound:
+                        # Shed markers ride the same queue so the
+                        # refusal lands in request order.
+                        pending.put(("shed", line))
+                        continue
+                    admitted += 1
+                    pending_gauge.set(float(admitted))
+                pending.put(("line", line))
+            pending.put(("eof", None))
+
+        reader = threading.Thread(target=feed, daemon=True)
+        reader.start()
         if events is not None:
             self.ingest_from(events)
-        for line in requests:
-            if events is not None:
-                self.ingest_from(events)
-            response = self.handle_line(line)
+        while True:
+            try:
+                kind, line = pending.get(timeout=0.05)
+            except queue.Empty:
+                if self.shutdown_requested:
+                    break
+                if events is not None:
+                    self.ingest_from(events)
+                continue
+            if kind == "eof":
+                eof_seen = True
+                break
+            if kind == "shed":
+                self.metrics.get("requests_shed_total").inc()
+                response = {
+                    "ok": False, "error": "overloaded", "overloaded": True,
+                }
+            else:
+                with admit_lock:
+                    admitted -= 1
+                    pending_gauge.set(float(admitted))
+                if events is not None:
+                    self.ingest_from(events)
+                response = self.handle_line(line)
             responses.write(json.dumps(response, separators=(",", ":")))
             responses.write("\n")
             responses.flush()
             answered += 1
-            if self.shutdown_requested:
+            if self.shutdown_requested and not self._drain_on_shutdown:
+                # The shutdown *op* stops immediately (it already
+                # snapshotted); queued lines are intentionally dropped.
                 break
-        else:
+        if self.shutdown_requested and self._drain_on_shutdown:
+            # SIGTERM: the work was accepted, so finish it, then leave
+            # resumable state behind.
+            while True:
+                try:
+                    kind, line = pending.get_nowait()
+                except queue.Empty:
+                    break
+                if kind != "line":
+                    continue
+                response = self.handle_line(line)
+                responses.write(json.dumps(response, separators=(",", ":")))
+                responses.write("\n")
+                responses.flush()
+                answered += 1
+            self.write_snapshot(raise_errors=False)
+        elif eof_seen and not self.shutdown_requested:
             # EOF without an explicit shutdown: drain and snapshot so a
             # piped session still leaves resumable state behind.
             if events is not None:
@@ -433,11 +710,26 @@ class CellSpotService:
         server is single-threaded (connections are handled in arrival
         order) and stops after a ``shutdown`` op or
         ``max_connections``.  Returns the number of requests answered.
+
+        A leftover socket file from a crashed server is probed with a
+        connect: refused means nobody is listening, so the stale file
+        is removed and the bind proceeds; a live listener raises
+        ``OSError`` instead of silently hijacking the path.  SIGTERM
+        (:meth:`request_shutdown`) is noticed between lines -- reads
+        carry a short timeout -- and ends with a final snapshot.
         """
         import socket as socket_module
 
         socket_path = Path(socket_path)
         if socket_path.exists():
+            if _socket_is_live(socket_path):
+                raise OSError(
+                    f"socket {socket_path} is in use by a live server"
+                )
+            log_event(
+                _LOG, logging.WARNING, "serve.socket.stale_removed",
+                path=socket_path,
+            )
             socket_path.unlink()
         server = socket_module.socket(
             socket_module.AF_UNIX, socket_module.SOCK_STREAM
@@ -459,9 +751,25 @@ class CellSpotService:
                 except socket_module.timeout:
                     continue
                 with connection:
+                    # Bounded reads: a silent client must not make the
+                    # server deaf to shutdown requests.  (A partial
+                    # line racing the timeout can be dropped -- fine
+                    # for this prompt-response, line-delimited
+                    # protocol; clients write whole lines.)
+                    connection.settimeout(0.5)
                     reader = connection.makefile("r")
                     writer = connection.makefile("w")
-                    for line in reader:
+                    while not self.shutdown_requested:
+                        try:
+                            line = reader.readline()
+                        except socket_module.timeout:
+                            if events is not None:
+                                self.ingest_from(events)
+                            continue
+                        except OSError:
+                            break  # client went away mid-line
+                        if not line:
+                            break  # client EOF
                         response = self.handle_line(line)
                         writer.write(
                             json.dumps(response, separators=(",", ":"))
@@ -469,20 +777,42 @@ class CellSpotService:
                         writer.write("\n")
                         writer.flush()
                         answered += 1
-                        if self.shutdown_requested:
-                            break
                 connections += 1
                 if (
                     max_connections is not None
                     and connections >= max_connections
                 ):
                     break
-            self.write_snapshot()
+            self.write_snapshot(raise_errors=False)
         finally:
             server.close()
             if socket_path.exists():
                 socket_path.unlink()
         return answered
+
+
+def _socket_is_live(socket_path: Path, timeout_s: float = 0.2) -> bool:
+    """True when something is accepting connections on ``socket_path``.
+
+    A crashed server leaves its socket file behind (unlink-on-exit
+    never ran); connecting to such a corpse fails with
+    ``ECONNREFUSED``, which is how we tell a stale file from a live
+    server we must not evict.
+    """
+    import socket as socket_module
+
+    probe = socket_module.socket(
+        socket_module.AF_UNIX, socket_module.SOCK_STREAM
+    )
+    probe.settimeout(timeout_s)
+    try:
+        probe.connect(str(socket_path))
+    except OSError:
+        return False
+    else:
+        return True
+    finally:
+        probe.close()
 
 
 def install_sigusr1_stats(service: CellSpotService, stream=None) -> bool:

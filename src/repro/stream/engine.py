@@ -39,6 +39,7 @@ from repro.core.classifier import (
 from repro.core.ratios import RatioRecord, RatioTable
 from repro.obs.metrics import MeterCache, instrument
 from repro.runtime.checkpoint import atomic_writer
+from repro.runtime.faults import fault_point
 from repro.runtime.logging import get_logger, log_event
 from repro.stream.windows import WindowedSubnetState, WindowPolicy
 
@@ -229,6 +230,9 @@ class StreamEngine:
         started = time.perf_counter()
         with atomic_writer(path) as stream:
             json.dump(self.to_snapshot(), stream, separators=(",", ":"))
+        # Chaos hook: tear the file *after* the atomic rename, modeling
+        # media corruption that load_snapshot must detect (not crash on).
+        fault_point("stream.snapshot", path=path)
         _STREAM_METER.resolve()[3].observe(time.perf_counter() - started)
         self._flush_metrics()
         log_event(

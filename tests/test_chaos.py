@@ -1,0 +1,75 @@
+"""Chaos runner report model + ``cellspot chaos`` CLI plumbing.
+
+The full drill matrix (world generation + pools + serve loops) runs in
+CI's ``chaos-smoke`` job via ``cellspot chaos``; here we pin the report
+semantics and the CLI's failure paths, which must stay cheap.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.runtime.chaos import ChaosReport, DrillResult
+
+
+class TestReportModel:
+    def test_drill_ok_requires_recovery_and_no_divergence(self):
+        assert DrillResult(drill="d", faults=[], recovered=True,
+                           identical=True).ok
+        assert DrillResult(drill="d", faults=[], recovered=True,
+                           identical=None).ok  # shed-only drills
+        assert not DrillResult(drill="d", faults=[], recovered=False,
+                               identical=True).ok
+        assert not DrillResult(drill="d", faults=[], recovered=True,
+                               identical=False).ok
+
+    def test_report_ok_is_conjunction(self):
+        good = DrillResult(drill="a", faults=["x"], recovered=True,
+                           identical=True)
+        bad = DrillResult(drill="b", faults=["y"], recovered=False)
+        assert ChaosReport(plan="p", seed=1, drills=[good]).ok
+        assert not ChaosReport(plan="p", seed=1, drills=[good, bad]).ok
+
+    def test_unmatched_faults_fail_the_report(self):
+        good = DrillResult(drill="a", faults=["x"], recovered=True,
+                           identical=True)
+        report = ChaosReport(plan="p", seed=1, drills=[good],
+                             unmatched_faults=["typo-site"])
+        assert not report.ok
+
+    def test_to_dict_round_trips_through_json(self):
+        report = ChaosReport(
+            plan="p", seed=7,
+            drills=[DrillResult(drill="a", faults=["x"],
+                                injected={"x": 2}, recovered=True,
+                                identical=True, detail="healed")],
+            retry_alert={"fired": True, "resolved": True},
+            p99_state="ok",
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is True
+        assert payload["drills"][0]["injected"] == {"x": 2}
+        assert payload["retry_alert"]["fired"] is True
+
+    def test_render_mentions_every_drill_and_verdict(self):
+        report = ChaosReport(
+            plan="p", seed=1,
+            drills=[DrillResult(drill="executor", faults=["x"],
+                                recovered=True, identical=True)],
+        )
+        rendered = report.render()
+        assert "executor" in rendered
+        assert "ok" in rendered
+
+
+class TestChaosCli:
+    def test_unreadable_plan_exits_2(self, tmp_path, capsys):
+        assert main(["chaos", "--plan", str(tmp_path / "nope.toml")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_plan_exits_2(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"faults": []}')
+        assert main(["chaos", "--plan", str(plan)]) == 2
+        assert "error" in capsys.readouterr().err

@@ -269,6 +269,26 @@ class TestCheckpointStore:
                 )
             )
 
+    def test_truncated_manifest_is_a_checkpoint_error(self, tmp_path):
+        """Half-written JSON must surface a remedy, not a traceback."""
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.bind(RunManifest.for_run(seed=1, scale=0.01))
+        full = store.manifest_path.read_text()
+        store.manifest_path.write_text(full[: len(full) // 2])
+        with pytest.raises(CheckpointMismatch, match="truncated"):
+            store.load_manifest()
+        with pytest.raises(CheckpointMismatch, match="start fresh"):
+            CheckpointStore(tmp_path / "ckpt").bind(
+                RunManifest.for_run(seed=1, scale=0.01)
+            )
+
+    def test_wrong_shape_manifest_is_a_checkpoint_error(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.directory.mkdir(parents=True)
+        store.manifest_path.write_text('{"not": "a manifest"}')
+        with pytest.raises(CheckpointMismatch, match="malformed"):
+            store.load_manifest()
+
 
 class TestManifest:
     def test_json_round_trip(self):

@@ -1,0 +1,126 @@
+"""SIGTERM graceful shutdown of ``cellspot serve`` (both transports).
+
+Real subprocesses, real signals: the server must answer what it
+already accepted, write a final snapshot, and exit 0 -- on both the
+stdin/stdout and AF_UNIX socket transports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(signal, "SIGTERM"), reason="needs SIGTERM"
+)
+
+
+def _spawn(extra_args, tmp_path):
+    snapshot = tmp_path / "final.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--generate", "--scale", "0.002", "--hit-volume", "3000",
+            "--window-events", "1000", "--snapshot", str(snapshot),
+            *extra_args,
+        ],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    return process, snapshot
+
+
+def _assert_clean_exit(process, snapshot, stderr):
+    assert process.returncode == 0, f"exit {process.returncode}: {stderr}"
+    assert snapshot.exists(), "final snapshot missing after SIGTERM"
+    payload = json.loads(snapshot.read_text())
+    assert payload  # parseable, non-empty engine state
+    assert "served" in stderr  # the summary line still prints
+
+
+class TestStdinTransport:
+    def test_sigterm_drains_then_snapshots_and_exits_zero(self, tmp_path):
+        process, snapshot = _spawn([], tmp_path)
+        try:
+            # One answered request proves the server is up...
+            process.stdin.write(json.dumps({"op": "stats"}) + "\n")
+            process.stdin.flush()
+            first = json.loads(process.stdout.readline())
+            assert first["ok"]
+            # ...then queue more work and SIGTERM before reading it.
+            for _ in range(3):
+                process.stdin.write(json.dumps({"op": "stats"}) + "\n")
+            process.stdin.flush()
+            time.sleep(0.3)  # let the reader thread enqueue the lines
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        responses = [json.loads(line) for line in stdout.splitlines()]
+        assert len(responses) == 3, "queued requests must be drained"
+        assert all(r["ok"] for r in responses)
+        _assert_clean_exit(process, snapshot, stderr)
+
+
+class TestSocketTransport:
+    def test_sigterm_snapshots_removes_socket_and_exits_zero(
+        self, tmp_path
+    ):
+        socket_path = tmp_path / "svc.sock"
+        process, snapshot = _spawn(["--socket", str(socket_path)], tmp_path)
+        client = None
+        try:
+            client = _connect_with_retry(process, socket_path)
+            stream = client.makefile("rw")
+            stream.write(json.dumps({"op": "stats"}) + "\n")
+            stream.flush()
+            response = json.loads(stream.readline())
+            assert response["ok"]
+            process.send_signal(signal.SIGTERM)
+            stream.close()
+            client.close()
+            client = None
+            _stdout, stderr = process.communicate(timeout=60)
+        finally:
+            if client is not None:
+                client.close()
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        _assert_clean_exit(process, snapshot, stderr)
+        assert not socket_path.exists(), "socket file must be unlinked"
+
+
+def _connect_with_retry(process, socket_path, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            _stdout, stderr = process.communicate()
+            raise AssertionError(f"server died during startup: {stderr}")
+        client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            client.connect(str(socket_path))
+        except OSError:
+            client.close()
+            time.sleep(0.05)
+        else:
+            return client
+    raise AssertionError("server socket never came up")
