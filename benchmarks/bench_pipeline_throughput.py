@@ -30,6 +30,11 @@ SPEEDUP_FLOOR = 1.8
 WORKERS = 4
 ROUNDS = 3
 
+#: The per-row ingest/classify ceiling before the columnar core
+#: (events/s, PR-6 measurement); the columnar stage must be >= 3x it.
+ROWWISE_BASELINE = 758_000
+INGEST_CLASSIFY_FLOOR = 3 * ROWWISE_BASELINE
+
 
 def test_pipeline_throughput(lab, benchmark, bench_record):
     spotter = CellSpotter(as_filter=lab.spotter.as_filter)
@@ -45,6 +50,63 @@ def test_pipeline_throughput(lab, benchmark, bench_record):
         bench_record("pipeline_subnets_per_s", subnets / seconds,
                      unit="op/s", higher_is_better=True)
     assert result.cellular_as_count > 0
+
+
+def test_ingest_classify_throughput(lab, bench_record):
+    """The columnar ingest -> classify stage vs the PR-6 row ceiling.
+
+    Times exactly what the fused pipeline runs per shard -- column
+    adoption plus the vectorized spot kernel -- over the lab's beacon
+    rows tiled to a census-sized batch.  On the numpy backend the
+    stage must clear 3x the ~758k events/s the per-row loops managed.
+    """
+    from repro.columnar import ops as columnar_ops
+    from repro.columnar.backend import active_backend_name
+    from repro.columnar.batch import BeaconBatch
+    from repro.parallel.sharding import beacon_rows
+
+    base = list(beacon_rows(lab.beacons))
+    repeats = max(1, 131_072 // max(len(base), 1))
+    rows = [
+        (i * len(base) + j,) + row[1:]
+        for i in range(repeats)
+        for j, row in enumerate(base)
+    ]
+    # The fused pipeline ingests decoded shard-file columns; build the
+    # column dict outside the timed stage (that cost is JSON parsing's,
+    # measured by the cache benches) and time adoption + classify.
+    names = (
+        "idx", "family", "value", "length", "asn", "country",
+        "hits", "api", "cell",
+    )
+    columns = {
+        name: [row[position] for row in rows]
+        for position, name in enumerate(names)
+    }
+    backend = active_backend_name()
+
+    def stage():
+        batch = BeaconBatch.from_columns(columns, backend)
+        return columnar_ops.spot_batch(
+            batch, lab.spotter.min_api_hits, lab.spotter.threshold
+        )
+
+    best, _ = _best_of(stage)
+    events_per_s = len(rows) / best
+    floored = backend == "numpy"
+    print(f"\ningest+classify[{backend}]: {len(rows):,} events in "
+          f"{best * 1000:.0f} ms ({events_per_s:,.0f} events/s, "
+          f"floor {INGEST_CLASSIFY_FLOOR:,} on numpy)")
+    bench_record(
+        "ingest_classify_events_per_s", events_per_s,
+        unit=f"events/s[{backend}]", higher_is_better=True,
+        threshold=INGEST_CLASSIFY_FLOOR if floored else None,
+    )
+    if floored:
+        assert events_per_s >= INGEST_CLASSIFY_FLOOR, (
+            f"ingest/classify at {events_per_s:,.0f} events/s "
+            f"(need >= {INGEST_CLASSIFY_FLOOR:,} = 3x row-wise baseline)"
+        )
 
 
 def _best_of(fn, rounds=ROUNDS):

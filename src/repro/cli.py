@@ -128,6 +128,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "results stay identical either way",
     )
     parser.add_argument(
+        "--array-backend", default=None, metavar="NAME",
+        choices=["auto", "numpy", "python"],
+        help="columnar kernel backend (default: CELLSPOT_ARRAY_BACKEND "
+             "env var, else auto-detect numpy); results are "
+             "bit-identical on either backend",
+    )
+    parser.add_argument(
         "--log-level", default=None, metavar="LEVEL",
         choices=["debug", "info", "warning", "error"],
         help="enable structured logging on stderr at LEVEL",
@@ -1568,6 +1575,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "array_backend", None):
+        from repro.columnar.backend import set_backend
+
+        set_backend(args.array_backend)
     if getattr(args, "log_level", None):
         from repro.runtime.logging import configure_logging, set_run_id
 

@@ -1,0 +1,140 @@
+"""Row-at-a-time reference implementations (the third contract arm).
+
+The equivalence contract of the columnar core is three-way::
+
+    kernels_np  ==  kernels_py  ==  reference (this module)
+
+The first two are columnar; this module is the frozen *row-wise*
+semantics they both must reproduce -- dict-accumulation loops written
+the way the pre-columnar pipeline wrote them (the old per-row
+``_spot_shard`` worker, the ``RatioTable.merge`` totals dict, the
+per-key ``+=`` demand sums).
+Nothing here is called on the hot path; it exists so the property
+suite can check the vectorized kernels against an implementation too
+simple to be wrong in the same way twice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.parallel.sharding import stable_shard_index
+
+#: Compact beacon row: (idx, family, value, length, asn, country,
+#: hits, api, cell) -- the tuple shape of repro.parallel.sharding.
+BeaconRow = Tuple[int, int, int, int, int, str, int, int, int]
+
+
+def spot_rows(
+    rows: Iterable[BeaconRow], min_api_hits: int, threshold: float
+) -> Tuple[List[tuple], Dict[int, int]]:
+    """Per-row ratio + label stage, exactly as the pre-columnar
+    ``_spot_shard`` worker ran it.
+
+    Returns kept rows with the label appended, plus the per-AS
+    beacon-hit totals over *all* rows (insertion order = first seen).
+    """
+    out: List[tuple] = []
+    hits_by_asn: Dict[int, int] = {}
+    for idx, family, value, length, asn, country, hits, api, cell in rows:
+        hits_by_asn[asn] = hits_by_asn.get(asn, 0) + hits
+        if api >= min_api_hits:
+            out.append(
+                (
+                    idx,
+                    family,
+                    value,
+                    length,
+                    asn,
+                    country,
+                    hits,
+                    api,
+                    cell,
+                    cell / api >= threshold,
+                )
+            )
+    return out, hits_by_asn
+
+
+def accumulate_rows(
+    rows: Iterable[BeaconRow],
+    order: str = "canonical",
+    check_meta: bool = False,
+) -> List[BeaconRow]:
+    """Dict-based group accumulation by subnet key.
+
+    First-seen metadata and ``idx``; ``hits``/``api``/``cell`` summed
+    as exact Python ints.  ``order="first_seen"`` keeps dict insertion
+    order; ``order="canonical"`` sorts by ``(family, value, length)``.
+    """
+    groups: Dict[Tuple[int, int, int], list] = {}
+    for idx, family, value, length, asn, country, hits, api, cell in rows:
+        key = (family, value, length)
+        current = groups.get(key)
+        if current is None:
+            groups[key] = [idx, family, value, length, asn, country,
+                           hits, api, cell]
+            continue
+        if check_meta and (current[4], current[5]) != (asn, country):
+            from repro.net.prefix import Prefix
+
+            raise ValueError(
+                f"conflicting metadata for {Prefix(family, value, length)}"
+            )
+        current[6] += hits
+        current[7] += api
+        current[8] += cell
+    merged = [tuple(g) for g in groups.values()]
+    if order == "canonical":
+        merged.sort(key=lambda r: (r[1], r[2], r[3]))
+    elif order != "first_seen":
+        raise ValueError(f"unknown group order {order!r}")
+    return merged
+
+
+def shard_assignment(
+    keys: Iterable[Tuple[int, int, int]], shards: int
+) -> List[int]:
+    """Scalar shard index per ``(family, value, length)`` key."""
+    return [
+        stable_shard_index(family, value, length, shards)
+        for family, value, length in keys
+    ]
+
+
+def group_sum_int(pairs: Iterable[Tuple[int, int]]) -> Dict[int, int]:
+    """``{key: exact integer sum}`` in first-seen key order."""
+    totals: Dict[int, int] = {}
+    for key, value in pairs:
+        totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+def group_sum_float_ordered(
+    pairs: Iterable[Tuple[int, float]]
+) -> Dict[int, float]:
+    """``{key: float sum}`` accumulated per key in encounter order --
+    the exact bits of the serial ``du_by_asn`` style loops."""
+    totals: Dict[int, float] = {}
+    for key, value in pairs:
+        totals[key] = totals.get(key, 0.0) + value
+    return totals
+
+
+def lex_order(keys: Sequence[Sequence[int]]) -> List[int]:
+    """Stable multi-key argsort via ``sorted`` on tuples."""
+    if not keys:
+        return []
+    return sorted(range(len(keys[0])), key=lambda i: tuple(k[i] for k in keys))
+
+
+def duplicate_key(
+    keys: Iterable[Tuple[int, int, int]]
+) -> Optional[Tuple[int, int, int]]:
+    """Key at the first repeat in iteration order (seen-set loop)."""
+    seen = set()
+    for key in keys:
+        if key in seen:
+            return key
+        seen.add(key)
+    return None

@@ -26,10 +26,13 @@ Design rules, in the order they matter:
   moved aside with a sidecar describing what failed, reusing the
   ingestion layer's quarantine format -- and reported as a miss so the
   caller regenerates.  A corrupt cache costs time, never correctness.
-* **Columnar shards load fast.**  Each shard file is one JSON object
-  of parallel arrays; a single C-speed ``json.loads`` replaces tens of
-  thousands of per-line parses, which is what the fused pipeline's
-  speedup is built on.
+* **Columnar shards load fast, in bounded memory.**  Each shard file
+  is JSONL of *record batches* -- one JSON object of parallel arrays
+  per few thousand rows -- so a C-speed ``json.loads`` per batch
+  replaces per-row parsing while readers (:func:`iter_shard_batches`)
+  stream batch-at-a-time: peak allocation stays flat as shards grow,
+  and the fused pipeline spots each batch with the columnar kernels
+  (:mod:`repro.columnar`) as it decodes.
 * **Bounded size, LRU eviction.**  With ``max_entries`` set, every
   successful :meth:`store` opportunistically calls :meth:`prune`,
   which drops the least-recently-*used* entries (``meta.json`` mtime,
@@ -89,7 +92,16 @@ _CACHE_METER = MeterCache(
 
 #: Bump when the shard file layout changes; part of the cache key, so
 #: old-format entries become unreachable instead of misread.
-CACHE_FORMAT_VERSION = 1
+#: v2: shard files are JSONL of columnar record batches (one JSON
+#: object of parallel arrays per line, at most ``SHARD_BATCH_ROWS``
+#: rows each) so readers can stream with bounded peak memory.  A v1
+#: file (one object, one line) is a valid single-batch v2 file.
+CACHE_FORMAT_VERSION = 2
+
+#: Rows per record-batch line in a shard file.  Small enough that one
+#: decoded batch is a bounded allocation, large enough that the
+#: per-line ``json.loads`` overhead stays negligible.
+SHARD_BATCH_ROWS = 4096
 
 #: Default partition count for stored entries (decoupled from worker
 #: count -- any worker count can consume any shard count).
@@ -127,42 +139,99 @@ def cache_key(params: Mapping[str, object]) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def load_shard_columns(
+def _verify_shard_digest(path: Union[str, Path], sha256_hex: str) -> None:
+    """Chunked re-hash of a shard file against its recorded digest.
+
+    Reads in fixed-size chunks so verification never loads the file
+    whole; raises :class:`CacheCorruption` on any mismatch.
+    """
+    digest = hashlib.sha256()
+    try:
+        with open(path, "rb") as stream:
+            for chunk in iter(lambda: stream.read(1 << 20), b""):
+                digest.update(chunk)
+    except OSError as exc:
+        raise CacheCorruption(f"unreadable shard file {path}: {exc}") from exc
+    actual = digest.hexdigest()
+    if actual != sha256_hex:
+        raise CacheCorruption(
+            f"shard file {path} digest mismatch: "
+            f"expected {sha256_hex[:12]}..., got {actual[:12]}..."
+        )
+
+
+def iter_shard_batches(
     path: Union[str, Path], sha256_hex: str
-) -> Dict[str, list]:
-    """Read one columnar shard file, verifying its recorded digest.
+):
+    """Stream the record batches of one shard file, digest-verified.
+
+    Two passes over the file, neither holding it in memory: a chunked
+    hash pass (integrity first -- a torn write must surface before any
+    line is trusted), then a line-at-a-time parse pass yielding one
+    column dict per record batch.  Peak allocation is one batch, not
+    one shard, no matter how large the shard grows.
 
     Module-level and picklable-friendly so pool workers can call it
     directly; raises :class:`CacheCorruption` on any mismatch.
     """
-    try:
-        data = Path(path).read_bytes()
-    except OSError as exc:
-        raise CacheCorruption(f"unreadable shard file {path}: {exc}") from exc
-    digest = hashlib.sha256(data).hexdigest()
-    if digest != sha256_hex:
-        raise CacheCorruption(
-            f"shard file {path} digest mismatch: "
-            f"expected {sha256_hex[:12]}..., got {digest[:12]}..."
-        )
-    try:
-        columns = json.loads(data)
-    except ValueError as exc:
-        raise CacheCorruption(f"shard file {path} is not JSON: {exc}") from exc
-    if not isinstance(columns, dict):
-        raise CacheCorruption(f"shard file {path}: expected a JSON object")
-    return columns
+    _verify_shard_digest(path, sha256_hex)
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                columns = json.loads(stripped)
+            except ValueError as exc:
+                raise CacheCorruption(
+                    f"shard file {path} is not JSON: {exc}"
+                ) from exc
+            if not isinstance(columns, dict):
+                raise CacheCorruption(
+                    f"shard file {path}: expected a JSON object"
+                )
+            yield columns
+
+
+def load_shard_columns(
+    path: Union[str, Path], sha256_hex: str
+) -> Dict[str, list]:
+    """Read one shard file whole, verifying its recorded digest.
+
+    Concatenates the file's record batches into one column dict -- the
+    materializing counterpart of :func:`iter_shard_batches` for
+    callers that want everything at once.
+    """
+    merged: Optional[Dict[str, list]] = None
+    for columns in iter_shard_batches(path, sha256_hex):
+        if merged is None:
+            merged = {name: list(values) for name, values in columns.items()}
+            continue
+        for name, values in columns.items():
+            merged.setdefault(name, []).extend(values)
+    if merged is None:
+        raise CacheCorruption(f"shard file {path} holds no record batches")
+    return merged
 
 
 def _columns_payload(
     rows: Sequence[tuple], names: Sequence[str]
 ) -> str:
-    """Encode compact rows as one columnar JSON object."""
-    columns = {
-        name: [row[position] for row in rows]
-        for position, name in enumerate(names)
-    }
-    return json.dumps(columns, separators=(",", ":"))
+    """Encode compact rows as JSONL record batches.
+
+    One JSON object of parallel arrays per ``SHARD_BATCH_ROWS`` rows;
+    an empty shard still writes one empty batch so readers always see
+    the schema.
+    """
+    lines = []
+    for start in range(0, max(len(rows), 1), SHARD_BATCH_ROWS):
+        chunk = rows[start:start + SHARD_BATCH_ROWS]
+        columns = {
+            name: [row[position] for row in chunk]
+            for position, name in enumerate(names)
+        }
+        lines.append(json.dumps(columns, separators=(",", ":")))
+    return "\n".join(lines) + "\n"
 
 
 def _rows_from_columns(
@@ -507,10 +576,10 @@ class DatasetCache:
         """
         beacon_rows: List[tuple] = []
         for path, sha in entry.beacon_shards:
-            columns = load_shard_columns(path, sha)
-            beacon_rows.extend(
-                _rows_from_columns(columns, _BEACON_COLUMNS, path)
-            )
+            for columns in iter_shard_batches(path, sha):
+                beacon_rows.extend(
+                    _rows_from_columns(columns, _BEACON_COLUMNS, path)
+                )
         beacon_rows.sort()
         meta_beacon = entry.meta["beacon"]
         beacons = BeaconDataset(month=meta_beacon["month"])
@@ -527,10 +596,10 @@ class DatasetCache:
 
         demand_rows: List[tuple] = []
         for path, sha in entry.demand_shards:
-            columns = load_shard_columns(path, sha)
-            demand_rows.extend(
-                _rows_from_columns(columns, _DEMAND_COLUMNS, path)
-            )
+            for columns in iter_shard_batches(path, sha):
+                demand_rows.extend(
+                    _rows_from_columns(columns, _DEMAND_COLUMNS, path)
+                )
         demand_rows.sort()
         demand = DemandDataset(window_days=entry.meta["demand"]["window_days"])
         demand_by_subnet = demand._by_subnet

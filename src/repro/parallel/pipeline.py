@@ -6,16 +6,21 @@ the serial pipeline's -- not statistically close, equal, down to the
 last float:
 
 :func:`run_sharded`
-    In-memory datasets are prefix-hash partitioned, every shard runs
-    the ratio/label stage (possibly in a process pool), and the parent
-    merges shard outputs back into serial iteration order before the
-    (cheap, inherently global) AS-identification tail runs.
+    In-memory datasets are projected to columnar record batches
+    (:mod:`repro.columnar`), prefix-hash partitioned with the
+    vectorized shard-index kernel, every shard runs the ratio/label
+    stage as one :func:`~repro.columnar.ops.spot_batch` call (possibly
+    in a process pool), and the parent merges shard outputs by
+    concatenating columns and argsorting the idx column back into
+    serial iteration order before the (cheap, inherently global)
+    AS-identification tail runs.
 
 :func:`run_from_entry`
     The cache-backed fast path: columnar shard files from a
-    :class:`~repro.parallel.cache.DatasetCache` entry are loaded and
-    *fused* straight into the ratio table, labels, per-AS hit totals,
-    and a :class:`~repro.parallel.views.DemandMap` without ever
+    :class:`~repro.parallel.cache.DatasetCache` entry are *streamed*
+    record batch by record batch and spotted as they decode, fusing
+    straight into the ratio table, labels, per-AS hit totals, and a
+    :class:`~repro.parallel.views.DemandMap` without ever
     materializing the per-subnet dataclasses of a full
     ``BeaconDataset`` / ``DemandDataset``.  Skipping that
     materialization is where the end-to-end speedup comes from on
@@ -45,64 +50,84 @@ from repro.datasets.demand_dataset import DemandDataset
 from repro.net.prefix import Prefix
 from repro.obs.trace import span
 
-from repro.parallel.cache import CacheEntry, load_shard_columns
-from repro.parallel.executor import ShardExecutor, ShardPlan
-from repro.parallel.sharding import (
-    BeaconRow,
-    DemandRow,
-    partition_beacons,
-    partition_demand,
+from repro.columnar import ops as columnar_ops
+from repro.columnar.backend import active_backend_name
+from repro.columnar.batch import BeaconBatch, DemandBatch, SpotBatch
+
+from repro.parallel.cache import (
+    CacheEntry,
+    iter_shard_batches,
+    load_shard_columns,
 )
+from repro.parallel.executor import ShardExecutor, ShardPlan
 from repro.parallel.views import DemandMap
 
-#: What one beacon shard emits per kept subnet: the compact beacon row
-#: plus the cellular label, so the parent never recomputes ratios.
-SpotRow = Tuple[int, int, int, int, int, str, int, int, int, bool]
-
-
 def _spot_shard(
-    args: Tuple[List[BeaconRow], int, float]
-) -> Tuple[List[SpotRow], Dict[int, int]]:
-    """Ratio + label stage for one shard (pool worker).
+    args: Tuple[BeaconBatch, int, float]
+) -> Tuple[SpotBatch, Tuple[List[int], List[int]]]:
+    """Columnar ratio + label stage for one shard (pool worker).
 
-    Returns the kept (``api_hits >= min_api_hits``) rows with their
-    cellular label appended, plus the shard's per-AS beacon-hit
-    partial.  Hit totals cover *all* rows -- AS filtering rule 2
-    counts hits regardless of API coverage, exactly like
-    :meth:`BeaconDataset.hits_by_asn`.
+    One :func:`repro.columnar.ops.spot_batch` call over the shard's
+    record batch -- the vectorized replacement for the per-row loop
+    this worker used to run (frozen as
+    :func:`repro.columnar.reference.spot_rows`), bit-identical to it
+    by the kernel equivalence contract.  Keeps its pre-columnar name
+    so the ``shard.spot_shard`` span the executor derives from it
+    stays stable for trace consumers.  Returns the kept rows as a
+    :class:`SpotBatch` plus the shard's ``(asns, hits)`` partial.
     """
-    rows, min_api_hits, threshold = args
-    out: List[SpotRow] = []
-    hits_by_asn: Dict[int, int] = {}
-    hget = hits_by_asn.get
-    append = out.append
-    for idx, family, value, length, asn, country, hits, api, cell in rows:
-        hits_by_asn[asn] = hget(asn, 0) + hits
-        if api >= min_api_hits:
-            # Same float expression the serial classifier evaluates
-            # (RatioRecord.ratio >= threshold), so labels match bit
-            # for bit on ties.
-            append(
-                (
-                    idx,
-                    family,
-                    value,
-                    length,
-                    asn,
-                    country,
-                    hits,
-                    api,
-                    cell,
-                    cell / api >= threshold,
-                )
-            )
-    return out, hits_by_asn
+    batch, min_api_hits, threshold = args
+    return columnar_ops.spot_batch(batch, min_api_hits, threshold)
 
 
 def _fetch_shard(args: Tuple[str, str]) -> Dict[str, list]:
-    """Load one verified columnar shard file (pool worker)."""
+    """Load one verified columnar shard file whole (pool worker).
+
+    Row-wise-era loader kept for interop; the live fused path streams
+    record batches via :func:`_spot_beacon_shard_file` instead.
+    """
     path, sha256_hex = args
     return load_shard_columns(path, sha256_hex)
+
+
+def _spot_beacon_shard_file(
+    args: Tuple[str, str, str, int, float]
+) -> Tuple[SpotBatch, Tuple[List[int], List[int]]]:
+    """Stream one cached BEACON shard and spot it batch-at-a-time
+    (pool worker).
+
+    Each record batch is decoded, spotted with the columnar kernels,
+    and released before the next one is read -- peak memory is one
+    batch plus the kept rows, however large the shard file grows.
+    """
+    path, sha256_hex, backend, min_api_hits, threshold = args
+    spots: List[SpotBatch] = []
+    partials: List[Tuple[List[int], List[int]]] = []
+    for columns in iter_shard_batches(path, sha256_hex):
+        batch = BeaconBatch.from_columns(columns, backend)
+        spot, partial = columnar_ops.spot_batch(batch, min_api_hits, threshold)
+        spots.append(spot)
+        partials.append(partial)
+    if not spots:
+        return (
+            SpotBatch(batch=BeaconBatch.from_rows([], backend), label=[]),
+            ([], []),
+        )
+    merged = columnar_ops.merge_asn_partials(partials, backend)
+    return SpotBatch.concat(spots), (list(merged), list(merged.values()))
+
+
+def _fetch_demand_shard_file(args: Tuple[str, str, str]) -> DemandBatch:
+    """Stream one cached DEMAND shard into a columnar batch
+    (pool worker)."""
+    path, sha256_hex, backend = args
+    parts = [
+        DemandBatch.from_columns(columns, backend)
+        for columns in iter_shard_batches(path, sha256_hex)
+    ]
+    if not parts:
+        return DemandBatch.from_rows([], backend)
+    return DemandBatch.concat(parts)
 
 
 def merge_hit_partials(
@@ -116,20 +141,22 @@ def merge_hit_partials(
     return totals
 
 
-def _assemble(
-    spot_rows: List[SpotRow],
+def _assemble_batch(
+    spot: SpotBatch,
 ) -> Tuple[Dict[Prefix, RatioRecord], Dict[Prefix, bool]]:
-    """Rebuild the ratio table and labels in serial iteration order.
+    """Rebuild the ratio table and labels from an idx-sorted spot batch.
 
-    ``spot_rows`` must already be idx-sorted; insertion order of both
-    dicts then matches what ``RatioTable.from_beacons`` +
+    The one remaining per-row walk -- the Python-object boundary where
+    kept rows become ``Prefix``/``RatioRecord`` instances.  Insertion
+    order of both dicts matches what ``RatioTable.from_beacons`` +
     ``SubnetClassifier.classify`` produce from the full dataset.
     """
     table: Dict[Prefix, RatioRecord] = {}
     labels: Dict[Prefix, bool] = {}
-    for _idx, family, value, length, asn, country, hits, api, cell, label in (
-        spot_rows
-    ):
+    for (
+        (_idx, family, value, length, asn, country, hits, api, cell),
+        label,
+    ) in zip(spot.batch.to_rows(), spot.label):
         prefix = Prefix(family, value, length)
         table[prefix] = RatioRecord(prefix, asn, country, api, cell, hits)
         labels[prefix] = label
@@ -190,12 +217,14 @@ def run_sharded(
     ``stage_timings``.
     """
     plan = plan or ShardPlan.plan()
+    backend = active_backend_name()
     timings: Dict[str, float] = {}
 
     started = time.perf_counter()
     with span("stage.partition", shards=plan.shards):
-        beacon_parts = partition_beacons(beacons, plan.shards)
-        demand_parts = partition_demand(demand, plan.shards)
+        beacon_batch = BeaconBatch.from_dataset(beacons, backend)
+        beacon_parts = columnar_ops.partition_batch(beacon_batch, plan.shards)
+        demand_batch = DemandBatch.from_dataset(demand, backend)
     timings["partition"] = time.perf_counter() - started
 
     executor = ShardExecutor(plan)
@@ -208,23 +237,22 @@ def run_sharded(
 
     started = time.perf_counter()
     with span("stage.merge", shards=plan.shards):
-        spot_rows: List[SpotRow] = []
-        partials: List[Dict[int, int]] = []
-        for index, (secs, (rows, hit_partial)) in enumerate(shard_results):
+        spots: List[SpotBatch] = []
+        partials: List[Tuple[List[int], List[int]]] = []
+        for index, (secs, (spot, partial)) in enumerate(shard_results):
             timings[f"spot.shard{index}"] = secs
-            spot_rows.extend(rows)
-            partials.append(hit_partial)
-        spot_rows.sort()  # leading idx restores serial dataset order
-        table, labels = _assemble(spot_rows)
-        hits_by_asn = merge_hit_partials(partials)
+            spots.append(spot)
+            partials.append(partial)
+        # Zero-copy merge: concatenate shard columns, one argsort on
+        # the idx column restores serial dataset order.
+        ordered = columnar_ops.sort_spot_by_idx(SpotBatch.concat(spots))
+        table, labels = _assemble_batch(ordered)
+        hits_by_asn = columnar_ops.merge_asn_partials(partials, backend)
     timings["merge"] = time.perf_counter() - started
 
     started = time.perf_counter()
     with span("stage.demand_map"):
-        all_demand_rows: List[DemandRow] = []
-        for part in demand_parts:
-            all_demand_rows.extend(part)
-        demand_map = DemandMap.from_rows(all_demand_rows)
+        demand_map = DemandMap.from_batch(demand_batch)
     timings["demand_map"] = time.perf_counter() - started
 
     return _finish(
@@ -240,79 +268,53 @@ def run_from_entry(
 ) -> CellSpotterResult:
     """Fused pipeline run straight from cached columnar shards.
 
-    Loads every shard file (verified against its recorded digest),
-    restores serial row order, and computes ratio table, labels, hit
-    totals, and the demand view in one fused pass -- no intermediate
-    ``BeaconDataset`` / ``DemandDataset`` is ever built.  Equal output
-    to the serial pipeline over the datasets the entry caches.
+    Each shard file is *streamed* record batch by record batch
+    (digest-verified, bounded peak memory) and spotted with the
+    columnar kernels as it decodes -- ratio filtering, labels, and
+    per-AS hit totals all happen inside the loading workers; the
+    parent only concatenates columns and restores serial row order
+    with one argsort.  No intermediate ``BeaconDataset`` /
+    ``DemandDataset`` is ever built.  Equal output to the serial
+    pipeline over the datasets the entry caches.
     """
     plan = plan or ShardPlan.plan()
+    backend = active_backend_name()
     timings: Dict[str, float] = {}
     executor = ShardExecutor(plan)
 
     with span("stage.load_shards", shards=plan.shards, workers=plan.workers):
-        beacon_loads = executor.map(_fetch_shard, entry.beacon_shards)
-        demand_loads = executor.map(_fetch_shard, entry.demand_shards)
-    for index, (secs, _) in enumerate(beacon_loads):
+        beacon_spots = executor.map(
+            _spot_beacon_shard_file,
+            [
+                (path, sha, backend, spotter.min_api_hits, spotter.threshold)
+                for path, sha in entry.beacon_shards
+            ],
+        )
+        demand_loads = executor.map(
+            _fetch_demand_shard_file,
+            [(path, sha, backend) for path, sha in entry.demand_shards],
+        )
+    for index, (secs, _) in enumerate(beacon_spots):
         timings[f"load_beacon.shard{index}"] = secs
     for index, (secs, _) in enumerate(demand_loads):
         timings[f"load_demand.shard{index}"] = secs
 
     started = time.perf_counter()
-    beacon_rows: List[BeaconRow] = []
-    for _, cols in beacon_loads:
-        beacon_rows.extend(
-            zip(
-                cols["idx"],
-                cols["family"],
-                cols["value"],
-                cols["length"],
-                cols["asn"],
-                cols["country"],
-                cols["hits"],
-                cols["api"],
-                cols["cell"],
-            )
-        )
-    beacon_rows.sort()
-    demand_rows: List[DemandRow] = []
-    for _, cols in demand_loads:
-        demand_rows.extend(
-            zip(
-                cols["idx"],
-                cols["family"],
-                cols["value"],
-                cols["length"],
-                cols["asn"],
-                cols["country"],
-                cols["du"],
-            )
-        )
-    timings["restore_rows"] = time.perf_counter() - started
-
-    started = time.perf_counter()
     with span("stage.fused_spot"):
-        min_api = spotter.min_api_hits
-        threshold = spotter.threshold
-        table: Dict[Prefix, RatioRecord] = {}
-        labels: Dict[Prefix, bool] = {}
-        hits_by_asn: Dict[int, int] = {}
-        hget = hits_by_asn.get
-        for _idx, family, value, length, asn, country, hits, api, cell in (
-            beacon_rows
-        ):
-            hits_by_asn[asn] = hget(asn, 0) + hits
-            if api >= min_api:
-                prefix = Prefix(family, value, length)
-                table[prefix] = RatioRecord(
-                    prefix, asn, country, api, cell, hits
-                )
-                labels[prefix] = cell / api >= threshold
+        ordered = columnar_ops.sort_spot_by_idx(
+            SpotBatch.concat([spot for _, (spot, _) in beacon_spots])
+        )
+        table, labels = _assemble_batch(ordered)
+        hits_by_asn = columnar_ops.merge_asn_partials(
+            [partial for _, (_, partial) in beacon_spots], backend
+        )
     timings["fused_spot"] = time.perf_counter() - started
 
     started = time.perf_counter()
     with span("stage.demand_map"):
-        demand_map = DemandMap.from_rows(demand_rows)
+        demand_map = DemandMap.from_batch(
+            DemandBatch.concat([batch for _, batch in demand_loads])
+        )
     timings["demand_map"] = time.perf_counter() - started
 
     return _finish(

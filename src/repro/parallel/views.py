@@ -68,6 +68,29 @@ class DemandMap:
         return cls(by_key, entries)
 
     @classmethod
+    def from_batch(cls, batch) -> "DemandMap":
+        """Build from a columnar :class:`~repro.columnar.batch.DemandBatch`.
+
+        The batch is argsorted back to original dataset order on its
+        idx column and duplicate subnets are detected with the
+        grouping kernels -- same first-repeat-in-dataset-order error
+        as :meth:`from_rows` -- before entries are laid down at the
+        Python-object boundary.
+        """
+        from repro.columnar import ops as columnar_ops
+
+        ordered = columnar_ops.sort_by_idx(batch)
+        duplicate = columnar_ops.find_duplicate_key(ordered)
+        if duplicate is not None:
+            raise ValueError(f"duplicate demand subnet in rows: {duplicate}")
+        by_key: Dict[Tuple[int, int, int], float] = {}
+        entries: List[DemandEntry] = []
+        for _idx, family, value, length, asn, _country, du in ordered.to_rows():
+            by_key[(family, value, length)] = du
+            entries.append(DemandEntry(asn, du))
+        return cls(by_key, entries)
+
+    @classmethod
     def from_dataset(cls, demand) -> "DemandMap":
         """Project a full ``DemandDataset`` down to the view."""
         by_key: Dict[Tuple[int, int, int], float] = {}

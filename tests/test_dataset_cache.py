@@ -20,9 +20,11 @@ from repro.datasets.demand_dataset import DemandDataset, SubnetDemand
 from repro.net.prefix import Prefix
 from repro.parallel.cache import (
     CACHE_FORMAT_VERSION,
+    SHARD_BATCH_ROWS,
     CacheCorruption,
     DatasetCache,
     cache_key,
+    iter_shard_batches,
     load_shard_columns,
 )
 from repro.runtime.manifest import dataset_digest
@@ -281,3 +283,82 @@ def test_lab_cache_key_tracks_parameters(tmp_path):
     b = Lab.create(scale=0.002, seed=10, cache_dir=tmp_path)
     cache = DatasetCache(tmp_path)
     assert cache.key_for(a.cache_params()) != cache.key_for(b.cache_params())
+
+
+# ---- streaming shard reads (bounded-memory record batches) ------------------
+
+
+def _sized_datasets(subnets: int):
+    """A BEACON/DEMAND pair with exactly ``subnets`` beacon rows."""
+    beacons = BeaconDataset(month="2016-12")
+    demand = DemandDataset(window_days=7)
+    for i in range(subnets):
+        prefix = Prefix(4, (i + 1) << 8, 24)
+        beacons.add_counts(
+            SubnetBeaconCounts(
+                prefix, asn=1 + i % 97, country="US",
+                hits=7, api_hits=5, cellular_hits=3,
+            )
+        )
+    demand._add(SubnetDemand(Prefix(4, 1 << 8, 24), 1, "US", 2.5))
+    return beacons, demand
+
+
+def _stored_beacon_shard(tmp_path, subnets: int):
+    cache = DatasetCache(tmp_path / f"cache-{subnets}")
+    params = {**PARAMS, "subnets": subnets}
+    beacons, demand = _sized_datasets(subnets)
+    entry = cache.store(
+        cache.key_for(params), beacons, demand, shards=1, params=params
+    )
+    return entry.beacon_shards[0]
+
+
+def test_shard_files_hold_bounded_record_batches(tmp_path):
+    """One JSONL line per batch, never more than SHARD_BATCH_ROWS rows."""
+    subnets = SHARD_BATCH_ROWS * 2 + 100
+    path, digest = _stored_beacon_shard(tmp_path, subnets)
+    sizes = [
+        len(batch["idx"]) for batch in iter_shard_batches(path, digest)
+    ]
+    assert sizes == [SHARD_BATCH_ROWS, SHARD_BATCH_ROWS, 100]
+    # Batches concatenate back to the full shard, in order.
+    merged = load_shard_columns(path, digest)
+    assert len(merged["idx"]) == subnets
+    assert merged["idx"] == list(range(subnets))
+
+
+def test_single_object_shard_file_still_reads(tmp_path):
+    """A v1-era single-JSON-object file is a valid one-batch v2 file."""
+    import hashlib
+
+    path = tmp_path / "beacon.shard0.json"
+    columns = {"idx": [0, 1], "value": [256, 512]}
+    path.write_text(json.dumps(columns), encoding="utf-8")
+    digest = hashlib.sha256(path.read_bytes()).hexdigest()
+    assert list(iter_shard_batches(path, digest)) == [columns]
+
+
+def test_streaming_peak_memory_is_flat_as_shards_grow(tmp_path):
+    """Peak allocation while draining a shard tracks the batch size,
+    not the shard size: an 8x larger shard must not cost 8x the peak."""
+    import tracemalloc
+
+    def peak_draining(subnets: int) -> int:
+        path, digest = _stored_beacon_shard(tmp_path, subnets)
+        # Prime imports/caches outside the measured window.
+        next(iter_shard_batches(path, digest))
+        tracemalloc.start()
+        try:
+            rows = 0
+            for batch in iter_shard_batches(path, digest):
+                rows += len(batch["idx"])
+            peak = tracemalloc.get_traced_memory()[1]
+        finally:
+            tracemalloc.stop()
+        assert rows == subnets
+        return peak
+
+    small = peak_draining(SHARD_BATCH_ROWS * 2)
+    large = peak_draining(SHARD_BATCH_ROWS * 16)
+    assert large < small * 2, (small, large)
