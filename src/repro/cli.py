@@ -510,6 +510,7 @@ def _make_service(args: argparse.Namespace, engine,
         demand=demand,
         as_classes=as_classes,
         filter_config=filter_config,
+        ratio_spool_dir=getattr(args, "ratio_spool", None),
         config=ServiceConfig(
             snapshot_every_events=args.snapshot_every,
             ingest_batch=args.ingest_batch,
@@ -619,6 +620,180 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"{len(alert_engine.events)} transition(s) logged",
               file=sys.stderr)
     return 0
+
+
+def _scale_source_spec(args: argparse.Namespace):
+    """A picklable event-source spec for the plane's builder process."""
+    if args.events and args.generate:
+        raise ValueError("--events and --generate are mutually exclusive")
+    if args.generate:
+        return {
+            "kind": "generate",
+            "scale": args.scale,
+            "seed": args.seed,
+            "hit_volume": args.hit_volume,
+            "base_hits": args.base_hits,
+        }
+    if args.events:
+        return {
+            "kind": "jsonl",
+            "path": args.events,
+            "follow": bool(args.follow),
+            "on_error": args.on_error,
+        }
+    return None
+
+
+def _cmd_serve_scale(args: argparse.Namespace) -> int:
+    """Run the horizontal serving plane (asyncio front + N workers).
+
+    The front answers the same line-delimited JSON protocol as
+    ``cellspot serve`` over --socket (AF_UNIX) and/or --port (TCP);
+    queries fan out to --workers processes, each serving from the
+    latest mmap snapshot generation under --snapshot-dir.  With an
+    event source (--events / --generate) a builder process ingests and
+    publishes new generations; without one, the plane serves whatever
+    the catalog already holds (e.g. a 'cellspot serve --ratio-spool'
+    directory).
+    """
+    import asyncio
+    import signal
+
+    from repro.obs.alerts import AlertRuleError
+    from repro.scale.plane import PlaneConfig, ServingPlane
+
+    if not args.socket and args.port is None:
+        print("error: serve-scale needs --socket and/or --port",
+              file=sys.stderr)
+        return 2
+    try:
+        source_spec = _scale_source_spec(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        scraper, alert_engine, _drift = _build_telemetry(args)
+    except AlertRuleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = PlaneConfig(
+        workers=args.workers,
+        max_pending=args.max_pending,
+        deadline_s=args.deadline,
+        min_api_hits=args.min_api_hits,
+        startup_timeout_s=args.startup_timeout,
+    )
+    plane = ServingPlane(
+        args.snapshot_dir,
+        config=config,
+        alert_engine=alert_engine,
+        source_spec=source_spec,
+        builder_options={
+            "window_events": args.window_events,
+            "publish_every_windows": args.publish_every,
+        },
+    )
+
+    def _ready(_plane) -> None:
+        where = []
+        if args.socket:
+            where.append(f"unix:{args.socket}")
+        if args.port is not None:
+            where.append(f"tcp:{args.host}:{args.port}")
+        print(f"serving-scale: {args.workers} workers listening on "
+              f"{' and '.join(where)}", file=sys.stderr, flush=True)
+
+    async def _run() -> int:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, plane.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass
+        return await plane.serve(
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+            ready_callback=_ready,
+        )
+
+    if scraper is not None:
+        scraper.start()
+    try:
+        answered = asyncio.run(_run())
+    except (TimeoutError, RuntimeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if scraper is not None:
+            scraper.stop(final_scrape=True)
+    print(f"served {answered:,} requests across "
+          f"{plane.metrics.get('scale_worker_respawns_total').value:g} "
+          f"respawns; {plane.metrics.get('scale_shed_total').value:,} shed",
+          file=sys.stderr)
+    if alert_engine is not None:
+        counts = alert_engine.counts()
+        print(f"alerting: {counts.get('firing', 0)} firing / "
+              f"{len(alert_engine.rules)} rules, "
+              f"{len(alert_engine.events)} transition(s) logged",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Replay heavy-tailed query traffic against a serving plane.
+
+    Queries are sampled from the latest snapshot generation under
+    --snapshot-dir with probability proportional to demand hits, so
+    the hottest subnets dominate (the CGN concentration shape).  Exit
+    codes: 0 clean run, 1 client-side errors, 2 unusable arguments.
+    """
+    import asyncio
+
+    from repro.scale.loadgen import (
+        queries_from_catalog,
+        run_loadgen,
+        write_report,
+    )
+
+    if not args.socket and args.port is None:
+        print("error: loadgen needs --socket and/or --port",
+              file=sys.stderr)
+        return 2
+    try:
+        queries = queries_from_catalog(
+            args.snapshot_dir, args.queries, seed=args.seed
+        )
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = asyncio.run(
+        run_loadgen(
+            queries,
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+            concurrency=args.concurrency,
+            batch=args.batch,
+            warmup=args.warmup,
+            overload_queries=args.overload,
+            overload_concurrency=args.overload_concurrency,
+        )
+    )
+    if args.report:
+        write_report(report, args.report)
+    for phase in report["phases"]:
+        p99 = phase["request_p99_s"]
+        p99_text = f"{p99 * 1000:.3f}ms" if p99 is not None else "n/a"
+        print(f"loadgen[{phase['name']}]: {phase['queries']:,} queries in "
+              f"{phase['elapsed_s']:.3f}s = {phase['queries_per_s']:,.0f} q/s, "
+              f"shed {phase['shed']:,}, request p99 {p99_text}",
+              file=sys.stderr)
+    totals = report["totals"]
+    print(f"loadgen: {totals['queries']:,} queries total, "
+          f"{totals['shed']:,} shed, {totals['errors']:,} errors",
+          file=sys.stderr)
+    return 0 if report["ok"] else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -1431,9 +1606,168 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request wall budget; batch items past it are "
              "answered 'overloaded' (default: none)",
     )
+    serve.add_argument(
+        "--ratio-spool", default=None, metavar="DIR",
+        help="spool index rebuilds through mmap ratio snapshots in DIR "
+             "(read-only page-shared rebuilds; generations double as "
+             "serve-scale worker handoff points)",
+    )
     _add_telemetry_options(serve)
     _add_common(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    serve_scale = subparsers.add_parser(
+        "serve-scale",
+        help="run the horizontal serving plane (front + N workers)",
+        description="An asyncio front fans line-delimited JSON queries "
+                    "out to worker processes serving immutable LPM "
+                    "indexes built from shared mmap ratio snapshots; a "
+                    "builder process ingests events and publishes new "
+                    "snapshot generations without blocking readers.",
+    )
+    serve_scale.add_argument(
+        "--snapshot-dir", required=True, metavar="DIR",
+        help="snapshot generation catalog (created if missing)",
+    )
+    serve_scale.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="serve over a local AF_UNIX socket",
+    )
+    serve_scale.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="TCP bind address for --port (default: 127.0.0.1)",
+    )
+    serve_scale.add_argument(
+        "--port", type=_positive_int, default=None, metavar="N",
+        help="serve over TCP on this port",
+    )
+    serve_scale.add_argument(
+        "--workers", type=_positive_int, default=4, metavar="N",
+        help="query worker processes (default: 4)",
+    )
+    serve_scale.add_argument(
+        "--max-pending", type=_positive_int, default=64, metavar="N",
+        help="admission bound: concurrent query requests beyond N are "
+             "refused with an explicit 'overloaded' response "
+             "(default: 64)",
+    )
+    serve_scale.add_argument(
+        "--deadline", type=_positive_float, default=0.25, metavar="SECONDS",
+        help="per-request wall budget before an 'overloaded' shed "
+             "(default: 0.25)",
+    )
+    serve_scale.add_argument(
+        "--min-api-hits", type=_positive_int, default=1, metavar="N",
+        help="minimum API hits for an indexed subnet (default: 1)",
+    )
+    serve_scale.add_argument(
+        "--publish-every", type=_positive_int, default=1, metavar="N",
+        help="builder publishes a new generation every N window "
+             "advances (default: 1)",
+    )
+    serve_scale.add_argument(
+        "--startup-timeout", type=_positive_float, default=120.0,
+        metavar="SECONDS",
+        help="wait this long for the first snapshot generation and "
+             "worker sockets (default: 120)",
+    )
+    serve_scale.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="beacon hit JSONL for the builder process",
+    )
+    serve_scale.add_argument(
+        "--follow", action="store_true",
+        help="tail --events FILE as it grows",
+    )
+    serve_scale.add_argument(
+        "--generate", action="store_true",
+        help="builder ingests synthetic hit events from the world",
+    )
+    serve_scale.add_argument(
+        "--scale", type=float, default=0.005,
+        help="world scale factor for --generate (default: 0.005)",
+    )
+    serve_scale.add_argument(
+        "--seed", type=int, default=0, help="world seed for --generate"
+    )
+    serve_scale.add_argument(
+        "--hit-volume", type=_positive_int, default=100_000, metavar="N",
+        help="demand-proportional hit budget for --generate "
+             "(default: 100000)",
+    )
+    serve_scale.add_argument(
+        "--base-hits", type=float, default=5.0, metavar="F",
+        help="per-subnet base hit rate for --generate (default: 5.0)",
+    )
+    serve_scale.add_argument(
+        "--window-events", type=_positive_int, default=10_000, metavar="N",
+        help="events per tumbling window (default: 10000)",
+    )
+    serve_scale.add_argument(
+        "--on-error", choices=["strict", "skip"], default="strict",
+        help="malformed event lines: raise (strict) or drop (skip)",
+    )
+    _add_telemetry_options(serve_scale)
+    serve_scale.set_defaults(func=_cmd_serve_scale)
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="replay heavy-tailed query traffic against a serving plane",
+        description="Samples queries from the latest snapshot generation "
+                    "weighted by demand hits (heavy-tailed, like CGN "
+                    "client concentration) and drives them through "
+                    "warmup / throughput / overload phases.",
+    )
+    loadgen.add_argument(
+        "--snapshot-dir", required=True, metavar="DIR",
+        help="snapshot catalog to sample query traffic from",
+    )
+    loadgen.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="connect to an AF_UNIX serving plane socket",
+    )
+    loadgen.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="TCP host (default: 127.0.0.1)",
+    )
+    loadgen.add_argument(
+        "--port", type=_positive_int, default=None, metavar="N",
+        help="TCP port of the serving plane",
+    )
+    loadgen.add_argument(
+        "--queries", type=_positive_int, default=10_000, metavar="N",
+        help="queries in the throughput phase (default: 10000)",
+    )
+    loadgen.add_argument(
+        "--seed", type=int, default=1, help="sampling seed (default: 1)"
+    )
+    loadgen.add_argument(
+        "--concurrency", type=_positive_int, default=8, metavar="N",
+        help="concurrent client connections (default: 8)",
+    )
+    loadgen.add_argument(
+        "--batch", type=_positive_int, default=32, metavar="N",
+        help="queries per request line (default: 32)",
+    )
+    loadgen.add_argument(
+        "--warmup", type=_nonnegative_int, default=256, metavar="N",
+        help="unmeasured warmup queries (default: 256)",
+    )
+    loadgen.add_argument(
+        "--overload", type=_nonnegative_int, default=0, metavar="N",
+        help="single-query overload burst size (0 = skip; provokes "
+             "explicit sheds and the serving-plane-overload alert)",
+    )
+    loadgen.add_argument(
+        "--overload-concurrency", type=_positive_int, default=64,
+        metavar="N",
+        help="connections for the overload burst (default: 64)",
+    )
+    loadgen.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="write the full phase report as JSON",
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     chaos = subparsers.add_parser(
         "chaos",

@@ -265,6 +265,27 @@ def default_rules() -> List[AlertRule]:
             description="shard executor retrying faster than 1 every 2s "
                         "-- workers are crashing or timing out in bulk",
         ),
+        AlertRule(
+            name="serving-plane-overload",
+            kind="counter_rate",
+            metric="scale_shed_total",
+            op=">",
+            threshold=0.5,
+            for_s=0.0,
+            description="serving plane shedding requests faster than 1 "
+                        "every 2s -- admission bound or deadlines breached",
+        ),
+        AlertRule(
+            name="serving-plane-p99",
+            kind="quantile",
+            metric="scale_request_latency_seconds",
+            q=0.99,
+            op=">",
+            threshold=0.005,
+            for_s=2.0,
+            description="front-end request p99 above 5ms (queue wait + "
+                        "IPC + lookup) -- the plane is saturating",
+        ),
     ]
 
 

@@ -43,15 +43,20 @@ import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-#: Default latency buckets (seconds): 50us .. 1s, then overflow.
+#: Default latency buckets (seconds): 10us .. 1s, then overflow.
 #: Defined once here; ``repro.serve.metrics`` re-exports it.  All
 #: three presets are frozen tuples and validated (sorted, duplicate-
 #: free) by :func:`validate_bounds` at registry time, so a preset
 #: typo -- or a caller-supplied list with repeated edges, which would
 #: silently create a dead bucket -- fails loudly at registration.
+#: The sub-millisecond range (10us / 25us / 50us .. 750us) is fine
+#: enough that a "p99 < 1ms" SLO rule reads a meaningful conservative
+#: quantile instead of collapsing everything into one 1ms bucket --
+#: the serving plane's per-query lookups live in the tens of
+#: microseconds.
 DEFAULT_LATENCY_BUCKETS = (
-    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
-    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+    0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.00075,
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
 )
 
 #: Millisecond-scale buckets for batch pipeline stages (seconds):

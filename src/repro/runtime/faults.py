@@ -72,6 +72,9 @@ KNOWN_SITES = (
     "serve.request",
     "serve.ingest",
     "serve.refresh",
+    "scale.publish",
+    "scale.dispatch",
+    "scale.worker",
 )
 
 

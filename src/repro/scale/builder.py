@@ -1,0 +1,126 @@
+"""Builder process: drain the beacon stream, publish snapshot generations.
+
+The builder is the only process in the serving plane that mutates
+state.  It owns a :class:`~repro.stream.engine.StreamEngine`, folds
+beacon events in, and every ``publish_every_windows`` window advances
+freezes the current ratio table into a new
+:class:`~repro.scale.snapshot.SnapshotCatalog` generation (plus one
+final generation when the source drains, so short streams still
+publish).  Workers pick the new generation up on their next poll --
+copy-on-rebuild: queries are never blocked by ingestion.
+
+Only exact window policies (``decay == 1.0``) can be published: mmap
+snapshots store integer counts, and an exact drained stream equals the
+batch aggregate -- which is what makes the plane's answers
+byte-comparable to the single-process service.
+
+The event-source spec is a plain (picklable) dict so the plane can
+pass it across a process boundary::
+
+    {"kind": "jsonl", "path": ..., "follow": bool, "on_error": "skip"}
+    {"kind": "generate", "scale": 0.01, "seed": 1,
+     "hit_volume": 200000, "base_hits": 40}
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.scale.snapshot import SnapshotCatalog
+
+#: Spec keys understood by :func:`event_source`.
+SOURCE_KINDS = ("jsonl", "generate")
+
+
+def event_source(spec: Dict) -> Iterator:
+    """Materialize a beacon-event iterator from a picklable spec."""
+    from repro.runtime.policies import IngestPolicy
+    from repro.stream.sources import follow_jsonl, generated_events, jsonl_events
+
+    kind = spec.get("kind")
+    if kind == "jsonl":
+        policy = (
+            IngestPolicy.skip()
+            if spec.get("on_error") == "skip"
+            else IngestPolicy.strict()
+        )
+        if spec.get("follow"):
+            return follow_jsonl(
+                spec["path"],
+                policy=policy,
+                idle_polls=spec.get("idle_polls", 20),
+            )
+        # The handle lives as long as the generator: the builder
+        # process exits when the source drains.
+        handle = open(spec["path"])  # noqa: SIM115 -- generator-scoped
+        return jsonl_events(handle, policy=policy)
+    if kind == "generate":
+        from repro.cdn.beacon import BeaconConfig
+        from repro.lab import Lab
+
+        lab = Lab.create(
+            scale=spec.get("scale", 0.01), seed=spec.get("seed", 1)
+        )
+        return generated_events(
+            lab.world,
+            BeaconConfig(
+                demand_hits=spec.get("hit_volume", 200_000),
+                base_hits=spec.get("base_hits", 40),
+            ),
+        )
+    raise ValueError(f"unknown event source kind {kind!r}")
+
+
+def builder_main(
+    catalog_dir: str,
+    source_spec: Dict,
+    window_events: int = 10_000,
+    publish_every_windows: int = 1,
+    min_api_hits: int = 1,
+    keep_generations: int = 2,
+    max_events: Optional[int] = None,
+) -> None:
+    """Process entry point: ingest, publish, prune, exit on drain."""
+    from repro.runtime.faults import mark_worker_process
+    from repro.stream.engine import StreamEngine
+    from repro.stream.windows import WindowPolicy
+
+    mark_worker_process()
+    policy = WindowPolicy(window_events=window_events, decay=1.0)
+    engine = StreamEngine(policy=policy)
+    catalog = SnapshotCatalog(catalog_dir)
+
+    published_at_window = -1
+
+    def publish() -> None:
+        nonlocal published_at_window
+        catalog.publish(
+            engine.ratio_table(min_api_hits),
+            meta={
+                "events": engine.events_consumed,
+                "windows": engine.windows_advanced,
+                "month": engine.month,
+            },
+        )
+        published_at_window = engine.windows_advanced
+        catalog.prune(keep=keep_generations)
+
+    events = event_source(source_spec)
+    for hit in events:
+        engine.ingest(hit)
+        if (
+            engine.windows_advanced - max(published_at_window, 0)
+            >= publish_every_windows
+            and engine.windows_advanced != published_at_window
+        ):
+            publish()
+        if max_events is not None and engine.events_consumed >= max_events:
+            break
+    # Final generation: whatever is still in the open window counts
+    # too (exact policy: drained stream == batch aggregate).
+    if engine.events_consumed and (
+        published_at_window != engine.windows_advanced
+        or engine.state.window_fill
+        or published_at_window < 0
+    ):
+        publish()

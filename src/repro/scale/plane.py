@@ -1,0 +1,763 @@
+"""The asyncio front: admission, deadlines, fan-out, respawn, drain.
+
+One :class:`ServingPlane` is the public face of the serving tier.  It
+accepts the service's line-delimited JSON protocol over TCP and/or
+``AF_UNIX``, answers control ops (``stats`` / ``health`` / ``alerts``
+/ ``ping`` / ``shutdown``) itself, and fans ``query`` ops out to N
+worker processes over per-worker ``AF_UNIX`` connections -- one
+request in flight per worker, so replies need no id framing.
+
+Hardening (ported up from the single-process serve loop):
+
+- *Admission control*: at most ``max_pending`` query requests are in
+  flight across all connections; beyond that, requests are refused
+  immediately with the explicit ``{"ok": false, "error":
+  "overloaded", "overloaded": true}`` shed the clients already know.
+- *Deadlines*: a request that cannot reach a worker (or get its reply)
+  before ``deadline_s`` is shed the same way instead of queueing
+  without bound.
+- *Worker-death detection*: a worker that EOFs, resets, or exceeds the
+  hard reply cap is retired and respawned; the in-flight request is
+  retried on another worker (bounded retries), so a SIGKILLed worker
+  costs latency, not wrong answers.
+- *Graceful drain*: SIGTERM (or a ``shutdown`` op) stops accepting,
+  answers what was admitted, closes worker connections (workers exit
+  on EOF), and reaps the builder.
+
+Query responses are relayed to the client byte-for-byte as the worker
+serialized them -- the differential suite compares them against
+single-process :class:`~repro.serve.service.CellSpotService` output
+directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import socket
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.classifier import DEFAULT_THRESHOLD
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    global_registry,
+)
+from repro.runtime.faults import fault_point
+from repro.scale.builder import builder_main
+from repro.scale.snapshot import CatalogError, SnapshotCatalog
+from repro.scale.worker import worker_main
+
+_STREAM_LIMIT = 1 << 20  # longest tolerated protocol line (1 MiB)
+
+SHED_RESPONSE = (
+    json.dumps(
+        {"ok": False, "error": "overloaded", "overloaded": True},
+        separators=(",", ":"),
+    )
+    + "\n"
+).encode()
+
+
+def _dumps(payload: Dict) -> bytes:
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+
+
+def plane_metrics(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Register the front's metric set (idempotent)."""
+    registry = registry or global_registry()
+    registry.counter(
+        "scale_requests_total", "requests answered by the front", exist_ok=True
+    )
+    registry.counter(
+        "scale_queries_total", "individual queries fanned to workers",
+        exist_ok=True,
+    )
+    registry.counter(
+        "scale_shed_total",
+        "requests refused with an explicit overloaded response",
+        exist_ok=True,
+    )
+    registry.counter(
+        "scale_worker_deaths_total", "worker processes observed dead",
+        exist_ok=True,
+    )
+    registry.counter(
+        "scale_worker_respawns_total", "worker processes respawned",
+        exist_ok=True,
+    )
+    registry.gauge(
+        "scale_pending_requests", "query requests currently admitted",
+        exist_ok=True,
+    )
+    registry.gauge(
+        "scale_workers_alive", "live worker processes", exist_ok=True
+    )
+    registry.gauge(
+        "scale_generation", "latest published snapshot generation",
+        exist_ok=True,
+    )
+    registry.histogram(
+        "scale_request_latency_seconds",
+        "front request latency (admission to response)",
+        bounds=DEFAULT_LATENCY_BUCKETS,
+        exist_ok=True,
+    )
+    return registry
+
+
+def merge_histogram_dicts(dicts: List[Dict]) -> Dict:
+    """Merge ``Histogram.as_dict`` payloads (same bounds) into one.
+
+    Used to fold per-worker latency histograms into a single
+    distribution for ``stats``; quantiles stay conservative (bucket
+    upper bound), exactly like the live histograms.
+    """
+    bounds: List[float] = []
+    counts: Dict[float, int] = {}
+    overflow = 0
+    count = 0
+    total = 0.0
+    for payload in dicts:
+        if not payload:
+            continue
+        for key, value in payload.get("buckets", {}).items():
+            bound = float(key)
+            if bound not in counts:
+                counts[bound] = 0
+                bounds.append(bound)
+            counts[bound] += int(value)
+        overflow += int(payload.get("overflow", 0))
+        count += int(payload.get("count", 0))
+        total += float(payload.get("sum", 0.0))
+    bounds.sort()
+    ordered = [counts[bound] for bound in bounds] + [overflow]
+
+    def quantile(q: float) -> Optional[float]:
+        if count == 0:
+            return None
+        rank = q * count
+        cumulative = 0
+        for index, bucket in enumerate(ordered):
+            cumulative += bucket
+            if cumulative >= rank:
+                if index < len(bounds):
+                    return bounds[index]
+                return float("inf")
+        return float("inf")
+
+    return {
+        "type": "histogram",
+        "count": count,
+        "sum": total,
+        "mean": total / count if count else 0.0,
+        "buckets": {str(bound): counts[bound] for bound in bounds},
+        "overflow": overflow,
+        "p50": quantile(0.5),
+        "p99": quantile(0.99),
+    }
+
+
+@dataclass
+class PlaneConfig:
+    """Front-end knobs (validated on construction)."""
+
+    workers: int = 4
+    #: Query requests admitted across all connections; beyond this,
+    #: explicit ``overloaded`` refusals.
+    max_pending: int = 64
+    #: Seconds a request may wait (queue + worker) before being shed.
+    deadline_s: Optional[float] = 0.25
+    threshold: float = DEFAULT_THRESHOLD
+    min_api_hits: int = 1
+    #: Worker-side catalog poll cadence while idle.
+    worker_poll_interval_s: float = 0.05
+    #: Worker-side catalog poll cadence while busy (every N requests).
+    worker_refresh_every: int = 256
+    #: How long to wait for the first snapshot generation / a worker
+    #: socket at startup.
+    startup_timeout_s: float = 120.0
+    #: Hard cap on one worker reply; beyond it the worker is presumed
+    #: hung and is killed + respawned.
+    worker_reply_cap_s: float = 10.0
+    #: Times a query is retried on another worker after a death.
+    dispatch_retries: int = 2
+    drain_timeout_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        if self.startup_timeout_s <= 0:
+            raise ValueError("startup_timeout_s must be positive")
+        if self.worker_reply_cap_s <= 0:
+            raise ValueError("worker_reply_cap_s must be positive")
+        if self.dispatch_retries < 0:
+            raise ValueError("dispatch_retries must be >= 0")
+
+
+class WorkerHandle:
+    """One worker process plus its exclusive front connection."""
+
+    def __init__(
+        self,
+        slot: int,
+        process,
+        socket_path: str,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.slot = slot
+        self.process = process
+        self.socket_path = socket_path
+        self.reader = reader
+        self.writer = writer
+        self.alive = True
+        self._lock = asyncio.Lock()
+
+    async def request(self, line: bytes) -> bytes:
+        """One request/response roundtrip (serialized per worker)."""
+        async with self._lock:
+            self.writer.write(line)
+            await self.writer.drain()
+            reply = await self.reader.readline()
+        if not reply:
+            raise ConnectionResetError("worker closed the connection")
+        return reply
+
+    def close_connection(self) -> None:
+        try:
+            self.writer.close()
+        except Exception:  # noqa: BLE001 -- teardown best effort
+            pass
+
+
+class ServingPlane:
+    """Front-end server + worker/builder process supervisor."""
+
+    def __init__(
+        self,
+        catalog_dir: Union[str, Path],
+        config: Optional[PlaneConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        alert_engine=None,
+        source_spec: Optional[Dict] = None,
+        builder_options: Optional[Dict] = None,
+    ) -> None:
+        self.catalog = SnapshotCatalog(catalog_dir)
+        self.config = config or PlaneConfig()
+        self.metrics = plane_metrics(registry)
+        self.alert_engine = alert_engine
+        self.source_spec = source_spec
+        self.builder_options = dict(builder_options or {})
+        # Spawned (not forked) children: workers must not inherit the
+        # front's event loop, server sockets, or signal handlers.
+        self._ctx = multiprocessing.get_context("spawn")
+        self.builder_process = None
+        self._workers: List[WorkerHandle] = []
+        self._idle: "asyncio.Queue[WorkerHandle]" = asyncio.Queue()
+        self._pending = 0
+        self._dispatched = 0
+        self._requests_handled = 0
+        self._shutdown = asyncio.Event()
+        self._draining = False
+        self._reaper_task: Optional[asyncio.Task] = None
+        self._servers: List[asyncio.AbstractServer] = []
+        self._started_at = time.monotonic()
+
+    # ---- lifecycle -------------------------------------------------------
+
+    def pid_file(self) -> Path:
+        """Worker pids, rewritten on every (re)spawn (kill drills)."""
+        return self.catalog.root / "workers.pids"
+
+    def _write_pids(self) -> None:
+        pids = [
+            str(handle.process.pid)
+            for handle in self._workers
+            if handle.alive and handle.process.pid
+        ]
+        self.pid_file().write_text("\n".join(pids) + "\n")
+
+    async def start(self) -> None:
+        """Spawn builder + workers and wait until queries can be served."""
+        if self.source_spec is not None:
+            self.builder_process = self._ctx.Process(
+                target=builder_main,
+                args=(str(self.catalog.root), self.source_spec),
+                kwargs={
+                    "min_api_hits": self.config.min_api_hits,
+                    **self.builder_options,
+                },
+                daemon=True,
+            )
+            self.builder_process.start()
+        await self._wait_for_generation()
+        for slot in range(self.config.workers):
+            handle = await self._spawn_worker(slot)
+            self._workers.append(handle)
+            self._idle.put_nowait(handle)
+        self._write_pids()
+        self.metrics.get("scale_workers_alive").set(float(self._alive_count()))
+        self._reaper_task = asyncio.create_task(self._reap_loop())
+
+    async def _wait_for_generation(self) -> None:
+        deadline = time.monotonic() + self.config.startup_timeout_s
+        while True:
+            try:
+                info = self.catalog.latest()
+            except CatalogError:
+                info = None
+            if info is not None:
+                self.metrics.get("scale_generation").set(float(info.number))
+                return
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"no snapshot generation appeared in {self.catalog.root} "
+                    f"within {self.config.startup_timeout_s:g}s"
+                )
+            await asyncio.sleep(0.05)
+
+    async def _spawn_worker(self, slot: int) -> WorkerHandle:
+        path = str(
+            self.catalog.root / f"worker-{slot}-{uuid.uuid4().hex[:8]}.sock"
+        )
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                path,
+                str(self.catalog.root),
+                self.config.threshold,
+                self.config.min_api_hits,
+            ),
+            kwargs={
+                "poll_interval_s": self.config.worker_poll_interval_s,
+                "refresh_every": self.config.worker_refresh_every,
+                "startup_timeout_s": self.config.startup_timeout_s,
+            },
+            daemon=True,
+        )
+        process.start()
+        deadline = time.monotonic() + self.config.startup_timeout_s
+        while True:
+            try:
+                reader, writer = await asyncio.open_unix_connection(
+                    path, limit=_STREAM_LIMIT
+                )
+                break
+            except (FileNotFoundError, ConnectionRefusedError, OSError):
+                if not process.is_alive():
+                    raise RuntimeError(
+                        f"worker {slot} died during startup "
+                        f"(exit {process.exitcode})"
+                    )
+                if time.monotonic() >= deadline:
+                    process.terminate()
+                    raise TimeoutError(
+                        f"worker {slot} socket {path} never came up"
+                    )
+                await asyncio.sleep(0.02)
+        return WorkerHandle(slot, process, path, reader, writer)
+
+    def _alive_count(self) -> int:
+        return sum(1 for handle in self._workers if handle.alive)
+
+    async def _retire(self, handle: WorkerHandle, respawn: bool = True) -> None:
+        """Mark a worker dead, kill its process, optionally respawn."""
+        if not handle.alive:
+            return
+        handle.alive = False
+        self.metrics.get("scale_worker_deaths_total").inc()
+        handle.close_connection()
+        if handle.process.is_alive():
+            handle.process.terminate()
+        self.metrics.get("scale_workers_alive").set(float(self._alive_count()))
+        if respawn and not self._draining:
+            replacement = await self._spawn_worker(handle.slot)
+            self._workers[
+                self._workers.index(handle)
+            ] = replacement
+            self._idle.put_nowait(replacement)
+            self.metrics.get("scale_worker_respawns_total").inc()
+            self.metrics.get("scale_workers_alive").set(
+                float(self._alive_count())
+            )
+            self._write_pids()
+
+    async def _reap_loop(self) -> None:
+        """Detect silently dead workers (e.g. SIGKILL) and respawn."""
+        while not self._shutdown.is_set():
+            await asyncio.sleep(0.2)
+            try:
+                info = self.catalog.latest(missing_ok=True)
+                if info is not None:
+                    self.metrics.get("scale_generation").set(
+                        float(info.number)
+                    )
+            except CatalogError:
+                pass
+            for handle in list(self._workers):
+                if handle.alive and not handle.process.is_alive():
+                    try:
+                        await self._retire(handle)
+                    except (RuntimeError, TimeoutError):
+                        pass  # respawn failed; the next tick retries nothing
+                        # -- the slot stays dead and stats show it.
+
+    # ---- dispatch --------------------------------------------------------
+
+    async def _dispatch(
+        self, line: bytes, deadline: Optional[float]
+    ) -> bytes:
+        """Send one query line to a worker; retry across deaths."""
+        attempts = 0
+        while True:
+            remaining: Optional[float] = None
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    self.metrics.get("scale_shed_total").inc()
+                    return SHED_RESPONSE
+            try:
+                if remaining is None:
+                    handle = await self._idle.get()
+                else:
+                    handle = await asyncio.wait_for(
+                        self._idle.get(), remaining
+                    )
+            except asyncio.TimeoutError:
+                self.metrics.get("scale_shed_total").inc()
+                return SHED_RESPONSE
+            if not handle.alive:
+                continue  # stale idle-queue entry from a retirement
+            self._dispatched += 1
+            fault_point("scale.dispatch", index=self._dispatched)
+            cap = self.config.worker_reply_cap_s
+            budget = cap if remaining is None else min(remaining, cap)
+            task = asyncio.ensure_future(handle.request(line))
+            try:
+                reply = await asyncio.wait_for(asyncio.shield(task), budget)
+            except asyncio.TimeoutError:
+                if budget >= cap:
+                    # Hung worker: kill it and retry elsewhere.
+                    task.cancel()
+                    await self._retire(handle)
+                    if attempts < self.config.dispatch_retries:
+                        attempts += 1
+                        continue
+                    return _dumps(
+                        {"ok": False, "error": "worker timeout"}
+                    )
+                # Deadline shed: the worker is merely busy; reclaim it
+                # once its reply lands.
+                asyncio.ensure_future(self._reclaim(handle, task))
+                self.metrics.get("scale_shed_total").inc()
+                return SHED_RESPONSE
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                await self._retire(handle)
+                if attempts < self.config.dispatch_retries:
+                    attempts += 1
+                    continue
+                return _dumps({"ok": False, "error": "worker failed"})
+            else:
+                self._idle.put_nowait(handle)
+                return reply
+
+    async def _reclaim(self, handle: WorkerHandle, task: asyncio.Future) -> None:
+        """Re-idle a worker whose reply outlived its request's deadline."""
+        try:
+            await asyncio.wait_for(task, self.config.worker_reply_cap_s)
+        except (
+            asyncio.TimeoutError,
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            OSError,
+        ):
+            await self._retire(handle)
+        else:
+            if handle.alive:
+                self._idle.put_nowait(handle)
+
+    # ---- request handling ------------------------------------------------
+
+    async def handle_line(self, line: bytes) -> bytes:
+        """Answer one protocol line (front op or worker fan-out)."""
+        self._requests_handled += 1
+        try:
+            request = json.loads(line)
+        except ValueError as exc:
+            return _dumps({"ok": False, "error": f"bad JSON: {exc}"})
+        if not isinstance(request, dict):
+            return _dumps(
+                {"ok": False, "error": "request must be a JSON object"}
+            )
+        op = request.get("op")
+        if op == "query":
+            return await self._handle_query(line, request)
+        if op == "stats":
+            return _dumps(await self.stats())
+        if op == "health":
+            return _dumps(await self.health())
+        if op == "alerts":
+            return _dumps(self.alerts())
+        if op == "ping":
+            return _dumps(
+                {"ok": True, "pong": True, "workers": self._alive_count()}
+            )
+        if op == "shutdown":
+            self.request_shutdown()
+            return _dumps({"ok": True, "shutdown": True})
+        return _dumps({"ok": False, "error": f"unknown op {op!r}"})
+
+    async def _handle_query(self, line: bytes, request: Dict) -> bytes:
+        if self._draining:
+            return SHED_RESPONSE
+        if self._pending >= self.config.max_pending:
+            self.metrics.get("scale_shed_total").inc()
+            return SHED_RESPONSE
+        self._pending += 1
+        self.metrics.get("scale_pending_requests").set(float(self._pending))
+        started = time.perf_counter()
+        deadline = (
+            started + self.config.deadline_s
+            if self.config.deadline_s is not None
+            else None
+        )
+        try:
+            reply = await self._dispatch(line, deadline)
+        finally:
+            self._pending -= 1
+            self.metrics.get("scale_pending_requests").set(
+                float(self._pending)
+            )
+        elapsed = time.perf_counter() - started
+        self.metrics.get("scale_request_latency_seconds").observe(elapsed)
+        self.metrics.get("scale_requests_total").inc()
+        queries = request.get("qs")
+        self.metrics.get("scale_queries_total").inc(
+            len(queries) if isinstance(queries, list) else 1
+        )
+        return reply
+
+    async def _worker_stats(self) -> List[Dict]:
+        """One ``stats`` roundtrip per live worker (best effort)."""
+        stats_line = _dumps({"op": "stats"})
+        payloads: List[Dict] = []
+        for handle in list(self._workers):
+            if not handle.alive:
+                continue
+            try:
+                reply = await asyncio.wait_for(
+                    handle.request(stats_line), 2.0
+                )
+                payload = json.loads(reply)
+            except (
+                asyncio.TimeoutError,
+                ConnectionError,
+                asyncio.IncompleteReadError,
+                OSError,
+                ValueError,
+            ):
+                continue
+            if payload.get("ok"):
+                payloads.append(payload)
+        return payloads
+
+    def _plane_summary(self) -> Dict:
+        metrics = self.metrics
+        return {
+            "workers": self._alive_count(),
+            "configured_workers": self.config.workers,
+            "generation": int(metrics.get("scale_generation").value),
+            "pending": self._pending,
+            "max_pending": self.config.max_pending,
+            "deadline_s": self.config.deadline_s,
+            "requests": metrics.get("scale_requests_total").value,
+            "queries": metrics.get("scale_queries_total").value,
+            "shed": metrics.get("scale_shed_total").value,
+            "worker_deaths": metrics.get("scale_worker_deaths_total").value,
+            "worker_respawns": metrics.get(
+                "scale_worker_respawns_total"
+            ).value,
+            "draining": self._draining,
+        }
+
+    async def stats(self) -> Dict:
+        worker_payloads = await self._worker_stats()
+        merged = merge_histogram_dicts(
+            [
+                payload.get("metrics", {}).get(
+                    "scale_worker_query_latency_seconds", {}
+                )
+                for payload in worker_payloads
+            ]
+        )
+        return {
+            "ok": True,
+            "plane": self._plane_summary(),
+            "workers": [payload.get("worker", {}) for payload in worker_payloads],
+            "query_latency": merged,
+            "metrics": self.metrics.as_dict(),
+        }
+
+    async def health(self) -> Dict:
+        latency = self.metrics.get("scale_request_latency_seconds")
+        payload = {
+            "ok": True,
+            "ts": time.time(),
+            "plane": self._plane_summary(),
+            "rates": {
+                "requests_per_s": self.metrics.rate("scale_requests_total"),
+                "queries_per_s": self.metrics.rate("scale_queries_total"),
+                "request_p99_s": latency.quantile(0.99),
+            },
+            "alerts": (
+                self.alert_engine.snapshot()
+                if self.alert_engine is not None
+                else []
+            ),
+        }
+        if self.alert_engine is not None:
+            payload["alert_counts"] = self.alert_engine.counts()
+        return payload
+
+    def alerts(self) -> Dict:
+        if self.alert_engine is None:
+            return {"ok": True, "rules": [], "events": [],
+                    "note": "no alert engine configured"}
+        return {
+            "ok": True,
+            "rules": self.alert_engine.snapshot(),
+            "events": self.alert_engine.events[-100:],
+            "trace_id": self.alert_engine.trace_id,
+        }
+
+    # ---- serving ---------------------------------------------------------
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain (signal-handler safe inside the loop)."""
+        self._draining = True
+        self._shutdown.set()
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self.handle_line(line)
+                writer.write(response)
+                await writer.drain()
+                if self._draining:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request
+        finally:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 -- teardown best effort
+                pass
+
+    @staticmethod
+    def _clear_stale_socket(path: Path) -> None:
+        """Remove a dead server's socket file; refuse a live one."""
+        if not path.exists():
+            return
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        probe.settimeout(0.2)
+        try:
+            probe.connect(str(path))
+        except (ConnectionRefusedError, FileNotFoundError, socket.timeout):
+            path.unlink(missing_ok=True)
+        else:
+            raise OSError(f"socket {path} is in use by a live server")
+        finally:
+            probe.close()
+
+    async def serve(
+        self,
+        socket_path: Optional[Union[str, Path]] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        ready_callback=None,
+    ) -> int:
+        """Run until SIGTERM / ``shutdown``; returns requests handled."""
+        if socket_path is None and port is None:
+            raise ValueError("serve needs a socket path and/or a TCP port")
+        await self.start()
+        if socket_path is not None:
+            socket_path = Path(socket_path)
+            self._clear_stale_socket(socket_path)
+            self._servers.append(
+                await asyncio.start_unix_server(
+                    self._handle_client,
+                    path=str(socket_path),
+                    limit=_STREAM_LIMIT,
+                )
+            )
+        if port is not None:
+            self._servers.append(
+                await asyncio.start_server(
+                    self._handle_client,
+                    host or "127.0.0.1",
+                    port,
+                    limit=_STREAM_LIMIT,
+                )
+            )
+        if ready_callback is not None:
+            ready_callback(self)
+        try:
+            await self._shutdown.wait()
+        finally:
+            await self._drain()
+            if socket_path is not None:
+                Path(socket_path).unlink(missing_ok=True)
+        return self._requests_handled
+
+    async def _drain(self) -> None:
+        """Stop intake, finish admitted work, stop children."""
+        self._draining = True
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            try:
+                await server.wait_closed()
+            except Exception:  # noqa: BLE001 -- teardown best effort
+                pass
+        self._servers = []
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        while self._pending > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        if self._reaper_task is not None:
+            self._reaper_task.cancel()
+            try:
+                await self._reaper_task
+            except asyncio.CancelledError:
+                pass
+        for handle in self._workers:
+            if handle.alive:
+                handle.alive = False
+                handle.close_connection()  # EOF: workers exit cleanly
+        for handle in self._workers:
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+        if self.builder_process is not None:
+            if self.builder_process.is_alive():
+                self.builder_process.terminate()
+            self.builder_process.join(timeout=2.0)
+        self.metrics.get("scale_workers_alive").set(0.0)

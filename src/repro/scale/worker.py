@@ -1,0 +1,236 @@
+"""Worker process: immutable-index query serving over one socket.
+
+Each worker owns nothing but an :class:`~repro.scale.snapshot.IndexHolder`
+and a single ``AF_UNIX`` connection to the front.  The protocol is the
+front's own line-delimited JSON, one request in flight at a time (the
+front dispatches at most one request per worker connection), so no
+request-id framing is needed: every request line is answered by
+exactly one response line, in order.
+
+Between requests -- and whenever the connection is idle past the poll
+interval -- the worker polls the snapshot catalog and swaps to a newly
+published generation.  The swap is the :class:`IndexHolder` build-then-
+assign dance, so queries racing a swap are answered from the old index
+or the new one, never a partial build.
+
+The worker exits when the front closes the connection (graceful drain)
+or disappears (EOF): workers never outlive their plane.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from typing import Dict, Optional
+
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from repro.runtime.faults import fault_point, mark_worker_process
+from repro.scale.snapshot import IndexHolder, SnapshotCatalog
+
+#: How long a freshly spawned worker waits for the front to connect.
+ACCEPT_TIMEOUT_S = 30.0
+
+
+def _dumps(payload: Dict) -> bytes:
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+
+
+def worker_metrics(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """The worker-local metric set (merged by the front on ``stats``)."""
+    registry = registry or MetricsRegistry()
+    registry.counter(
+        "scale_worker_requests_total",
+        "requests answered by this worker",
+        exist_ok=True,
+    )
+    registry.counter(
+        "scale_worker_queries_total",
+        "individual queries answered by this worker",
+        exist_ok=True,
+    )
+    registry.counter(
+        "scale_worker_swaps_total",
+        "generation swaps performed by this worker",
+        exist_ok=True,
+    )
+    registry.gauge(
+        "scale_worker_generation",
+        "snapshot generation this worker serves",
+        exist_ok=True,
+    )
+    registry.histogram(
+        "scale_worker_query_latency_seconds",
+        "per-query index lookup latency",
+        bounds=DEFAULT_LATENCY_BUCKETS,
+        exist_ok=True,
+    )
+    return registry
+
+
+class QueryWorker:
+    """The request handler behind :func:`worker_main` (testable inline)."""
+
+    def __init__(
+        self,
+        catalog: SnapshotCatalog,
+        threshold: float,
+        min_api_hits: int,
+        refresh_every: int = 512,
+    ) -> None:
+        self.holder = IndexHolder(
+            catalog, threshold=threshold, min_api_hits=min_api_hits
+        )
+        self.refresh_every = max(1, refresh_every)
+        self.metrics = worker_metrics()
+        self.requests = 0
+
+    def maybe_refresh(self, force: bool = False) -> bool:
+        if not force and self.requests % self.refresh_every:
+            return False
+        swapped = self.holder.poll()
+        if swapped:
+            self.metrics.get("scale_worker_swaps_total").inc()
+            self.metrics.get("scale_worker_generation").set(
+                float(self.holder.generation)
+            )
+        return swapped
+
+    def handle_request(self, request: Dict) -> Dict:
+        """Answer one decoded request; never raises."""
+        try:
+            fault_point("scale.worker", index=self.requests)
+            self.requests += 1
+            self.metrics.get("scale_worker_requests_total").inc()
+            self.maybe_refresh()
+            op = request.get("op")
+            if op == "query":
+                return self._handle_query(request)
+            if op == "stats":
+                return self.stats()
+            if op == "ping":
+                return {"ok": True, "pong": True, "pid": os.getpid()}
+            if op == "refresh":
+                self.maybe_refresh(force=True)
+                return {"ok": True, "generation": self.holder.generation}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except Exception as exc:  # noqa: BLE001 -- the loop must survive
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    def _handle_query(self, request: Dict) -> Dict:
+        queries = request.get("qs")
+        single = request.get("q")
+        if queries is None and single is None:
+            return {"ok": False, "error": "query op needs 'q' or 'qs'"}
+        if queries is not None and not isinstance(queries, list):
+            return {"ok": False, "error": "'qs' must be a list"}
+        active = self.holder.current()
+        if active is None:
+            self.maybe_refresh(force=True)
+            active = self.holder.current()
+        if active is None:
+            return {
+                "ok": False,
+                "error": "no snapshot generation published yet",
+            }
+        _info, _table, index = active
+        latency = self.metrics.get("scale_worker_query_latency_seconds")
+        counter = self.metrics.get("scale_worker_queries_total")
+
+        def answer(text) -> Dict:
+            started = time.perf_counter()
+            result = index.query(str(text))
+            latency.observe(time.perf_counter() - started)
+            counter.inc()
+            return result.to_dict()
+
+        if queries is not None:
+            return {"ok": True, "results": [answer(item) for item in queries]}
+        return {"ok": True, "result": answer(single)}
+
+    def stats(self) -> Dict:
+        active = self.holder.current()
+        return {
+            "ok": True,
+            "worker": {
+                "pid": os.getpid(),
+                "generation": self.holder.generation,
+                "index_entries": len(active[2]) if active is not None else 0,
+                "requests": self.requests,
+                "queries": self.metrics.get(
+                    "scale_worker_queries_total"
+                ).value,
+            },
+            "metrics": self.metrics.as_dict(),
+        }
+
+    def handle_line(self, line: bytes) -> bytes:
+        try:
+            request = json.loads(line)
+        except ValueError as exc:
+            return _dumps({"ok": False, "error": f"bad JSON: {exc}"})
+        if not isinstance(request, dict):
+            return _dumps({"ok": False, "error": "request must be a JSON object"})
+        return _dumps(self.handle_request(request))
+
+
+def worker_main(
+    socket_path: str,
+    catalog_dir: str,
+    threshold: float,
+    min_api_hits: int,
+    poll_interval_s: float = 0.05,
+    refresh_every: int = 512,
+    startup_timeout_s: float = 60.0,
+) -> None:
+    """Process entry point: serve one front connection until EOF."""
+    mark_worker_process()
+    catalog = SnapshotCatalog(catalog_dir)
+    worker = QueryWorker(
+        catalog,
+        threshold=threshold,
+        min_api_hits=min_api_hits,
+        refresh_every=refresh_every,
+    )
+    # Map the first generation before accepting traffic so the very
+    # first query is already answered from a complete index.
+    try:
+        catalog.wait_for_generation(timeout_s=startup_timeout_s)
+        worker.maybe_refresh(force=True)
+    except TimeoutError:
+        pass  # serve "no generation" errors rather than dying silently
+
+    listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        listener.bind(socket_path)
+        listener.listen(1)
+        listener.settimeout(ACCEPT_TIMEOUT_S)
+        try:
+            connection, _addr = listener.accept()
+        except socket.timeout:
+            return  # front never came; exit quietly
+        with connection:
+            connection.settimeout(poll_interval_s)
+            buffer = b""
+            while True:
+                newline = buffer.find(b"\n")
+                if newline >= 0:
+                    line, buffer = buffer[:newline], buffer[newline + 1:]
+                    if line.strip():
+                        connection.sendall(worker.handle_line(line))
+                    continue
+                try:
+                    chunk = connection.recv(65536)
+                except socket.timeout:
+                    worker.maybe_refresh(force=True)
+                    continue
+                if not chunk:
+                    return  # front closed: drain complete
+                buffer += chunk
+    finally:
+        listener.close()
+        try:
+            os.unlink(socket_path)
+        except OSError:
+            pass

@@ -183,6 +183,7 @@ class CellSpotService:
         metrics: Optional[MetricsRegistry] = None,
         alert_engine=None,
         drift_monitor=None,
+        ratio_spool_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         self.engine = engine
         self.demand = demand
@@ -201,6 +202,18 @@ class CellSpotService:
         self.drift_monitor = drift_monitor
         if drift_monitor is not None:
             engine.attach_monitor(drift_monitor)
+        #: When set, index rebuilds spool the ratio table through an
+        #: mmap snapshot (:mod:`repro.scale.snapshot`) and build from
+        #: the read-only mapping: the rebuild's working set is shared
+        #: pages instead of a second in-heap record copy, and each
+        #: published generation doubles as a handoff point for the
+        #: horizontal serving plane's workers.
+        self._ratio_spool = None
+        self._spool_table = None
+        if ratio_spool_dir is not None:
+            from repro.scale.snapshot import SnapshotCatalog
+
+            self._ratio_spool = SnapshotCatalog(ratio_spool_dir)
         self._index: Optional[ClassificationIndex] = None
         self._index_events = -1  # events_consumed at last build
         self._windows_at_build = -1
@@ -340,6 +353,48 @@ class CellSpotService:
             self.metrics.get("degraded_mode").set(0.0)
             log_event(_LOG, logging.INFO, "serve.recovered")
 
+    def _rebuild_table(self):
+        """The ratio table a rebuild compiles, spooled through mmap
+        when a spool directory is configured.
+
+        The spool publishes the table as the next snapshot generation
+        (write-then-rename, see
+        :class:`repro.scale.snapshot.SnapshotCatalog`) and maps it
+        back read-only, so the build iterates shared pages instead of
+        a second heap copy -- and external consumers (the serving
+        plane's workers, ``cellspot loadgen``) can map the very same
+        generation.  Decayed window policies hold fractional counts
+        that the int64 snapshot format refuses, so only exact
+        (``decay == 1.0``) engines spool; others fall back to the
+        in-heap table.  Spool failures propagate into the caller's
+        circuit-breaker path like any other rebuild failure.
+        """
+        table = self.engine.ratio_table(self.config.min_api_hits)
+        if self._ratio_spool is None or not self.engine.policy.is_exact:
+            return table
+        from repro.columnar.mmaptable import open_mmap
+
+        info = self._ratio_spool.publish(
+            table,
+            meta={
+                "events": self.engine.events_consumed,
+                "windows": self.engine.windows_advanced,
+                "month": self.engine.month,
+            },
+        )
+        mapped = open_mmap(info.table_path)
+        # Index entries copy record fields out of the mapping, so the
+        # superseded generation's pages are safe to release now.
+        if self._spool_table is not None:
+            self._spool_table.close()
+        self._spool_table = mapped
+        self._ratio_spool.prune(keep=2)
+        log_event(
+            _LOG, logging.INFO, "index.spooled",
+            generation=info.number, path=str(info.table_path),
+        )
+        return mapped
+
     def index(self, force: bool = False) -> ClassificationIndex:
         """The current LPM index, rebuilt if stale (or ``force``).
 
@@ -362,7 +417,7 @@ class CellSpotService:
         try:
             fault_point("serve.refresh")
             built = ClassificationIndex.build(
-                self.engine.ratio_table(self.config.min_api_hits),
+                self._rebuild_table(),
                 demand=self.demand,
                 threshold=self.config.threshold,
                 min_api_hits=self.config.min_api_hits,

@@ -112,6 +112,17 @@ class TestBucketPresets:
 
         assert serve_metrics.DEFAULT_LATENCY_BUCKETS is DEFAULT_LATENCY_BUCKETS
 
+    def test_default_latency_buckets_resolve_sub_millisecond(self):
+        # The serving plane's p99 < 1ms SLO needs resolution *below*
+        # the SLO bound: 10us floor, 750us as the last sub-ms edge,
+        # and at least five edges strictly under 1ms.
+        assert DEFAULT_LATENCY_BUCKETS[0] == 0.00001
+        assert 0.00075 in DEFAULT_LATENCY_BUCKETS
+        assert 1.0 == DEFAULT_LATENCY_BUCKETS[-1]
+        sub_ms = [b for b in DEFAULT_LATENCY_BUCKETS if b < 0.001]
+        assert len(sub_ms) >= 5
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
     def test_batch_stage_buckets_cover_seconds_scale(self):
         assert BATCH_STAGE_BUCKETS[0] == 0.001
         assert BATCH_STAGE_BUCKETS[-1] == 60.0

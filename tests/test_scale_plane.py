@@ -1,0 +1,353 @@
+"""Serving plane: worker protocol, front hardening, differential suite.
+
+The two satellite regressions from the issue live here:
+
+- *differential byte-identity*: multi-worker answers relayed by the
+  front must be byte-for-byte what the single-process
+  :class:`~repro.serve.service.CellSpotService` emits for the same
+  table (modulo explicit ``overloaded`` sheds);
+- *worker-kill -> respawn -> identical-answers*: a SIGKILLed worker is
+  detected, respawned, and the plane keeps answering identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cdn.beacon import BeaconConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.scale.plane import (
+    PlaneConfig,
+    SHED_RESPONSE,
+    ServingPlane,
+    merge_histogram_dicts,
+    plane_metrics,
+)
+from repro.scale.snapshot import SnapshotCatalog
+from repro.scale.worker import QueryWorker
+from repro.serve.service import CellSpotService
+from repro.stream.engine import StreamEngine
+from repro.stream.sources import generated_events
+from repro.stream.windows import WindowPolicy
+
+
+@pytest.fixture(scope="module")
+def engine(lab):
+    engine = StreamEngine(policy=WindowPolicy(window_events=5_000))
+    engine.ingest_many(
+        generated_events(
+            lab.world, BeaconConfig(demand_hits=40_000, base_hits=5)
+        )
+    )
+    return engine
+
+
+@pytest.fixture(scope="module")
+def probes(engine):
+    """Hits, covered addresses, and guaranteed misses."""
+    subnets = [str(r.subnet) for r in engine.ratio_table(1).records()[:10]]
+    addresses = [cidr.split("/")[0] for cidr in subnets[:4]]
+    return subnets + addresses + ["203.0.113.9", "not an ip", "10.0.0.0/8"]
+
+
+def service_bytes(service: CellSpotService, request: dict) -> bytes:
+    """What the single-process service puts on the wire."""
+    response = service.handle_request(request)
+    return (json.dumps(response, separators=(",", ":")) + "\n").encode()
+
+
+# ---- protocol-level units (no processes) --------------------------------
+
+
+class TestPlaneConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"max_pending": 0},
+            {"deadline_s": 0.0},
+            {"deadline_s": -1.0},
+            {"startup_timeout_s": 0.0},
+            {"worker_reply_cap_s": 0.0},
+            {"dispatch_retries": -1},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            PlaneConfig(**kwargs)
+
+    def test_no_deadline_is_allowed(self):
+        assert PlaneConfig(deadline_s=None).deadline_s is None
+
+
+class TestMergeHistogramDicts:
+    def test_merges_counts_and_quantiles(self):
+        registries = [MetricsRegistry(), MetricsRegistry()]
+        for registry in registries:
+            registry.histogram(
+                "h", "test", bounds=(0.001, 0.01, 0.1)
+            )
+        for _ in range(98):
+            registries[0].get("h").observe(0.0005)
+        registries[0].get("h").observe(0.05)
+        registries[1].get("h").observe(0.5)  # overflow bucket
+        merged = merge_histogram_dicts(
+            [registry.get("h").as_dict() for registry in registries]
+        )
+        assert merged["count"] == 100
+        assert merged["buckets"]["0.001"] == 98
+        assert merged["overflow"] == 1
+        assert merged["p50"] == 0.001
+        assert merged["p99"] == 0.1
+        assert merged["sum"] == pytest.approx(98 * 0.0005 + 0.05 + 0.5)
+
+    def test_empty_inputs(self):
+        merged = merge_histogram_dicts([{}, {}])
+        assert merged["count"] == 0
+        assert merged["p99"] is None
+
+
+class TestQueryWorkerProtocol:
+    def test_protocol_errors(self, tmp_path):
+        worker = QueryWorker(SnapshotCatalog(tmp_path / "cat"), 0.5, 1)
+        bad = json.loads(worker.handle_line(b"{not json"))
+        assert bad["ok"] is False and "bad JSON" in bad["error"]
+        not_object = json.loads(worker.handle_line(b"[1,2]"))
+        assert not_object["ok"] is False
+        unknown = json.loads(worker.handle_line(b'{"op":"nope"}'))
+        assert unknown["ok"] is False and "unknown op" in unknown["error"]
+        missing = json.loads(worker.handle_line(b'{"op":"query"}'))
+        assert "'q' or 'qs'" in missing["error"]
+        bad_batch = json.loads(
+            worker.handle_line(b'{"op":"query","qs":"x"}')
+        )
+        assert "'qs' must be a list" in bad_batch["error"]
+
+    def test_query_before_any_generation(self, tmp_path):
+        worker = QueryWorker(SnapshotCatalog(tmp_path / "cat"), 0.5, 1)
+        response = json.loads(
+            worker.handle_line(b'{"op":"query","q":"192.0.2.1"}')
+        )
+        assert response["ok"] is False
+        assert "no snapshot generation" in response["error"]
+
+    def test_ping_refresh_stats(self, engine, tmp_path):
+        catalog = SnapshotCatalog(tmp_path / "cat")
+        catalog.publish(engine.ratio_table(1))
+        worker = QueryWorker(catalog, 0.5, 1)
+        pong = json.loads(worker.handle_line(b'{"op":"ping"}'))
+        assert pong == {"ok": True, "pong": True, "pid": os.getpid()}
+        refreshed = json.loads(worker.handle_line(b'{"op":"refresh"}'))
+        assert refreshed == {"ok": True, "generation": 1}
+        worker.handle_line(b'{"op":"query","q":"192.0.2.1"}')
+        stats = json.loads(worker.handle_line(b'{"op":"stats"}'))
+        assert stats["ok"] is True
+        assert stats["worker"]["generation"] == 1
+        assert stats["worker"]["queries"] == 1
+        assert stats["worker"]["index_entries"] > 0
+        assert "scale_worker_query_latency_seconds" in stats["metrics"]
+
+    def test_worker_matches_service_bytes(self, engine, probes, tmp_path):
+        """Inline differential: worker output == service output."""
+        catalog = SnapshotCatalog(tmp_path / "cat")
+        catalog.publish(engine.ratio_table(1))
+        worker = QueryWorker(catalog, 0.5, 1)
+        service = CellSpotService(engine, demand=None)
+        for query in probes:
+            request = {"op": "query", "q": query}
+            line = (json.dumps(request) + "\n").encode()
+            assert worker.handle_line(line) == service_bytes(
+                service, request
+            ), query
+        batch = {"op": "query", "qs": probes}
+        line = (json.dumps(batch) + "\n").encode()
+        assert worker.handle_line(line) == service_bytes(service, batch)
+
+
+class TestFrontHardening:
+    """Admission / deadline behaviour, exercised without processes."""
+
+    def make_plane(self, tmp_path, **overrides) -> ServingPlane:
+        defaults = dict(workers=1, max_pending=2, deadline_s=0.05)
+        defaults.update(overrides)
+        return ServingPlane(
+            tmp_path / "cat",
+            config=PlaneConfig(**defaults),
+            registry=MetricsRegistry(),
+        )
+
+    def run(self, coroutine):
+        return asyncio.run(coroutine)
+
+    def test_bad_json_and_unknown_op(self, tmp_path):
+        plane = self.make_plane(tmp_path)
+        response = json.loads(self.run(plane.handle_line(b"{oops")))
+        assert response["ok"] is False and "bad JSON" in response["error"]
+        response = json.loads(self.run(plane.handle_line(b"[]")))
+        assert response["ok"] is False
+        response = json.loads(self.run(plane.handle_line(b'{"op":"x"}')))
+        assert "unknown op" in response["error"]
+
+    def test_admission_control_sheds_beyond_max_pending(self, tmp_path):
+        plane = self.make_plane(tmp_path)
+        plane._pending = plane.config.max_pending
+        response = self.run(
+            plane.handle_line(b'{"op":"query","q":"192.0.2.1"}')
+        )
+        assert response == SHED_RESPONSE
+        assert plane.metrics.get("scale_shed_total").value == 1
+        assert plane._pending == plane.config.max_pending  # untouched
+
+    def test_draining_plane_sheds_queries(self, tmp_path):
+        plane = self.make_plane(tmp_path)
+        plane.request_shutdown()
+        response = self.run(
+            plane.handle_line(b'{"op":"query","q":"192.0.2.1"}')
+        )
+        assert response == SHED_RESPONSE
+
+    def test_deadline_sheds_when_no_worker_frees_up(self, tmp_path):
+        plane = self.make_plane(tmp_path, deadline_s=0.05)
+
+        async def scenario():
+            started = time.perf_counter()
+            # Idle queue is empty (no workers started): the request
+            # must shed at its deadline instead of waiting forever.
+            response = await plane.handle_line(
+                b'{"op":"query","q":"192.0.2.1"}'
+            )
+            return response, time.perf_counter() - started
+
+        response, elapsed = self.run(scenario())
+        assert response == SHED_RESPONSE
+        assert elapsed < 5.0
+        assert plane.metrics.get("scale_shed_total").value == 1
+        assert plane.metrics.get("scale_request_latency_seconds").count == 1
+
+    def test_expired_deadline_sheds_immediately(self, tmp_path):
+        plane = self.make_plane(tmp_path)
+
+        async def scenario():
+            return await plane._dispatch(
+                b'{"op":"query","q":"x"}', time.perf_counter() - 1.0
+            )
+
+        assert self.run(scenario()) == SHED_RESPONSE
+
+    def test_shed_response_is_the_service_shape(self):
+        assert json.loads(SHED_RESPONSE) == {
+            "ok": False, "error": "overloaded", "overloaded": True,
+        }
+
+    def test_plane_metrics_registers_idempotently(self):
+        registry = MetricsRegistry()
+        assert plane_metrics(registry) is registry
+        plane_metrics(registry)  # second call must not raise
+        assert registry.get("scale_shed_total").value == 0
+
+
+# ---- full plane over real worker processes ------------------------------
+
+
+async def _plane_scenario(catalog_dir, socket_path, service, probes):
+    """Differential + kill/respawn + stats + drain, one plane lifetime."""
+    plane = ServingPlane(
+        catalog_dir,
+        config=PlaneConfig(
+            workers=2, max_pending=32, deadline_s=5.0,
+            startup_timeout_s=60.0,
+        ),
+        registry=MetricsRegistry(),
+    )
+    ready = asyncio.Event()
+    server_task = asyncio.create_task(
+        plane.serve(
+            socket_path=socket_path,
+            ready_callback=lambda _plane: ready.set(),
+        )
+    )
+    await asyncio.wait_for(ready.wait(), 90.0)
+
+    reader, writer = await asyncio.open_unix_connection(str(socket_path))
+
+    async def roundtrip(payload: dict) -> bytes:
+        writer.write((json.dumps(payload) + "\n").encode())
+        await writer.drain()
+        return await asyncio.wait_for(reader.readline(), 30.0)
+
+    async def differential_pass() -> None:
+        for query in probes:
+            request = {"op": "query", "q": query}
+            assert await roundtrip(request) == service_bytes(
+                service, request
+            ), query
+        batch = {"op": "query", "qs": list(probes)}
+        assert await roundtrip(batch) == service_bytes(service, batch)
+
+    # 1. Both workers up and answering.
+    pong = json.loads(await roundtrip({"op": "ping"}))
+    assert pong["ok"] and pong["workers"] == 2
+
+    # 2. Differential byte-identity against the single-process service.
+    await differential_pass()
+
+    # 3. SIGKILL one worker; the reaper must respawn it.
+    pid_file = plane.pid_file()
+    pids_before = [
+        int(token) for token in pid_file.read_text().split()
+    ]
+    assert len(pids_before) == 2
+    os.kill(pids_before[0], signal.SIGKILL)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        stats = json.loads(await roundtrip({"op": "stats"}))
+        plane_stats = stats["plane"]
+        if (
+            plane_stats["worker_respawns"] >= 1
+            and plane_stats["workers"] == 2
+        ):
+            break
+        await asyncio.sleep(0.1)
+    else:
+        raise AssertionError("killed worker was never respawned")
+    assert plane_stats["worker_deaths"] >= 1
+    pids_after = [int(token) for token in pid_file.read_text().split()]
+    assert len(pids_after) == 2
+    assert pids_before[0] not in pids_after  # dead pid dropped
+    assert pids_before[1] in pids_after  # survivor kept
+
+    # 4. ...and answers are still byte-identical after the respawn.
+    await differential_pass()
+
+    # 5. Merged stats expose worker latency + the front summary.
+    stats = json.loads(await roundtrip({"op": "stats"}))
+    assert stats["ok"] is True
+    assert stats["query_latency"]["count"] > 0
+    assert len(stats["workers"]) == 2
+    assert stats["plane"]["generation"] == 1
+    assert stats["plane"]["shed"] == 0
+
+    # 6. Graceful drain via the shutdown op.
+    done = json.loads(await roundtrip({"op": "shutdown"}))
+    assert done == {"ok": True, "shutdown": True}
+    writer.close()
+    handled = await asyncio.wait_for(server_task, 30.0)
+    assert handled > 0
+    assert not any(handle.process.is_alive() for handle in plane._workers)
+
+
+def test_plane_differential_and_respawn(engine, probes, tmp_path):
+    catalog = SnapshotCatalog(tmp_path / "cat")
+    catalog.publish(engine.ratio_table(1))
+    service = CellSpotService(engine, demand=None)
+    asyncio.run(
+        _plane_scenario(
+            tmp_path / "cat", tmp_path / "front.sock", service, probes
+        )
+    )
