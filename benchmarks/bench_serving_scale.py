@@ -22,6 +22,12 @@ scale (0.005):
    histograms the front merges on ``stats`` -- must stay under
    ``WORKER_P99_CEILING_S``: fanning out must not trade per-query
    latency for throughput.
+3. **Tracing overhead.**  Turning on the distributed observability
+   plane (``obs_dir``: per-request spans, the crash flight recorder,
+   and worker metric federation) must cost less than 5% aggregate
+   throughput.  Both arms run interleaved best-of-2 at the full query
+   count and the gate pins ``best_traced / best_untraced`` at
+   ``TRACING_OVERHEAD_FLOOR``.
 
 The plane wins on two axes: worker processes classify in parallel
 (real cores permitting), and batched requests amortize the per-request
@@ -55,6 +61,8 @@ AGGREGATE_MULTIPLIER_FLOOR = 2.0
 SINGLE_PROCESS_RATE_FLOOR = 10_000
 #: Worker-side per-query p99 ceiling (seconds), from merged histograms.
 WORKER_P99_CEILING_S = 0.001
+#: Tracing-on aggregate must stay within 5% of tracing-off.
+TRACING_OVERHEAD_FLOOR = 0.95
 
 WORKERS = 4
 QUERY_COUNT = 12_000
@@ -125,7 +133,7 @@ def _legacy_wire_rate(service: CellSpotService, queries, socket_path):
     return report["throughput_queries_per_s"]
 
 
-async def _drive_plane(catalog_dir, socket_path, queries):
+async def _drive_plane(catalog_dir, socket_path, queries, obs_dir=None):
     """Serve the catalog with 4 workers; return (report, stats)."""
     plane = ServingPlane(
         catalog_dir,
@@ -134,6 +142,7 @@ async def _drive_plane(catalog_dir, socket_path, queries):
             max_pending=128,
             deadline_s=5.0,
             startup_timeout_s=120.0,
+            obs_dir=obs_dir,
         ),
         registry=MetricsRegistry(),
     )
@@ -197,13 +206,49 @@ def test_plane_aggregate_throughput_and_tail(lab, bench_record, tmp_path):
     assert stats["plane"]["worker_deaths"] == 0
     assert stats["query_latency"]["count"] > 0
 
+    # Tracing-overhead arm: interleaved best-of-2 per arm, the first
+    # untraced sample being the aggregate run above.
+    obs_dir = tmp_path / "obs"
+    untraced_rates = [aggregate]
+    traced_rates = []
+    for round_index in range(2):
+        traced_report, _ = asyncio.run(
+            _drive_plane(
+                tmp_path / "cat",
+                tmp_path / f"traced-{round_index}.sock",
+                queries,
+                obs_dir=obs_dir,
+            )
+        )
+        assert traced_report["totals"]["errors"] == 0
+        traced_rates.append(traced_report["throughput_queries_per_s"])
+        if round_index == 0:
+            untraced_report, _ = asyncio.run(
+                _drive_plane(
+                    tmp_path / "cat", tmp_path / "untraced-1.sock", queries
+                )
+            )
+            assert untraced_report["totals"]["errors"] == 0
+            untraced_rates.append(
+                untraced_report["throughput_queries_per_s"]
+            )
+    overhead_ratio = max(traced_rates) / max(untraced_rates)
+    # The traced arm must actually have traced: request spans from the
+    # front, per-worker metric segments, and the crash flight rings.
+    assert list((obs_dir / "front").glob("spans-*.jsonl"))
+    assert list(obs_dir.glob("worker-*/segment-*.jsonl"))
+    assert list(obs_dir.glob("worker-*.fr"))
+
     print(
         f"\nplane aggregate {aggregate:,.0f} q/s over {WORKERS} workers "
         f"vs single-process wire {baseline:,.0f} q/s "
         f"({multiplier:.2f}x, floor {AGGREGATE_MULTIPLIER_FLOOR:.1f}x; "
         f"dict API {inprocess:,.0f} q/s); "
         f"worker p99 {worker_p99 * 1e6:.0f}us "
-        f"(shed {report['totals']['shed']})"
+        f"(shed {report['totals']['shed']}); "
+        f"tracing on {max(traced_rates):,.0f} q/s vs off "
+        f"{max(untraced_rates):,.0f} q/s "
+        f"({overhead_ratio:.3f}x, floor {TRACING_OVERHEAD_FLOOR:.2f}x)"
     )
     bench_record("plane_aggregate_rate_per_s", aggregate, unit="op/s",
                  higher_is_better=True,
@@ -217,6 +262,8 @@ def test_plane_aggregate_throughput_and_tail(lab, bench_record, tmp_path):
                  threshold=AGGREGATE_MULTIPLIER_FLOOR)
     bench_record("worker_query_p99_s", worker_p99, unit="s",
                  higher_is_better=False, threshold=WORKER_P99_CEILING_S)
+    bench_record("tracing_overhead_ratio", overhead_ratio, unit="x",
+                 higher_is_better=True, threshold=TRACING_OVERHEAD_FLOOR)
     assert aggregate >= 2 * SINGLE_PROCESS_RATE_FLOOR, (
         f"{aggregate:,.0f} q/s is under twice the single-process "
         f"floor ({SINGLE_PROCESS_RATE_FLOOR:,})"
@@ -228,4 +275,8 @@ def test_plane_aggregate_throughput_and_tail(lab, bench_record, tmp_path):
     assert worker_p99 < WORKER_P99_CEILING_S, (
         f"worker p99 {worker_p99 * 1e3:.3f}ms >= "
         f"{WORKER_P99_CEILING_S * 1e3:.0f}ms"
+    )
+    assert overhead_ratio >= TRACING_OVERHEAD_FLOOR, (
+        f"tracing costs {(1 - overhead_ratio) * 100:.1f}% aggregate "
+        f"throughput (>{(1 - TRACING_OVERHEAD_FLOOR) * 100:.0f}% budget)"
     )

@@ -661,6 +661,7 @@ def _cmd_serve_scale(args: argparse.Namespace) -> int:
 
     from repro.obs.alerts import AlertRuleError
     from repro.scale.plane import PlaneConfig, ServingPlane
+    from repro.serve.service import install_sigusr1_registry
 
     if not args.socket and args.port is None:
         print("error: serve-scale needs --socket and/or --port",
@@ -676,13 +677,35 @@ def _cmd_serve_scale(args: argparse.Namespace) -> int:
     except AlertRuleError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    config = PlaneConfig(
-        workers=args.workers,
-        max_pending=args.max_pending,
-        deadline_s=args.deadline,
-        min_api_hits=args.min_api_hits,
-        startup_timeout_s=args.startup_timeout,
-    )
+    drill = None
+    if args.drill_slow_worker:
+        try:
+            slot_text, seconds_text = args.drill_slow_worker.split(":", 1)
+            drill = (int(slot_text), float(seconds_text))
+        except ValueError:
+            print("error: --drill-slow-worker wants SLOT:SECONDS "
+                  "(e.g. 0:0.005)", file=sys.stderr)
+            return 2
+    obs_dir = args.obs_dir
+    if obs_dir is None and scraper is not None:
+        # Telemetry is on: default the distributed-obs layer next to
+        # the catalog so traces/federation come up with the scraper.
+        obs_dir = str(Path(args.snapshot_dir) / "obs")
+    try:
+        config = PlaneConfig(
+            workers=args.workers,
+            max_pending=args.max_pending,
+            deadline_s=args.deadline,
+            min_api_hits=args.min_api_hits,
+            startup_timeout_s=args.startup_timeout,
+            obs_dir=obs_dir,
+            obs_scrape_interval_s=args.scrape_interval,
+            flight_records=args.flight_records,
+            drill_slow_worker=drill,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     plane = ServingPlane(
         args.snapshot_dir,
         config=config,
@@ -693,6 +716,17 @@ def _cmd_serve_scale(args: argparse.Namespace) -> int:
             "publish_every_windows": args.publish_every,
         },
     )
+    if scraper is not None and obs_dir is not None:
+        # Federation: fold the workers' freshest exported samples into
+        # every front scrape as name{worker="N"} keys, so the offline
+        # reader / alert engine / `cellspot top` see per-worker series.
+        scraper.add_enricher(plane.federation_metrics)
+    if not (getattr(args, "metrics_out", None)
+            or getattr(args, "trace_out", None)):
+        # Same operator reflex as `cellspot serve`: SIGUSR1 dumps the
+        # front's metrics to stderr unless the observability layer owns
+        # the signal for atomic file dumps.
+        install_sigusr1_registry(plane.metrics)
 
     def _ready(_plane) -> None:
         where = []
@@ -1331,6 +1365,52 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_postmortem(args: argparse.Namespace) -> int:
+    """Join front/worker/builder spans from an obs directory.
+
+    Reads the observability directory a ``serve-scale --obs-dir`` run
+    left behind, joins every process's span segments on the run
+    ``trace_id``, folds in worker-death artifacts and flight-recorder
+    rings, and prints one timeline (or exports a Chrome trace).
+    """
+    import json as json_module
+
+    from repro.obs.postmortem import (
+        build_postmortem,
+        render_text,
+        to_chrome_trace,
+    )
+    from repro.runtime.checkpoint import atomic_write_text
+
+    obs_dir = Path(args.obs_dir)
+    if not obs_dir.is_dir():
+        print(f"error: {obs_dir} is not a directory", file=sys.stderr)
+        return 2
+    postmortem = build_postmortem(obs_dir, trace_id=args.trace_id)
+    if not postmortem["spans"] and (obs_dir / "obs").is_dir():
+        # Lenient: accept the catalog dir a serve-scale run used and
+        # descend into the obs/ directory it defaulted to.
+        postmortem = build_postmortem(obs_dir / "obs", trace_id=args.trace_id)
+    if not postmortem["spans"]:
+        print(f"error: no spans under {obs_dir}"
+              + (f" for trace {args.trace_id}" if args.trace_id else ""),
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json_module.dumps(postmortem, separators=(",", ":")))
+    else:
+        print(render_text(postmortem, limit=args.limit), end="")
+    if args.chrome_out:
+        payload = to_chrome_trace(postmortem)
+        atomic_write_text(
+            Path(args.chrome_out),
+            json_module.dumps(payload, separators=(",", ":")) + "\n",
+        )
+        print(f"chrome trace: {args.chrome_out} "
+              f"({len(payload['traceEvents'])} events)", file=sys.stderr)
+    return 0
+
+
 def _report_health(args: argparse.Namespace) -> int:
     """The ``cellspot report --health`` rollup (markdown or HTML)."""
     from repro.obs.alerts import read_alert_log
@@ -1707,6 +1787,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--on-error", choices=["strict", "skip"], default="strict",
         help="malformed event lines: raise (strict) or drop (skip)",
     )
+    serve_scale.add_argument(
+        "--obs-dir", default=None, metavar="DIR",
+        help="distributed observability root: cross-process trace "
+             "segments, per-worker metric export, and crash flight "
+             "recorders land here (default: <snapshot-dir>/obs when "
+             "--timeseries-dir or alerting is on; omit both to run "
+             "untraced)",
+    )
+    serve_scale.add_argument(
+        "--flight-records", type=_positive_int, default=128, metavar="N",
+        help="slots in each worker's crash flight-recorder ring "
+             "(default: 128)",
+    )
+    serve_scale.add_argument(
+        "--drill-slow-worker", default=None, metavar="SLOT:SECONDS",
+        help="drill: slow every query on worker SLOT's first "
+             "incarnation by SECONDS (a respawn heals it) -- exercises "
+             "the worker-latency-skew alert end to end",
+    )
     _add_telemetry_options(serve_scale)
     serve_scale.set_defaults(func=_cmd_serve_scale)
 
@@ -1904,6 +2003,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative regression tolerance (default: 0.10)",
     )
     bench_diff.set_defaults(func=_cmd_bench_diff)
+
+    postmortem = subparsers.add_parser(
+        "postmortem",
+        help="join distributed spans from a serve-scale obs directory",
+        description="Interleave front, worker, and builder spans from "
+                    "an --obs-dir run on one monotonic clock, list "
+                    "worker-death artifacts (with the exact dying "
+                    "request from each crash flight recorder), and "
+                    "optionally export a Chrome trace.",
+    )
+    postmortem.add_argument(
+        "obs_dir", metavar="DIR",
+        help="observability directory (or the catalog dir containing "
+             "its obs/ default)",
+    )
+    postmortem.add_argument(
+        "--trace-id", default=None, metavar="ID",
+        help="join this trace id (default: the dominant one)",
+    )
+    postmortem.add_argument(
+        "--chrome-out", default=None, metavar="FILE",
+        help="also write a Chrome trace_event JSON for chrome://tracing "
+             "or Perfetto",
+    )
+    postmortem.add_argument(
+        "--json", action="store_true",
+        help="print the joined postmortem as one JSON object",
+    )
+    postmortem.add_argument(
+        "--limit", type=_positive_int, default=None, metavar="N",
+        help="show at most N spans in the text timeline",
+    )
+    postmortem.set_defaults(func=_cmd_postmortem)
     return parser
 
 

@@ -43,6 +43,11 @@ from repro.obs.dashboard import (
     render_health_report,
     run_top,
 )
+from repro.obs.flight import (
+    FlightRecorder,
+    FlightRecorderError,
+    read_flight_ring,
+)
 from repro.obs.health import (
     CensusDriftMonitor,
     RatioSketch,
@@ -68,18 +73,29 @@ from repro.obs.metrics import (
     set_enabled,
     validate_bounds,
 )
+from repro.obs.postmortem import (
+    build_postmortem,
+    collect_spans,
+    render_text as render_postmortem_text,
+    to_chrome_trace as postmortem_chrome_trace,
+)
 from repro.obs.profile import maybe_profile, write_profile_report
 from repro.obs.timeseries import (
     MetricScraper,
     TimeSeriesReader,
     TimeSeriesStore,
+    read_latest_sample,
     scrape_registry,
+    split_metric_tag,
+    tag_metric,
 )
 from repro.obs.trace import (
     Span,
+    SpanLog,
     Tracer,
     current_trace_id,
     get_tracer,
+    read_span_log,
     reset_tracer,
     span,
     traced,
@@ -219,6 +235,8 @@ __all__ = [
     "CensusDriftMonitor",
     "DEFAULT_LATENCY_BUCKETS",
     "Counter",
+    "FlightRecorder",
+    "FlightRecorderError",
     "Gauge",
     "Histogram",
     "MetricScraper",
@@ -228,9 +246,12 @@ __all__ = [
     "PrometheusFormatError",
     "RatioSketch",
     "Span",
+    "SpanLog",
     "TimeSeriesReader",
     "TimeSeriesStore",
     "Tracer",
+    "build_postmortem",
+    "collect_spans",
     "current_trace_id",
     "default_rules",
     "dump_metrics",
@@ -246,9 +267,14 @@ __all__ = [
     "observed_command",
     "parse_prometheus_text",
     "population_stability_index",
+    "postmortem_chrome_trace",
     "read_alert_log",
+    "read_flight_ring",
+    "read_latest_sample",
+    "read_span_log",
     "render_dashboard",
     "render_health_report",
+    "render_postmortem_text",
     "render_prometheus",
     "reset_global_registry",
     "reset_tracer",
@@ -256,6 +282,8 @@ __all__ = [
     "scrape_registry",
     "set_enabled",
     "span",
+    "split_metric_tag",
+    "tag_metric",
     "traced",
     "validate_bounds",
     "write_profile_report",

@@ -21,7 +21,14 @@ Supported ``kind`` values:
 - ``ratio``        -- ``metric / denominator`` of two cumulative
   counters (e.g. reject rate), 0 when the denominator is 0;
 - ``quantile``     -- a histogram's scraped quantile (``q`` is 0.5 or
-  0.99, the two the time-series sample carries).
+  0.99, the two the time-series sample carries);
+- ``skew``         -- fleet divergence over a *labelled* metric
+  family: all sample keys of the form ``metric{worker="N"}`` (the
+  serving plane's federated per-worker series) are evaluated
+  (histograms via ``q``, counters/gauges via their scalar) and the
+  value is ``worst / median(rest)`` -- how far the worst replica sits
+  from the rest of the fleet.  Needs at least two replicas reporting;
+  fewer is "no data", never a breach.
 
 **State machine.**  Each rule is ``ok -> pending -> firing -> ok``:
 a breach moves ok to *pending*; a breach sustained for ``for_s``
@@ -41,6 +48,7 @@ scrapes), so the same rules run live (scraper callback), in tests
 from __future__ import annotations
 
 import json
+import statistics
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -52,7 +60,9 @@ STATE_OK = "ok"
 STATE_PENDING = "pending"
 STATE_FIRING = "firing"
 
-_VALID_KINDS = ("gauge", "counter", "counter_rate", "ratio", "quantile")
+_VALID_KINDS = (
+    "gauge", "counter", "counter_rate", "ratio", "quantile", "skew"
+)
 _VALID_OPS = (">", ">=", "<", "<=")
 
 
@@ -95,7 +105,7 @@ class AlertRule:
             raise AlertRuleError(
                 f"rule {self.name!r}: kind 'ratio' needs a denominator"
             )
-        if self.kind == "quantile" and self.q not in (0.5, 0.99):
+        if self.kind in ("quantile", "skew") and self.q not in (0.5, 0.99):
             raise AlertRuleError(
                 f"rule {self.name!r}: scraped quantiles are 0.5 and 0.99, "
                 f"not {self.q}"
@@ -118,6 +128,8 @@ class AlertRule:
             subject = f"{self.metric}/{self.denominator}"
         elif self.kind == "quantile":
             subject = f"p{int(self.q * 100)}({self.metric})"
+        elif self.kind == "skew":
+            subject = f"skew({self.metric})"
         else:
             subject = self.metric
         clause = f"{subject} {self.op} {self.threshold:g}"
@@ -286,6 +298,18 @@ def default_rules() -> List[AlertRule]:
             description="front-end request p99 above 5ms (queue wait + "
                         "IPC + lookup) -- the plane is saturating",
         ),
+        AlertRule(
+            name="worker-latency-skew",
+            kind="skew",
+            metric="scale_worker_query_latency_seconds",
+            q=0.99,
+            op=">",
+            threshold=4.0,
+            for_s=1.0,
+            description="one worker's p99 lookup latency diverging 4x "
+                        "from the fleet median (federated per-worker "
+                        "series) -- a sick replica, not plane-wide load",
+        ),
     ]
 
 
@@ -316,9 +340,37 @@ class AlertState:
         }
 
 
+def _labelled_values(rule: AlertRule, metrics: Dict) -> List[float]:
+    """Scalars for every ``metric{...}`` series in one sample."""
+    prefix = rule.metric + "{"
+    values: List[float] = []
+    for key, payload in metrics.items():
+        if not key.startswith(prefix):
+            continue
+        try:
+            if payload[0] == "h":
+                value = payload[3] if rule.q == 0.5 else payload[4]
+            elif payload[0] in ("c", "g"):
+                value = payload[1]
+            else:
+                continue
+        except (TypeError, IndexError):
+            continue
+        if value is not None:
+            values.append(float(value))
+    return values
+
+
 def _sample_value(rule: AlertRule, sample: Dict, previous: Optional[Dict]):
     """Evaluate one rule against one scraped sample (None = no data)."""
     metrics = sample.get("m", {})
+    if rule.kind == "skew":
+        values = sorted(_labelled_values(rule, metrics))
+        if len(values) < 2:
+            return None
+        worst, rest = values[-1], values[:-1]
+        baseline = statistics.median(rest)
+        return worst / baseline if baseline > 0 else None
     payload = metrics.get(rule.metric)
     if payload is None:
         return None

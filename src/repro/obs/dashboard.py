@@ -109,6 +109,18 @@ def render_dashboard(health: Dict, width: int = 78) -> str:
     ]
     lines += _panel("census drift", drift_rows, width)
 
+    workers = health.get("workers") or []
+    if workers:
+        worker_rows = []
+        for row in workers:
+            worker_rows.append(
+                f"worker {str(row.get('worker', '?')):>3s}   "
+                f"gen {_fmt(row.get('generation'))}   "
+                f"queries {_fmt(row.get('queries'))}   "
+                f"p99 {_fmt(row.get('p99_s'))} s"
+            )
+        lines += _panel("workers", worker_rows, width)
+
     if alerts:
         alert_rows = []
         ordering = {"firing": 0, "pending": 1, "ok": 2}
@@ -200,6 +212,29 @@ def health_from_timeseries(directory: Union[str, Path]) -> Dict:
     queries = reader.rate("queries_total")
     if queries:
         health["rates"]["queries_per_s"] = queries[-1][1]
+    # Federated per-worker series (serving plane): tagged keys like
+    # scale_worker_query_latency_seconds{worker="0"} become one
+    # dashboard row per worker.
+    from repro.obs.timeseries import split_metric_tag
+
+    workers: Dict[str, Dict] = {}
+    for name, payload in latest.get("m", {}).items():
+        if "{" not in name:
+            continue
+        base, labels = split_metric_tag(name)
+        slot = labels.get("worker")
+        if slot is None:
+            continue
+        row = workers.setdefault(slot, {"worker": slot})
+        if base == "scale_worker_query_latency_seconds" and payload[0] == "h":
+            row["queries"] = payload[1]
+            row["p99_s"] = payload[4]
+        elif base == "scale_worker_generation" and payload[0] == "g":
+            row["generation"] = payload[1]
+    if workers:
+        health["workers"] = [
+            workers[slot] for slot in sorted(workers, key=str)
+        ]
     return health
 
 

@@ -1,0 +1,267 @@
+"""Crash flight recorder: an mmap ring of recent requests that
+survives SIGKILL.
+
+Every serving-plane worker keeps the last N requests it touched in a
+fixed-layout ``mmap`` ring file -- request line (truncated), request
+id, snapshot generation, monotonic start/end stamps, and outcome.
+Records are plain memory writes into a ``MAP_SHARED`` mapping: the
+kernel owns the dirty pages, so a worker killed with ``SIGKILL``
+mid-request leaves its ring intact on disk, including the *in-flight*
+record for the request it died holding.  The front harvests the ring
+on worker death (:mod:`repro.scale.plane`) and ``cellspot
+postmortem`` renders it next to the trace timeline.
+
+**Layout.**  A fixed 64-byte header::
+
+    magic "CSPOTFR1" | slots u32 | line_bytes u32 | pid u32 |
+    created f64 | next_seq u64
+
+followed by ``slots`` fixed-size records::
+
+    seq u64 | wall_started f64 | mono_started f64 | mono_ended f64 |
+    generation i64 | outcome u8 | rid 16s | line_len u16 |
+    line bytes [line_bytes]
+
+``seq`` is 1-based and written *last* on begin (the record body is
+packed with ``seq == 0`` first), so a reader never mistakes a torn
+record for a complete one: ``seq == 0`` means empty-or-torn and is
+skipped.  ``outcome`` is 1 while the request is in flight; ``end``
+rewrites it to 2 (ok) or 3 (error) and stamps ``mono_ended``.
+
+Reopening an existing ring with the same geometry *resumes* it
+(sequence numbers keep climbing), so a respawned worker extends its
+predecessor's history rather than erasing the evidence.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+MAGIC = b"CSPOTFR1"
+HEADER = struct.Struct("<8sIIIdQ")
+HEADER_BYTES = 64  # header struct padded to a fixed prefix
+RECORD_FIXED = struct.Struct("<QdddqB16sH")
+
+#: ``outcome`` byte values.
+OUTCOME_EMPTY = 0
+OUTCOME_INFLIGHT = 1
+OUTCOME_OK = 2
+OUTCOME_ERROR = 3
+
+_OUTCOME_NAMES = {
+    OUTCOME_INFLIGHT: "inflight",
+    OUTCOME_OK: "ok",
+    OUTCOME_ERROR: "error",
+}
+
+DEFAULT_SLOTS = 128
+DEFAULT_LINE_BYTES = 240
+
+
+class FlightRecorderError(ValueError):
+    """A flight ring file is missing, truncated, or not ours."""
+
+
+class FlightRecorder:
+    """Writer side: a bounded request ring over one mmap'd file."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        slots: int = DEFAULT_SLOTS,
+        line_bytes: int = DEFAULT_LINE_BYTES,
+    ) -> None:
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        if line_bytes < 16:
+            raise ValueError("line_bytes must be >= 16")
+        self.path = Path(path)
+        self.slots = slots
+        self.line_bytes = line_bytes
+        self.record_size = RECORD_FIXED.size + line_bytes
+        self.next_seq = 1
+        total = HEADER_BYTES + slots * self.record_size
+        resumed = self._try_resume(total)
+        flags = os.O_RDWR | (0 if resumed else os.O_CREAT)
+        fd = os.open(self.path, flags, 0o644)
+        try:
+            if not resumed:
+                os.ftruncate(fd, 0)
+                os.ftruncate(fd, total)
+            self._mm = mmap.mmap(fd, total)
+        finally:
+            os.close(fd)
+        if not resumed:
+            self._write_header()
+        else:
+            _magic, _slots, _lb, _pid, _created, seq = HEADER.unpack_from(
+                self._mm, 0
+            )
+            self.next_seq = max(1, seq)
+            self._write_header()  # restamp pid/keep geometry
+
+    def _try_resume(self, total: int) -> bool:
+        """True when the existing file is a compatible ring to extend."""
+        try:
+            size = self.path.stat().st_size
+            if size != total:
+                return False
+            with self.path.open("rb") as stream:
+                head = stream.read(HEADER.size)
+        except OSError:
+            return False
+        if len(head) < HEADER.size:
+            return False
+        magic, slots, line_bytes, _pid, _created, _seq = HEADER.unpack(head)
+        return magic == MAGIC and slots == self.slots and (
+            line_bytes == self.line_bytes
+        )
+
+    def _write_header(self) -> None:
+        HEADER.pack_into(
+            self._mm,
+            0,
+            MAGIC,
+            self.slots,
+            self.line_bytes,
+            os.getpid(),
+            time.time(),
+            self.next_seq,
+        )
+
+    def _offset(self, seq: int) -> int:
+        return HEADER_BYTES + ((seq - 1) % self.slots) * self.record_size
+
+    def begin(
+        self,
+        line: bytes,
+        request_id: str = "",
+        generation: Optional[int] = None,
+    ) -> Tuple[int, int]:
+        """Open a record for one request; returns a token for ``end``.
+
+        The record body (with ``seq == 0``) lands before the final
+        ``seq`` store, so a kill between the two leaves a skippable
+        slot, never a half-record that parses.
+        """
+        seq = self.next_seq
+        offset = self._offset(seq)
+        excerpt = line[: self.line_bytes]
+        rid = request_id.encode("ascii", "replace")[:16]
+        RECORD_FIXED.pack_into(
+            self._mm,
+            offset,
+            0,  # seq last -- see docstring
+            time.time(),
+            time.perf_counter(),
+            0.0,
+            -1 if generation is None else int(generation),
+            OUTCOME_INFLIGHT,
+            rid,
+            len(excerpt),
+        )
+        end = offset + RECORD_FIXED.size
+        self._mm[end:end + len(excerpt)] = excerpt
+        struct.pack_into("<Q", self._mm, offset, seq)
+        self.next_seq = seq + 1
+        struct.pack_into("<Q", self._mm, HEADER.size - 8, self.next_seq)
+        return offset, seq
+
+    def end(self, token: Tuple[int, int], ok: bool = True) -> None:
+        """Close the record ``begin`` returned: outcome + end stamp."""
+        offset, seq = token
+        (current,) = struct.unpack_from("<Q", self._mm, offset)
+        if current != seq:
+            return  # the ring lapped this record; nothing to close
+        struct.pack_into("<d", self._mm, offset + 24, time.perf_counter())
+        struct.pack_into(
+            "<B",
+            self._mm,
+            offset + 40,
+            OUTCOME_OK if ok else OUTCOME_ERROR,
+        )
+
+    def flush(self) -> None:
+        try:
+            self._mm.flush()
+        except (OSError, ValueError):
+            pass
+
+    def close(self) -> None:
+        self.flush()
+        try:
+            self._mm.close()
+        except (OSError, ValueError):
+            pass
+
+
+def read_flight_ring(path: Union[str, Path]) -> Dict:
+    """Parse a flight ring file into header info + ordered records.
+
+    Works on live rings (the writer may still be running -- reads are
+    point-in-time) and on rings whose writer was SIGKILLed.  Records
+    come back oldest-first by sequence number; torn/empty slots are
+    skipped.  Raises :class:`FlightRecorderError` when the file is not
+    a ring.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise FlightRecorderError(f"cannot read flight ring {path}: {exc}")
+    if len(data) < HEADER_BYTES:
+        raise FlightRecorderError(f"{path}: too short for a flight ring")
+    magic, slots, line_bytes, pid, created, next_seq = HEADER.unpack_from(
+        data, 0
+    )
+    if magic != MAGIC:
+        raise FlightRecorderError(f"{path}: bad magic {magic!r}")
+    record_size = RECORD_FIXED.size + line_bytes
+    if len(data) < HEADER_BYTES + slots * record_size:
+        raise FlightRecorderError(f"{path}: truncated ring body")
+    records: List[Dict] = []
+    for index in range(slots):
+        offset = HEADER_BYTES + index * record_size
+        (
+            seq,
+            wall_started,
+            mono_started,
+            mono_ended,
+            generation,
+            outcome,
+            rid,
+            line_len,
+        ) = RECORD_FIXED.unpack_from(data, offset)
+        if seq == 0 or outcome not in _OUTCOME_NAMES:
+            continue
+        line_len = min(line_len, line_bytes)
+        start = offset + RECORD_FIXED.size
+        records.append(
+            {
+                "seq": seq,
+                "ts": wall_started,
+                "mono_started": mono_started,
+                "mono_ended": mono_ended if mono_ended > 0 else None,
+                "generation": None if generation < 0 else generation,
+                "outcome": _OUTCOME_NAMES[outcome],
+                "rid": rid.rstrip(b"\x00").decode("ascii", "replace"),
+                "line": data[start:start + line_len].decode(
+                    "utf-8", "replace"
+                ),
+            }
+        )
+    records.sort(key=lambda record: record["seq"])
+    return {
+        "path": str(path),
+        "slots": slots,
+        "line_bytes": line_bytes,
+        "pid": pid,
+        "created": created,
+        "next_seq": next_seq,
+        "records": records,
+    }

@@ -81,13 +81,19 @@ def scrape_registry(
 
 
 class TimeSeriesStore:
-    """Bounded ring of append-only JSONL segments under one directory."""
+    """Bounded ring of append-only JSONL segments under one directory.
+
+    ``prefix`` names the ring: two rings with distinct prefixes (metric
+    ``segment-`` samples and trace ``spans-`` records, say) can share
+    one directory without seeing each other's files.
+    """
 
     def __init__(
         self,
         directory: Union[str, Path],
         max_segment_samples: int = 512,
         max_segments: int = 8,
+        prefix: str = SEGMENT_PREFIX,
     ) -> None:
         if max_segment_samples < 1:
             raise ValueError("max_segment_samples must be >= 1")
@@ -97,8 +103,9 @@ class TimeSeriesStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.max_segment_samples = max_segment_samples
         self.max_segments = max_segments
+        self.prefix = prefix
         self._lock = threading.Lock()
-        existing = _segment_indices(self.directory)
+        existing = _segment_indices(self.directory, prefix)
         self._active_index = existing[-1] if existing else 1
         self._active_samples = (
             _count_lines(self._segment_path(self._active_index))
@@ -107,7 +114,7 @@ class TimeSeriesStore:
         )
 
     def _segment_path(self, index: int) -> Path:
-        return self.directory / f"{SEGMENT_PREFIX}{index:08d}{SEGMENT_SUFFIX}"
+        return self.directory / f"{self.prefix}{index:08d}{SEGMENT_SUFFIX}"
 
     @property
     def active_segment(self) -> Path:
@@ -115,15 +122,30 @@ class TimeSeriesStore:
 
     def append(self, sample: Dict) -> None:
         """Append one scrape sample (thread-safe, single-line write)."""
-        line = json.dumps(sample, separators=(",", ":"))
+        self.append_many((sample,))
+
+    def append_many(self, samples) -> None:
+        """Append several samples under one segment open.
+
+        One ``open``/``flush`` for the whole batch -- this is what
+        keeps per-request span trees cheap on the serving hot path.
+        The batch lands in the current segment even if it overshoots
+        ``max_segment_samples`` slightly: the ring bound is a trim
+        target, not an exact invariant.
+        """
+        lines = [
+            json.dumps(sample, separators=(",", ":")) for sample in samples
+        ]
+        if not lines:
+            return
+        payload = "\n".join(lines) + "\n"
         with self._lock:
             if self._active_samples >= self.max_segment_samples:
                 self._rotate_locked()
             with self.active_segment.open("a") as stream:
-                stream.write(line)
-                stream.write("\n")
+                stream.write(payload)
                 stream.flush()
-            self._active_samples += 1
+            self._active_samples += len(lines)
 
     def _rotate_locked(self) -> None:
         """Open the next segment, then trim the ring (create-then-unlink)."""
@@ -132,7 +154,7 @@ class TimeSeriesStore:
         # Create the new segment *first* so the ring never shrinks below
         # its floor mid-rotation, then drop members beyond the bound.
         self.active_segment.touch()
-        indices = _segment_indices(self.directory)
+        indices = _segment_indices(self.directory, self.prefix)
         while len(indices) > self.max_segments:
             oldest = indices.pop(0)
             try:
@@ -141,18 +163,20 @@ class TimeSeriesStore:
                 break
 
     def segment_count(self) -> int:
-        return len(_segment_indices(self.directory))
+        return len(_segment_indices(self.directory, self.prefix))
 
 
-def _segment_indices(directory: Path) -> List[int]:
+def _segment_indices(
+    directory: Path, prefix: str = SEGMENT_PREFIX
+) -> List[int]:
     indices = []
     try:
         names = os.listdir(directory)
     except OSError:
         return []
     for name in names:
-        if name.startswith(SEGMENT_PREFIX) and name.endswith(SEGMENT_SUFFIX):
-            middle = name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)]
+        if name.startswith(prefix) and name.endswith(SEGMENT_SUFFIX):
+            middle = name[len(prefix):-len(SEGMENT_SUFFIX)]
             try:
                 indices.append(int(middle))
             except ValueError:
@@ -171,8 +195,11 @@ def _count_lines(path: Path) -> int:
 class TimeSeriesReader:
     """Range queries over a :class:`TimeSeriesStore` directory."""
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    def __init__(
+        self, directory: Union[str, Path], prefix: str = SEGMENT_PREFIX
+    ) -> None:
         self.directory = Path(directory)
+        self.prefix = prefix
 
     def samples(
         self,
@@ -184,9 +211,9 @@ class TimeSeriesReader:
         Unparseable lines (a torn final line after a hard kill) are
         skipped, never raised.
         """
-        for index in _segment_indices(self.directory):
+        for index in _segment_indices(self.directory, self.prefix):
             path = self.directory / (
-                f"{SEGMENT_PREFIX}{index:08d}{SEGMENT_SUFFIX}"
+                f"{self.prefix}{index:08d}{SEGMENT_SUFFIX}"
             )
             try:
                 text = path.read_text()
@@ -269,6 +296,58 @@ class TimeSeriesReader:
         return rates
 
 
+def read_latest_sample(
+    directory: Union[str, Path], prefix: str = SEGMENT_PREFIX
+) -> Optional[Dict]:
+    """The newest parseable sample in a store directory, or ``None``.
+
+    Walks segments newest-first and lines last-first, so it touches one
+    (occasionally two) files -- cheap enough for a federation poll on
+    every scrape tick.  Torn final lines are skipped like the reader's.
+    """
+    directory = Path(directory)
+    for index in reversed(_segment_indices(directory, prefix)):
+        path = directory / f"{prefix}{index:08d}{SEGMENT_SUFFIX}"
+        try:
+            text = path.read_text()
+        except OSError:
+            continue
+        for line in reversed(text.splitlines()):
+            if not line.strip():
+                continue
+            try:
+                sample = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(sample, dict) and isinstance(
+                sample.get("ts"), (int, float)
+            ):
+                return sample
+    return None
+
+
+def tag_metric(name: str, **labels: object) -> str:
+    """``name{worker="0"}``-style key for a labelled series in a sample."""
+    inner = ",".join(
+        f'{key}="{labels[key]}"' for key in sorted(labels)
+    )
+    return f"{name}{{{inner}}}" if inner else name
+
+
+def split_metric_tag(key: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`tag_metric`: ``(base name, labels)``."""
+    brace = key.find("{")
+    if brace < 0 or not key.endswith("}"):
+        return key, {}
+    labels: Dict[str, str] = {}
+    for part in key[brace + 1:-1].split(","):
+        eq = part.find("=")
+        if eq < 0:
+            continue
+        labels[part[:eq]] = part[eq + 1:].strip('"')
+    return key[:brace], labels
+
+
 def _decode(payload) -> Optional[object]:
     try:
         tag = payload[0]
@@ -302,6 +381,7 @@ class MetricScraper:
         registry: Optional[MetricsRegistry] = None,
         interval_s: float = DEFAULT_INTERVAL_S,
         clock: Callable[[], float] = time.time,
+        source: Optional[str] = None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError("interval_s must be positive")
@@ -309,9 +389,14 @@ class MetricScraper:
         self._registry = registry
         self.interval_s = interval_s
         self.clock = clock
+        #: Stamped into every sample as ``src`` (e.g. ``worker-3``) so
+        #: federated stores identify their emitting process.
+        self.source = source
         self.samples_taken = 0
         self.callback_errors = 0
+        self.enricher_errors = 0
         self._callbacks: List[Callable[[Dict], None]] = []
+        self._enrichers: List[Callable[[], Dict[str, List]]] = []
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
 
@@ -328,10 +413,30 @@ class MetricScraper:
     def subscribe(self, callback: Callable[[Dict], None]) -> None:
         self._callbacks.append(callback)
 
+    def add_enricher(
+        self, enricher: Callable[[], Dict[str, List]]
+    ) -> None:
+        """Merge extra series into every sample *before* it is stored.
+
+        An enricher returns ``{key: tagged-array}`` entries (e.g. the
+        serving plane's per-worker federation reads); they land in the
+        sample's ``m`` dict, so the alert engine and every offline
+        reader see them like native metrics.  A raising enricher is
+        isolated (counted), like callbacks.
+        """
+        self._enrichers.append(enricher)
+
     def scrape_once(self, ts: Optional[float] = None) -> Dict:
         sample = scrape_registry(self.registry, clock=self.clock)
         if ts is not None:
             sample["ts"] = ts
+        if self.source is not None:
+            sample["src"] = self.source
+        for enricher in self._enrichers:
+            try:
+                sample["m"].update(enricher())
+            except Exception:  # noqa: BLE001 -- federation must not kill scraping
+                self.enricher_errors += 1
         self.store.append(sample)
         self.samples_taken += 1
         for callback in self._callbacks:

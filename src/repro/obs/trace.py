@@ -292,3 +292,126 @@ def current_trace_id() -> str:
 def span(name: str, **attributes: object) -> _SpanContext:
     """Convenience: a span on the global tracer."""
     return get_tracer().span(name, **attributes)
+
+
+# ---- persistent span segments (cross-process traces) ----------------------
+
+#: Ring prefix for span segment files (``spans-00000001.jsonl`` ...),
+#: distinct from the metric ``segment-`` ring so both can share a
+#: directory.
+SPAN_LOG_PREFIX = "spans-"
+
+
+class SpanLog:
+    """Bounded on-disk ring of span records for one process.
+
+    The in-memory :class:`Tracer` dies with its process -- useless for
+    a SIGKILLed worker.  A ``SpanLog`` appends each span as one JSONL
+    record into a bounded segment ring (the PR 5
+    :class:`~repro.obs.timeseries.TimeSeriesStore` machinery under the
+    ``spans-`` prefix), flushed per line, so the front can join spans
+    from dead workers afterwards.  One record::
+
+        {"name": "worker.lpm", "tid": <trace_id>, "sid": ..,
+         "pid": <parent span id>, "rid": <request id>, "src":
+         "worker-0", "proc": <os pid>, "ts": <wall>, "mono":
+         <perf_counter start>, "dur": <seconds>, "attrs": {...}}
+
+    ``mono`` is ``time.perf_counter()`` -- ``CLOCK_MONOTONIC`` on
+    Linux, comparable across local processes -- which is what lets
+    ``cellspot postmortem`` interleave front / worker / builder spans
+    on one timeline; ``ts`` is wall clock for humans.
+    """
+
+    def __init__(
+        self,
+        directory,
+        max_segment_spans: int = 2048,
+        max_segments: int = 4,
+        source: Optional[str] = None,
+    ) -> None:
+        from repro.obs.timeseries import TimeSeriesStore
+
+        self._store = TimeSeriesStore(
+            directory,
+            max_segment_samples=max_segment_spans,
+            max_segments=max_segments,
+            prefix=SPAN_LOG_PREFIX,
+        )
+        self.source = source
+        self.recorded = 0
+
+    @property
+    def directory(self):
+        return self._store.directory
+
+    def build(
+        self,
+        name: str,
+        trace_id: str,
+        started: float,
+        duration: float,
+        span_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        request_id: Optional[str] = None,
+        ts: Optional[float] = None,
+        **attributes: object,
+    ) -> Dict:
+        """Construct one span record without writing it.
+
+        Hot paths build a request's whole span tree with this, then
+        persist it in one segment write via :meth:`write` -- one file
+        open per request instead of one per span.
+        """
+        record: Dict[str, object] = {
+            "name": name,
+            "tid": trace_id,
+            "sid": span_id or _new_id(),
+            "ts": time.time() if ts is None else ts,
+            "mono": started,
+            "dur": duration,
+            "proc": os.getpid(),
+        }
+        if parent_id is not None:
+            record["pid"] = parent_id
+        if request_id is not None:
+            record["rid"] = request_id
+        if self.source is not None:
+            record["src"] = self.source
+        if attributes:
+            record["attrs"] = attributes
+        return record
+
+    def record(self, name: str, trace_id: str, **kwargs: object) -> Dict:
+        """Append one completed span; returns the stored record.
+
+        ``started`` is a ``time.perf_counter()`` reading, ``duration``
+        seconds.  Ids follow the in-memory tracer's (hex16); a missing
+        ``span_id`` is minted here.
+        """
+        record = self.build(name, trace_id, **kwargs)
+        self._store.append(record)
+        self.recorded += 1
+        return record
+
+    def write(self, records) -> None:
+        """Persist spans built with :meth:`build`, one segment write."""
+        self._store.append_many(records)
+        self.recorded += len(records)
+
+
+def read_span_log(directory) -> List[Dict]:
+    """Every parseable span record under ``directory``, in file order.
+
+    Torn final lines (hard-killed writer) are skipped, exactly like
+    metric samples.
+    """
+    from repro.obs.timeseries import TimeSeriesReader
+
+    reader = TimeSeriesReader(directory, prefix=SPAN_LOG_PREFIX)
+    return [
+        record
+        for record in reader.samples()
+        if isinstance(record.get("name"), str)
+        and isinstance(record.get("tid"), str)
+    ]

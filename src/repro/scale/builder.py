@@ -79,8 +79,18 @@ def builder_main(
     min_api_hits: int = 1,
     keep_generations: int = 2,
     max_events: Optional[int] = None,
+    obs_dir: Optional[str] = None,
+    trace_id: Optional[str] = None,
 ) -> None:
-    """Process entry point: ingest, publish, prune, exit on drain."""
+    """Process entry point: ingest, publish, prune, exit on drain.
+
+    With ``obs_dir`` every publish is recorded as a ``builder.publish``
+    span -- stamped with the new generation number -- under the plane's
+    run ``trace_id``, into ``<obs_dir>/builder`` span segments that
+    ``cellspot postmortem`` joins with front and worker spans.
+    """
+    import time
+
     from repro.runtime.faults import mark_worker_process
     from repro.stream.engine import StreamEngine
     from repro.stream.windows import WindowPolicy
@@ -89,12 +99,20 @@ def builder_main(
     policy = WindowPolicy(window_events=window_events, decay=1.0)
     engine = StreamEngine(policy=policy)
     catalog = SnapshotCatalog(catalog_dir)
+    span_log = None
+    if obs_dir is not None:
+        from pathlib import Path
+
+        from repro.obs.trace import SpanLog
+
+        span_log = SpanLog(Path(obs_dir) / "builder", source="builder")
 
     published_at_window = -1
 
     def publish() -> None:
         nonlocal published_at_window
-        catalog.publish(
+        started = time.perf_counter()
+        info = catalog.publish(
             engine.ratio_table(min_api_hits),
             meta={
                 "events": engine.events_consumed,
@@ -104,6 +122,19 @@ def builder_main(
         )
         published_at_window = engine.windows_advanced
         catalog.prune(keep=keep_generations)
+        if span_log is not None:
+            try:
+                span_log.record(
+                    "builder.publish",
+                    trace_id or "",
+                    started=started,
+                    duration=time.perf_counter() - started,
+                    generation=info.number,
+                    events=engine.events_consumed,
+                    windows=engine.windows_advanced,
+                )
+            except Exception:  # noqa: BLE001 -- telemetry must not kill ingest
+                pass
 
     events = event_source(source_spec)
     for hit in events:

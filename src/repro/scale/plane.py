@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import multiprocessing
 import os
 import socket
@@ -41,7 +42,7 @@ import time
 import uuid
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.classifier import DEFAULT_THRESHOLD
 from repro.obs.metrics import (
@@ -50,9 +51,12 @@ from repro.obs.metrics import (
     global_registry,
 )
 from repro.runtime.faults import fault_point
+from repro.runtime.logging import get_logger, log_event
 from repro.scale.builder import builder_main
 from repro.scale.snapshot import CatalogError, SnapshotCatalog
 from repro.scale.worker import worker_main
+
+logger = get_logger("scale.plane")
 
 _STREAM_LIMIT = 1 << 20  # longest tolerated protocol line (1 MiB)
 
@@ -90,6 +94,11 @@ def plane_metrics(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry
     )
     registry.counter(
         "scale_worker_respawns_total", "worker processes respawned",
+        exist_ok=True,
+    )
+    registry.counter(
+        "scale_stats_timeouts_total",
+        "per-worker stats roundtrips that timed out",
         exist_ok=True,
     )
     registry.gauge(
@@ -189,6 +198,23 @@ class PlaneConfig:
     #: Times a query is retried on another worker after a death.
     dispatch_retries: int = 2
     drain_timeout_s: float = 10.0
+    #: Timeout for one per-worker ``stats`` roundtrip (best effort).
+    stats_timeout_s: float = 2.0
+    #: Observability root.  When set, the front mints request ids,
+    #: injects ``_trace`` envelopes toward workers, records
+    #: ``front.request`` spans, federates worker metric samples, and
+    #: harvests flight-recorder rings on worker death.  ``None`` keeps
+    #: the plane byte-for-byte on its untraced fast path.
+    obs_dir: Optional[Union[str, Path]] = None
+    #: Cadence of the workers' local metric export into their segment
+    #: rings (only meaningful with ``obs_dir``).
+    obs_scrape_interval_s: float = 0.5
+    #: Slots in each worker's crash flight-recorder ring.
+    flight_records: int = 128
+    #: ``(slot, seconds)``: slow every query on that slot's *first*
+    #: incarnation by ``seconds`` -- a deliberate sick replica for
+    #: skew-alert drills.  A respawn of the slot runs at full speed.
+    drill_slow_worker: Optional[Tuple[int, float]] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -203,6 +229,18 @@ class PlaneConfig:
             raise ValueError("worker_reply_cap_s must be positive")
         if self.dispatch_retries < 0:
             raise ValueError("dispatch_retries must be >= 0")
+        if self.stats_timeout_s <= 0:
+            raise ValueError("stats_timeout_s must be positive")
+        if self.obs_scrape_interval_s <= 0:
+            raise ValueError("obs_scrape_interval_s must be positive")
+        if self.flight_records < 1:
+            raise ValueError("flight_records must be >= 1")
+        if self.drill_slow_worker is not None:
+            slot, seconds = self.drill_slow_worker
+            if slot < 0 or slot >= self.workers:
+                raise ValueError("drill_slow_worker slot out of range")
+            if seconds <= 0:
+                raise ValueError("drill_slow_worker seconds must be positive")
 
 
 class WorkerHandle:
@@ -223,6 +261,10 @@ class WorkerHandle:
         self.writer = writer
         self.alive = True
         self._lock = asyncio.Lock()
+        #: Front-side view of the request currently on the wire to this
+        #: worker (only maintained when observability is on); harvested
+        #: into the death artifact if the worker dies mid-request.
+        self.inflight: Optional[Dict] = None
 
     async def request(self, line: bytes) -> bytes:
         """One request/response roundtrip (serialized per worker)."""
@@ -239,6 +281,145 @@ class WorkerHandle:
             self.writer.close()
         except Exception:  # noqa: BLE001 -- teardown best effort
             pass
+
+
+class PlaneObs:
+    """Front-side distributed observability state.
+
+    Owns the obs directory layout (see :mod:`repro.obs.postmortem`),
+    mints run-unique request ids under the run ``trace_id``, records
+    ``front.request`` spans, federates the workers' latest exported
+    metric samples into worker-tagged keys, and harvests a dead
+    worker's flight-recorder ring into a ``postmortem-*.json``
+    artifact naming the exact dying request.
+    """
+
+    def __init__(self, obs_dir: Union[str, Path]) -> None:
+        from repro.obs.trace import SpanLog, current_trace_id
+
+        self.root = Path(obs_dir)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.trace_id = current_trace_id()
+        self.spans = SpanLog(self.root / "front", source="front")
+        self._seq = 0
+        self._artifacts = 0
+
+    def next_request_id(self) -> str:
+        """Monotonic per-run request id (16 chars: fits the flight ring)."""
+        self._seq += 1
+        return f"req-{self._seq:012d}"
+
+    # ---- metrics federation ---------------------------------------------
+
+    def federation_metrics(self, max_age_s: float = 2.0) -> Dict:
+        """Latest per-worker samples as ``name{worker="N"}`` tagged keys.
+
+        Reads each worker's newest exported sample (written by its
+        in-process :class:`~repro.obs.timeseries.MetricScraper`) and
+        re-keys every metric with a ``worker`` label.  Samples older
+        than ``max_age_s`` are dropped: a dead worker's stale export
+        must not keep feeding the skew alert.
+        """
+        from repro.obs.timeseries import read_latest_sample, tag_metric
+
+        merged: Dict = {}
+        now = time.time()
+        for entry in sorted(self.root.glob("worker-*")):
+            if not entry.is_dir():
+                continue
+            slot = entry.name[len("worker-"):]
+            sample = read_latest_sample(entry)
+            if sample is None:
+                continue
+            if now - float(sample.get("ts", 0.0)) > max_age_s:
+                continue
+            for name, value in (sample.get("m") or {}).items():
+                merged[tag_metric(name, worker=slot)] = value
+        return merged
+
+    def worker_rollup(self) -> List[Dict]:
+        """Per-worker health rows from the latest federated samples."""
+        from repro.obs.timeseries import read_latest_sample
+
+        rows: List[Dict] = []
+        for entry in sorted(self.root.glob("worker-*")):
+            if not entry.is_dir():
+                continue
+            sample = read_latest_sample(entry)
+            if sample is None:
+                continue
+            metrics = sample.get("m") or {}
+            row: Dict = {
+                "worker": entry.name[len("worker-"):],
+                "ts": sample.get("ts"),
+            }
+            latency = metrics.get("scale_worker_query_latency_seconds")
+            if isinstance(latency, list) and latency and latency[0] == "h":
+                row["queries"] = latency[1]
+                row["p99_s"] = latency[4]
+            generation = metrics.get("scale_worker_generation")
+            if isinstance(generation, list) and len(generation) == 2:
+                row["generation"] = generation[1]
+            rows.append(row)
+        return rows
+
+    # ---- crash harvesting ------------------------------------------------
+
+    def harvest_worker(self, handle: WorkerHandle, reason: str) -> Optional[Path]:
+        """Freeze a dead worker's flight ring into a death artifact."""
+        from repro.obs.flight import FlightRecorderError, read_flight_ring
+
+        ring_path = self.root / f"worker-{handle.slot}.fr"
+        ring: Optional[Dict] = None
+        try:
+            ring = read_flight_ring(ring_path)
+        except (FlightRecorderError, OSError):
+            ring = None
+        dying: Optional[Dict] = None
+        if ring is not None:
+            for record in reversed(ring["records"]):
+                if record["outcome"] == "inflight":
+                    dying = record
+                    break
+            if dying is None and ring["records"]:
+                dying = ring["records"][-1]
+        self._artifacts += 1
+        artifact = {
+            "kind": "worker-death",
+            "ts": time.time(),
+            "trace_id": self.trace_id,
+            "slot": handle.slot,
+            "pid": handle.process.pid,
+            "exitcode": handle.process.exitcode,
+            "reason": reason,
+            "inflight_front": handle.inflight,
+            "dying_request": dying,
+            "flight": (
+                {
+                    "path": ring["path"],
+                    "records": len(ring["records"]),
+                    "next_seq": ring["next_seq"],
+                }
+                if ring is not None
+                else None
+            ),
+        }
+        path = self.root / (
+            f"postmortem-worker{handle.slot}-{self._artifacts:04d}.json"
+        )
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(artifact, indent=2, sort_keys=True))
+        os.replace(tmp, path)
+        log_event(
+            logger,
+            logging.WARNING,
+            "scale.worker.postmortem",
+            slot=handle.slot,
+            reason=reason,
+            artifact=str(path),
+            dying_rid=(dying or {}).get("rid") or "-",
+        )
+        return path
 
 
 class ServingPlane:
@@ -263,6 +444,14 @@ class ServingPlane:
         # front's event loop, server sockets, or signal handlers.
         self._ctx = multiprocessing.get_context("spawn")
         self.builder_process = None
+        self._obs: Optional[PlaneObs] = (
+            PlaneObs(self.config.obs_dir)
+            if self.config.obs_dir is not None
+            else None
+        )
+        #: Spawn count per slot -- the slow-worker drill only afflicts
+        #: a slot's first incarnation, so a respawn heals the skew.
+        self._incarnations: Dict[int, int] = {}
         self._workers: List[WorkerHandle] = []
         self._idle: "asyncio.Queue[WorkerHandle]" = asyncio.Queue()
         self._pending = 0
@@ -291,13 +480,17 @@ class ServingPlane:
     async def start(self) -> None:
         """Spawn builder + workers and wait until queries can be served."""
         if self.source_spec is not None:
+            builder_kwargs = {
+                "min_api_hits": self.config.min_api_hits,
+                **self.builder_options,
+            }
+            if self._obs is not None:
+                builder_kwargs.setdefault("obs_dir", str(self._obs.root))
+                builder_kwargs.setdefault("trace_id", self._obs.trace_id)
             self.builder_process = self._ctx.Process(
                 target=builder_main,
                 args=(str(self.catalog.root), self.source_spec),
-                kwargs={
-                    "min_api_hits": self.config.min_api_hits,
-                    **self.builder_options,
-                },
+                kwargs=builder_kwargs,
                 daemon=True,
             )
             self.builder_process.start()
@@ -331,6 +524,31 @@ class ServingPlane:
         path = str(
             self.catalog.root / f"worker-{slot}-{uuid.uuid4().hex[:8]}.sock"
         )
+        incarnation = self._incarnations.get(slot, 0)
+        self._incarnations[slot] = incarnation + 1
+        kwargs = {
+            "poll_interval_s": self.config.worker_poll_interval_s,
+            "refresh_every": self.config.worker_refresh_every,
+            "startup_timeout_s": self.config.startup_timeout_s,
+            "slot": slot,
+        }
+        if self._obs is not None:
+            kwargs.update(
+                obs_dir=str(self._obs.root),
+                trace_id=self._obs.trace_id,
+                obs_scrape_interval_s=self.config.obs_scrape_interval_s,
+                flight_records=self.config.flight_records,
+            )
+        drill = self.config.drill_slow_worker
+        if drill is not None and drill[0] == slot and incarnation == 0:
+            kwargs["slow_query_s"] = drill[1]
+            log_event(
+                logger,
+                logging.WARNING,
+                "scale.drill.slow_worker",
+                slot=slot,
+                slow_query_s=drill[1],
+            )
         process = self._ctx.Process(
             target=worker_main,
             args=(
@@ -339,11 +557,7 @@ class ServingPlane:
                 self.config.threshold,
                 self.config.min_api_hits,
             ),
-            kwargs={
-                "poll_interval_s": self.config.worker_poll_interval_s,
-                "refresh_every": self.config.worker_refresh_every,
-                "startup_timeout_s": self.config.startup_timeout_s,
-            },
+            kwargs=kwargs,
             daemon=True,
         )
         process.start()
@@ -371,13 +585,23 @@ class ServingPlane:
     def _alive_count(self) -> int:
         return sum(1 for handle in self._workers if handle.alive)
 
-    async def _retire(self, handle: WorkerHandle, respawn: bool = True) -> None:
+    async def _retire(
+        self,
+        handle: WorkerHandle,
+        respawn: bool = True,
+        reason: str = "connection lost",
+    ) -> None:
         """Mark a worker dead, kill its process, optionally respawn."""
         if not handle.alive:
             return
         handle.alive = False
         self.metrics.get("scale_worker_deaths_total").inc()
         handle.close_connection()
+        if self._obs is not None:
+            try:
+                self._obs.harvest_worker(handle, reason)
+            except Exception:  # noqa: BLE001 -- telemetry must not block respawn
+                pass
         if handle.process.is_alive():
             handle.process.terminate()
         self.metrics.get("scale_workers_alive").set(float(self._alive_count()))
@@ -408,7 +632,13 @@ class ServingPlane:
             for handle in list(self._workers):
                 if handle.alive and not handle.process.is_alive():
                     try:
-                        await self._retire(handle)
+                        await self._retire(
+                            handle,
+                            reason=(
+                                "process exited "
+                                f"(exit {handle.process.exitcode})"
+                            ),
+                        )
                     except (RuntimeError, TimeoutError):
                         pass  # respawn failed; the next tick retries nothing
                         # -- the slot stays dead and stats show it.
@@ -416,7 +646,10 @@ class ServingPlane:
     # ---- dispatch --------------------------------------------------------
 
     async def _dispatch(
-        self, line: bytes, deadline: Optional[float]
+        self,
+        line: bytes,
+        deadline: Optional[float],
+        rid: Optional[str] = None,
     ) -> bytes:
         """Send one query line to a worker; retry across deaths."""
         attempts = 0
@@ -443,6 +676,12 @@ class ServingPlane:
             fault_point("scale.dispatch", index=self._dispatched)
             cap = self.config.worker_reply_cap_s
             budget = cap if remaining is None else min(remaining, cap)
+            if rid is not None:
+                handle.inflight = {
+                    "rid": rid,
+                    "line": line[:240].decode("utf-8", "replace").rstrip("\n"),
+                    "ts": time.time(),
+                }
             task = asyncio.ensure_future(handle.request(line))
             try:
                 reply = await asyncio.wait_for(asyncio.shield(task), budget)
@@ -450,7 +689,7 @@ class ServingPlane:
                 if budget >= cap:
                     # Hung worker: kill it and retry elsewhere.
                     task.cancel()
-                    await self._retire(handle)
+                    await self._retire(handle, reason="reply cap exceeded")
                     if attempts < self.config.dispatch_retries:
                         attempts += 1
                         continue
@@ -469,6 +708,7 @@ class ServingPlane:
                     continue
                 return _dumps({"ok": False, "error": "worker failed"})
             else:
+                handle.inflight = None
                 self._idle.put_nowait(handle)
                 return reply
 
@@ -482,8 +722,9 @@ class ServingPlane:
             asyncio.IncompleteReadError,
             OSError,
         ):
-            await self._retire(handle)
+            await self._retire(handle, reason="reclaim failed")
         else:
+            handle.inflight = None
             if handle.alive:
                 self._idle.put_nowait(handle)
 
@@ -524,6 +765,35 @@ class ServingPlane:
         if self._pending >= self.config.max_pending:
             self.metrics.get("scale_shed_total").inc()
             return SHED_RESPONSE
+        rid: Optional[str] = None
+        span_id: Optional[str] = None
+        if self._obs is not None:
+            # Trace envelope: the worker pops ``_trace`` before
+            # answering, so the reply bytes stay identical to an
+            # untraced run.  Injected only for admitted requests --
+            # pre-admission sheds never reach a worker.
+            from repro.obs.trace import _new_id
+
+            rid = self._obs.next_request_id()
+            span_id = _new_id()
+            envelope = (
+                ',"_trace":{"tid":"%s","rid":"%s","psid":"%s"}}\n'
+                % (self._obs.trace_id, rid, span_id)
+            ).encode()
+            stripped = line.rstrip()
+            if stripped.endswith(b"}") and len(stripped) > 2:
+                # Splice the envelope into the already-serialized
+                # object instead of re-dumping the whole (possibly
+                # 100-query) request line.  The ids are hex16 /
+                # ``req-%012d``, so no JSON escaping is needed.
+                line = stripped[:-1] + envelope
+            else:
+                request["_trace"] = {
+                    "tid": self._obs.trace_id,
+                    "rid": rid,
+                    "psid": span_id,
+                }
+                line = _dumps(request)
         self._pending += 1
         self.metrics.get("scale_pending_requests").set(float(self._pending))
         started = time.perf_counter()
@@ -533,7 +803,7 @@ class ServingPlane:
             else None
         )
         try:
-            reply = await self._dispatch(line, deadline)
+            reply = await self._dispatch(line, deadline, rid=rid)
         finally:
             self._pending -= 1
             self.metrics.get("scale_pending_requests").set(
@@ -546,10 +816,31 @@ class ServingPlane:
         self.metrics.get("scale_queries_total").inc(
             len(queries) if isinstance(queries, list) else 1
         )
+        if self._obs is not None:
+            try:
+                self._obs.spans.record(
+                    "front.request",
+                    self._obs.trace_id,
+                    started=started,
+                    duration=elapsed,
+                    span_id=span_id,
+                    request_id=rid,
+                    outcome="shed" if reply == SHED_RESPONSE else "ok",
+                    queries=len(queries) if isinstance(queries, list) else 1,
+                )
+            except Exception:  # noqa: BLE001 -- telemetry must not fail queries
+                pass
         return reply
 
     async def _worker_stats(self) -> List[Dict]:
-        """One ``stats`` roundtrip per live worker (best effort)."""
+        """One ``stats`` roundtrip per live worker (best effort).
+
+        A roundtrip that exceeds ``stats_timeout_s`` is still skipped
+        (a busy worker must not wedge the front's ``stats`` op), but no
+        longer silently: it bumps ``scale_stats_timeouts_total`` and
+        logs the worker slot, so a chronically unresponsive worker is
+        visible instead of just missing from the merged histogram.
+        """
         stats_line = _dumps({"op": "stats"})
         payloads: List[Dict] = []
         for handle in list(self._workers):
@@ -557,16 +848,23 @@ class ServingPlane:
                 continue
             try:
                 reply = await asyncio.wait_for(
-                    handle.request(stats_line), 2.0
+                    handle.request(stats_line), self.config.stats_timeout_s
                 )
+            except asyncio.TimeoutError:
+                self.metrics.get("scale_stats_timeouts_total").inc()
+                log_event(
+                    logger,
+                    logging.WARNING,
+                    "scale.stats.timeout",
+                    slot=handle.slot,
+                    timeout_s=self.config.stats_timeout_s,
+                )
+                continue
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                continue  # dying worker: the reaper will retire it
+            try:
                 payload = json.loads(reply)
-            except (
-                asyncio.TimeoutError,
-                ConnectionError,
-                asyncio.IncompleteReadError,
-                OSError,
-                ValueError,
-            ):
+            except ValueError:
                 continue
             if payload.get("ok"):
                 payloads.append(payload)
@@ -587,6 +885,9 @@ class ServingPlane:
             "worker_deaths": metrics.get("scale_worker_deaths_total").value,
             "worker_respawns": metrics.get(
                 "scale_worker_respawns_total"
+            ).value,
+            "stats_timeouts": metrics.get(
+                "scale_stats_timeouts_total"
             ).value,
             "draining": self._draining,
         }
@@ -628,7 +929,28 @@ class ServingPlane:
         }
         if self.alert_engine is not None:
             payload["alert_counts"] = self.alert_engine.counts()
+        if self._obs is not None:
+            try:
+                payload["workers"] = self._obs.worker_rollup()
+                payload["trace_id"] = self._obs.trace_id
+            except Exception:  # noqa: BLE001 -- telemetry must not fail health
+                pass
         return payload
+
+    def federation_metrics(self, max_age_s: Optional[float] = None) -> Dict:
+        """Workers' latest exported metrics as worker-tagged keys.
+
+        Wired into the front's :class:`~repro.obs.timeseries.MetricScraper`
+        as an enricher so per-worker series land in the front's
+        time-series ring (the PR 5 offline toolchain -- reader, alert
+        engine, ``cellspot top`` -- then sees them for free).  Returns
+        ``{}`` when observability is off.
+        """
+        if self._obs is None:
+            return {}
+        if max_age_s is None:
+            max_age_s = max(4.0 * self.config.obs_scrape_interval_s, 2.0)
+        return self._obs.federation_metrics(max_age_s=max_age_s)
 
     def alerts(self) -> Dict:
         if self.alert_engine is None:

@@ -13,6 +13,18 @@ published generation.  The swap is the :class:`IndexHolder` build-then-
 assign dance, so queries racing a swap are answered from the old index
 or the new one, never a partial build.
 
+With an observability directory (the plane's ``--obs-dir``) each
+worker additionally runs its own telemetry spine (:class:`WorkerObs`):
+per-request child spans (decode / LPM / enrich) under the front's
+``trace_id`` into a bounded ``spans-`` segment ring, its local metric
+registry exported on the scraper cadence into worker-tagged
+time-series segments, and a crash flight recorder -- an mmap ring of
+the last N request lines that survives ``SIGKILL``
+(:mod:`repro.obs.flight`).  All of it is strictly additive: the
+response bytes are built from the parsed request alone (the front's
+``_trace`` envelope is popped first), so traced answers stay
+byte-identical to untraced ones.
+
 The worker exits when the front closes the connection (graceful drain)
 or disappears (EOF): workers never outlive their plane.
 """
@@ -23,7 +35,8 @@ import json
 import os
 import socket
 import time
-from typing import Dict, Optional
+from pathlib import Path
+from typing import Dict, Optional, Union
 
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 from repro.runtime.faults import fault_point, mark_worker_process
@@ -69,6 +82,55 @@ def worker_metrics(registry: Optional[MetricsRegistry] = None) -> MetricsRegistr
     return registry
 
 
+class WorkerObs:
+    """One worker's distributed-telemetry bundle (span log, metric
+    export, flight recorder) rooted under the plane's obs directory.
+
+    Layout: spans and metric segments share ``<obs>/worker-<slot>/``
+    (distinct ring prefixes); the flight ring is the sibling file
+    ``<obs>/worker-<slot>.fr`` so the front can harvest it after the
+    worker process is gone.
+    """
+
+    def __init__(
+        self,
+        obs_dir: Union[str, Path],
+        slot: int,
+        trace_id: str,
+        registry: MetricsRegistry,
+        scrape_interval_s: float = 0.5,
+        flight_records: int = 128,
+    ) -> None:
+        from repro.obs.flight import FlightRecorder
+        from repro.obs.timeseries import MetricScraper, TimeSeriesStore
+        from repro.obs.trace import SpanLog
+
+        root = Path(obs_dir)
+        name = f"worker-{slot}"
+        self.slot = slot
+        self.trace_id = trace_id
+        self.spans = SpanLog(root / name, source=name)
+        self.flight = FlightRecorder(
+            root / f"{name}.fr", slots=flight_records
+        )
+        self.scraper = MetricScraper(
+            TimeSeriesStore(root / name),
+            registry=registry,
+            interval_s=scrape_interval_s,
+            source=name,
+        )
+
+    def start(self) -> None:
+        self.scraper.start()
+
+    def stop(self) -> None:
+        try:
+            self.scraper.stop(final_scrape=True)
+        except Exception:  # noqa: BLE001 -- teardown best effort
+            pass
+        self.flight.close()
+
+
 class QueryWorker:
     """The request handler behind :func:`worker_main` (testable inline)."""
 
@@ -78,6 +140,9 @@ class QueryWorker:
         threshold: float,
         min_api_hits: int,
         refresh_every: int = 512,
+        slot: int = 0,
+        obs: Optional[WorkerObs] = None,
+        slow_query_s: float = 0.0,
     ) -> None:
         self.holder = IndexHolder(
             catalog, threshold=threshold, min_api_hits=min_api_hits
@@ -85,6 +150,12 @@ class QueryWorker:
         self.refresh_every = max(1, refresh_every)
         self.metrics = worker_metrics()
         self.requests = 0
+        self.slot = slot
+        self.obs = obs
+        #: Drill knob: sleep this long inside every timed lookup, so a
+        #: deliberately sick replica shows up in its own latency
+        #: histogram (the ``worker-latency-skew`` rule's food).
+        self.slow_query_s = slow_query_s
 
     def maybe_refresh(self, force: bool = False) -> bool:
         if not force and self.requests % self.refresh_every:
@@ -97,7 +168,9 @@ class QueryWorker:
             )
         return swapped
 
-    def handle_request(self, request: Dict) -> Dict:
+    def handle_request(
+        self, request: Dict, timings: Optional[Dict] = None
+    ) -> Dict:
         """Answer one decoded request; never raises."""
         try:
             fault_point("scale.worker", index=self.requests)
@@ -106,7 +179,7 @@ class QueryWorker:
             self.maybe_refresh()
             op = request.get("op")
             if op == "query":
-                return self._handle_query(request)
+                return self._handle_query(request, timings)
             if op == "stats":
                 return self.stats()
             if op == "ping":
@@ -118,7 +191,9 @@ class QueryWorker:
         except Exception as exc:  # noqa: BLE001 -- the loop must survive
             return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
 
-    def _handle_query(self, request: Dict) -> Dict:
+    def _handle_query(
+        self, request: Dict, timings: Optional[Dict] = None
+    ) -> Dict:
         queries = request.get("qs")
         single = request.get("q")
         if queries is None and single is None:
@@ -137,17 +212,41 @@ class QueryWorker:
         _info, _table, index = active
         latency = self.metrics.get("scale_worker_query_latency_seconds")
         counter = self.metrics.get("scale_worker_queries_total")
+        slow = self.slow_query_s
 
         def answer(text) -> Dict:
             started = time.perf_counter()
+            if slow:
+                time.sleep(slow)
             result = index.query(str(text))
             latency.observe(time.perf_counter() - started)
             counter.inc()
             return result.to_dict()
 
+        if timings is not None:
+            # Tracing must cost nothing per query: the LPM total for
+            # this line is the latency histogram's sum delta (the
+            # untraced path already feeds it), and the remainder of the
+            # batch wall time is enrichment.  Same closure either way,
+            # so tracing-on answers cannot drift.
+            lpm_before = latency.total
+            queries_before = counter.value
+            batch_started = time.perf_counter()
+
         if queries is not None:
-            return {"ok": True, "results": [answer(item) for item in queries]}
-        return {"ok": True, "result": answer(single)}
+            response = {
+                "ok": True, "results": [answer(item) for item in queries]
+            }
+        else:
+            response = {"ok": True, "result": answer(single)}
+
+        if timings is not None:
+            batch_elapsed = time.perf_counter() - batch_started
+            lpm = latency.total - lpm_before
+            timings["lpm"] = lpm
+            timings["enrich"] = max(0.0, batch_elapsed - lpm)
+            timings["queries"] = int(counter.value - queries_before)
+        return response
 
     def stats(self) -> Dict:
         active = self.holder.current()
@@ -166,13 +265,103 @@ class QueryWorker:
         }
 
     def handle_line(self, line: bytes) -> bytes:
+        decode_started = time.perf_counter()
         try:
             request = json.loads(line)
         except ValueError as exc:
             return _dumps({"ok": False, "error": f"bad JSON: {exc}"})
         if not isinstance(request, dict):
             return _dumps({"ok": False, "error": "request must be a JSON object"})
-        return _dumps(self.handle_request(request))
+        # The front's trace envelope never reaches handle_request: the
+        # response is built from the remaining fields alone, keeping
+        # traced answers byte-identical to untraced ones.
+        trace = request.pop("_trace", None)
+        obs = self.obs
+        if obs is None:
+            return _dumps(self.handle_request(request))
+        decoded = time.perf_counter()
+        generation = self.holder.generation
+        rid = trace.get("rid", "") if isinstance(trace, dict) else ""
+        token = obs.flight.begin(line, rid, generation)
+        timings = {"lpm": 0.0, "enrich": 0.0, "queries": 0}
+        response = self.handle_request(request, timings=timings)
+        ok = bool(response.get("ok"))
+        obs.flight.end(token, ok=ok)
+        self._record_spans(
+            trace, request, decode_started, decoded, timings, ok
+        )
+        return _dumps(response)
+
+    def _record_spans(
+        self,
+        trace: Optional[Dict],
+        request: Dict,
+        decode_started: float,
+        decoded: float,
+        timings: Dict,
+        ok: bool,
+    ) -> None:
+        """Persist this request's span tree (never raises into serving)."""
+        obs = self.obs
+        trace = trace if isinstance(trace, dict) else {}
+        trace_id = trace.get("tid") or obs.trace_id
+        rid = trace.get("rid")
+        try:
+            ended = time.perf_counter()
+            # Build the whole tree, then persist it in ONE segment
+            # write: per-span file opens were the dominant tracing cost
+            # on the serving hot path.
+            parent = obs.spans.build(
+                "worker.request",
+                trace_id,
+                started=decode_started,
+                duration=ended - decode_started,
+                parent_id=trace.get("psid"),
+                request_id=rid,
+                slot=self.slot,
+                generation=self.holder.generation,
+                op=request.get("op"),
+                ok=ok,
+            )
+            tree = [
+                parent,
+                obs.spans.build(
+                    "worker.decode",
+                    trace_id,
+                    started=decode_started,
+                    duration=decoded - decode_started,
+                    parent_id=parent["sid"],
+                    request_id=rid,
+                ),
+            ]
+            if timings["queries"]:
+                # Aggregate children: total LPM lookup time, then total
+                # result enrichment, across the line's queries.
+                tree.append(
+                    obs.spans.build(
+                        "worker.lpm",
+                        trace_id,
+                        started=decoded,
+                        duration=timings["lpm"],
+                        parent_id=parent["sid"],
+                        request_id=rid,
+                        queries=timings["queries"],
+                    )
+                )
+                tree.append(
+                    obs.spans.build(
+                        "worker.enrich",
+                        trace_id,
+                        started=decoded + timings["lpm"],
+                        duration=timings["enrich"],
+                        parent_id=parent["sid"],
+                        request_id=rid,
+                        queries=timings["queries"],
+                    )
+                )
+            obs.spans.write(tree)
+        except Exception:  # noqa: BLE001 -- telemetry must not fail requests
+            pass
 
 
 def worker_main(
@@ -183,6 +372,12 @@ def worker_main(
     poll_interval_s: float = 0.05,
     refresh_every: int = 512,
     startup_timeout_s: float = 60.0,
+    slot: int = 0,
+    obs_dir: Optional[str] = None,
+    trace_id: Optional[str] = None,
+    obs_scrape_interval_s: float = 0.5,
+    flight_records: int = 128,
+    slow_query_s: float = 0.0,
 ) -> None:
     """Process entry point: serve one front connection until EOF."""
     mark_worker_process()
@@ -192,7 +387,21 @@ def worker_main(
         threshold=threshold,
         min_api_hits=min_api_hits,
         refresh_every=refresh_every,
+        slot=slot,
+        slow_query_s=slow_query_s,
     )
+    obs: Optional[WorkerObs] = None
+    if obs_dir is not None:
+        obs = WorkerObs(
+            obs_dir,
+            slot=slot,
+            trace_id=trace_id or "",
+            registry=worker.metrics,
+            scrape_interval_s=obs_scrape_interval_s,
+            flight_records=flight_records,
+        )
+        worker.obs = obs
+        obs.start()
     # Map the first generation before accepting traffic so the very
     # first query is already answered from a complete index.
     try:
@@ -229,6 +438,8 @@ def worker_main(
                     return  # front closed: drain complete
                 buffer += chunk
     finally:
+        if obs is not None:
+            obs.stop()
         listener.close()
         try:
             os.unlink(socket_path)

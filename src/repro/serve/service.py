@@ -870,11 +870,13 @@ def _socket_is_live(socket_path: Path, timeout_s: float = 0.2) -> bool:
         probe.close()
 
 
-def install_sigusr1_stats(service: CellSpotService, stream=None) -> bool:
-    """Dump metrics JSON to ``stream`` (stderr) on ``SIGUSR1``.
+def install_sigusr1_registry(registry, stream=None) -> bool:
+    """Dump a metrics registry's JSON to ``stream`` (stderr) on ``SIGUSR1``.
 
     Returns False when signals are unavailable (non-main thread,
-    platforms without SIGUSR1) -- the service works without it.
+    platforms without SIGUSR1) -- the caller works without it.  Shared
+    by the single-process service and the serving-plane front so both
+    answer the same operator reflex with the same atomic dump.
     """
     import signal
     import sys
@@ -884,7 +886,7 @@ def install_sigusr1_stats(service: CellSpotService, stream=None) -> bool:
     target = stream if stream is not None else sys.stderr
 
     def _dump(_signum, _frame):
-        target.write(service.metrics.render_json(indent=2))
+        target.write(registry.render_json(indent=2))
         target.write("\n")
         target.flush()
 
@@ -893,3 +895,8 @@ def install_sigusr1_stats(service: CellSpotService, stream=None) -> bool:
     except ValueError:  # not the main thread
         return False
     return True
+
+
+def install_sigusr1_stats(service: CellSpotService, stream=None) -> bool:
+    """Dump the service's metrics JSON to ``stream`` on ``SIGUSR1``."""
+    return install_sigusr1_registry(service.metrics, stream=stream)

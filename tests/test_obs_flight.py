@@ -1,0 +1,144 @@
+"""Crash flight recorder: mmap ring roundtrips, torn writes, resume."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.obs.flight import (
+    HEADER_BYTES,
+    RECORD_FIXED,
+    FlightRecorder,
+    FlightRecorderError,
+    read_flight_ring,
+)
+
+
+@pytest.fixture()
+def ring_path(tmp_path):
+    return tmp_path / "worker-0.fr"
+
+
+class TestRoundtrip:
+    def test_begin_end_roundtrip(self, ring_path):
+        recorder = FlightRecorder(ring_path, slots=4)
+        token = recorder.begin(
+            b'{"op":"query","q":"10.0.0.1"}', "req-000000000001", 7
+        )
+        recorder.end(token, ok=True)
+        recorder.close()
+        ring = read_flight_ring(ring_path)
+        assert ring["slots"] == 4
+        assert ring["next_seq"] == 2
+        (record,) = ring["records"]
+        assert record["seq"] == 1
+        assert record["rid"] == "req-000000000001"
+        assert record["generation"] == 7
+        assert record["outcome"] == "ok"
+        assert record["line"] == '{"op":"query","q":"10.0.0.1"}'
+        assert record["mono_ended"] >= record["mono_started"]
+
+    def test_error_outcome_and_missing_generation(self, ring_path):
+        recorder = FlightRecorder(ring_path, slots=2)
+        token = recorder.begin(b'{"op":"nope"}')
+        recorder.end(token, ok=False)
+        recorder.close()
+        (record,) = read_flight_ring(ring_path)["records"]
+        assert record["outcome"] == "error"
+        assert record["generation"] is None
+        assert record["rid"] == ""
+
+    def test_empty_ring_reads_clean(self, ring_path):
+        FlightRecorder(ring_path, slots=3).close()
+        ring = read_flight_ring(ring_path)
+        assert ring["records"] == []
+        assert ring["next_seq"] == 1
+
+    def test_long_line_is_truncated_to_line_bytes(self, ring_path):
+        recorder = FlightRecorder(ring_path, slots=2, line_bytes=16)
+        recorder.end(recorder.begin(b"x" * 100, "req-1"))
+        recorder.close()
+        (record,) = read_flight_ring(ring_path)["records"]
+        assert record["line"] == "x" * 16
+
+
+class TestRingSemantics:
+    def test_wraparound_keeps_last_n(self, ring_path):
+        recorder = FlightRecorder(ring_path, slots=3)
+        for index in range(8):
+            recorder.end(recorder.begin(f"line-{index}".encode()))
+        recorder.close()
+        records = read_flight_ring(ring_path)["records"]
+        assert [r["seq"] for r in records] == [6, 7, 8]
+        assert [r["line"] for r in records] == ["line-5", "line-6", "line-7"]
+
+    def test_end_after_lap_is_a_noop(self, ring_path):
+        recorder = FlightRecorder(ring_path, slots=2)
+        stale = recorder.begin(b"old")
+        for index in range(3):
+            recorder.end(recorder.begin(f"new-{index}".encode()))
+        recorder.end(stale, ok=False)  # slot was reused; must not corrupt
+        recorder.close()
+        records = read_flight_ring(ring_path)["records"]
+        assert all(r["outcome"] == "ok" for r in records)
+
+    def test_inflight_record_survives_without_end(self, ring_path):
+        # Simulates SIGKILL mid-request: begin() ran, end() never did.
+        recorder = FlightRecorder(ring_path, slots=4)
+        recorder.end(recorder.begin(b"finished", "req-0"))
+        recorder.begin(b'{"op":"query","q":"dying"}', "req-1", 3)
+        recorder.flush()  # reader sees the mapping without close()
+        ring = read_flight_ring(ring_path)
+        inflight = [r for r in ring["records"] if r["outcome"] == "inflight"]
+        assert len(inflight) == 1
+        assert inflight[0]["rid"] == "req-1"
+        assert inflight[0]["mono_ended"] is None
+        assert "dying" in inflight[0]["line"]
+        recorder.close()
+
+
+class TestResumeAndValidation:
+    def test_reopen_resumes_sequence(self, ring_path):
+        recorder = FlightRecorder(ring_path, slots=4)
+        recorder.end(recorder.begin(b"before"))
+        recorder.close()
+        resumed = FlightRecorder(ring_path, slots=4)
+        resumed.end(resumed.begin(b"after"))
+        resumed.close()
+        records = read_flight_ring(ring_path)["records"]
+        assert [r["seq"] for r in records] == [1, 2]
+        assert [r["line"] for r in records] == ["before", "after"]
+
+    def test_geometry_change_resets_the_ring(self, ring_path):
+        recorder = FlightRecorder(ring_path, slots=4)
+        recorder.end(recorder.begin(b"old-geometry"))
+        recorder.close()
+        FlightRecorder(ring_path, slots=8).close()
+        assert read_flight_ring(ring_path)["records"] == []
+
+    def test_bad_magic_raises(self, tmp_path):
+        bogus = tmp_path / "not-a-ring.fr"
+        bogus.write_bytes(b"Z" * (HEADER_BYTES + RECORD_FIXED.size + 240))
+        with pytest.raises(FlightRecorderError):
+            read_flight_ring(bogus)
+
+    def test_truncated_file_raises(self, tmp_path):
+        short = tmp_path / "short.fr"
+        short.write_bytes(b"CS")
+        with pytest.raises(FlightRecorderError):
+            read_flight_ring(short)
+
+    def test_torn_record_is_skipped(self, ring_path):
+        # A record body without its final seq store must read as empty.
+        recorder = FlightRecorder(ring_path, slots=2)
+        token = recorder.begin(b"torn", "req-9")
+        struct.pack_into("<Q", recorder._mm, token[0], 0)  # undo seq store
+        recorder.close()
+        assert read_flight_ring(ring_path)["records"] == []
+
+    def test_bad_geometry_arguments(self, ring_path):
+        with pytest.raises(ValueError):
+            FlightRecorder(ring_path, slots=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(ring_path, line_bytes=4)

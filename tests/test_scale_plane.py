@@ -14,9 +14,11 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import os
 import signal
 import time
+from pathlib import Path
 
 import pytest
 
@@ -76,6 +78,11 @@ class TestPlaneConfig:
             {"startup_timeout_s": 0.0},
             {"worker_reply_cap_s": 0.0},
             {"dispatch_retries": -1},
+            {"stats_timeout_s": 0.0},
+            {"obs_scrape_interval_s": 0.0},
+            {"flight_records": 0},
+            {"drill_slow_worker": (4, 0.01)},  # slot out of range
+            {"drill_slow_worker": (0, 0.0)},
         ],
     )
     def test_rejects_bad_knobs(self, kwargs):
@@ -84,6 +91,10 @@ class TestPlaneConfig:
 
     def test_no_deadline_is_allowed(self):
         assert PlaneConfig(deadline_s=None).deadline_s is None
+
+    def test_drill_on_a_valid_slot(self):
+        config = PlaneConfig(workers=2, drill_slow_worker=(1, 0.005))
+        assert config.drill_slow_worker == (1, 0.005)
 
 
 class TestMergeHistogramDicts:
@@ -111,6 +122,65 @@ class TestMergeHistogramDicts:
         merged = merge_histogram_dicts([{}, {}])
         assert merged["count"] == 0
         assert merged["p99"] is None
+
+    def test_no_inputs_at_all(self):
+        merged = merge_histogram_dicts([])
+        assert merged["count"] == 0
+        assert merged["sum"] == 0.0
+        assert merged["mean"] == 0.0
+        assert merged["p50"] is None and merged["p99"] is None
+        assert merged["buckets"] == {}
+
+    def test_mismatched_bucket_edges_union(self):
+        # Two workers whose histograms disagree on bounds: the merge
+        # must union the edges instead of dropping either side.
+        a = {"buckets": {"0.001": 5, "0.01": 1}, "overflow": 0,
+             "count": 6, "sum": 0.008}
+        b = {"buckets": {"0.005": 3, "0.05": 1}, "overflow": 2,
+             "count": 6, "sum": 0.4}
+        merged = merge_histogram_dicts([a, b])
+        assert merged["count"] == 12
+        assert merged["buckets"] == {
+            "0.001": 5, "0.005": 3, "0.01": 1, "0.05": 1,
+        }
+        assert merged["overflow"] == 2
+        assert merged["sum"] == pytest.approx(0.408)
+        # Quantiles walk the *sorted* union of edges.
+        assert merged["p50"] == 0.005
+
+    def test_missing_and_empty_worker_payloads_are_skipped(self):
+        real = {"buckets": {"0.01": 4}, "overflow": 0,
+                "count": 4, "sum": 0.02}
+        merged = merge_histogram_dicts([{}, real, {}])
+        assert merged["count"] == 4
+        assert merged["buckets"] == {"0.01": 4}
+
+    def test_single_worker_passthrough(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", "test", bounds=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.05, 0.5):
+            registry.get("h").observe(value)
+        original = registry.get("h").as_dict()
+        merged = merge_histogram_dicts([original])
+        assert merged["count"] == original["count"]
+        assert merged["sum"] == pytest.approx(original["sum"])
+        assert merged["buckets"] == original["buckets"]
+        assert merged["overflow"] == original["overflow"]
+        assert merged["p50"] == original["p50"]
+        assert merged["p99"] == original["p99"]
+
+    def test_merged_quantiles_are_monotone(self):
+        # p50 <= p99 must hold across lopsided merges too.
+        payloads = [
+            {"buckets": {"0.001": 90, "0.1": 1}, "overflow": 0,
+             "count": 91, "sum": 0.2},
+            {"buckets": {"0.01": 5}, "overflow": 3, "count": 8,
+             "sum": 30.0},
+        ]
+        merged = merge_histogram_dicts(payloads)
+        assert merged["p50"] <= merged["p99"]
+        assert merged["p50"] == 0.001
+        assert merged["p99"] == float("inf")  # overflow tail
 
 
 class TestQueryWorkerProtocol:
@@ -251,6 +321,56 @@ class TestFrontHardening:
         plane_metrics(registry)  # second call must not raise
         assert registry.get("scale_shed_total").value == 0
 
+    def test_stats_timeout_is_counted_and_logged(self, tmp_path):
+        plane = self.make_plane(tmp_path, stats_timeout_s=0.05)
+
+        class HangingHandle:
+            slot = 3
+            alive = True
+
+            async def request(self, _line):
+                await asyncio.sleep(30.0)
+
+        plane._workers.append(HangingHandle())
+        # Capture at the source logger: configure_logging() (run by any
+        # earlier in-process CLI test) sets propagate=False on the
+        # "cellspot" root, so records never reach pytest's root handler.
+        records = []
+        handler = logging.Handler()
+        handler.emit = records.append
+        source = logging.getLogger("cellspot.scale.plane")
+        previous_level = source.level
+        source.addHandler(handler)
+        source.setLevel(logging.WARNING)
+        try:
+            payloads = self.run(plane._worker_stats())
+        finally:
+            source.removeHandler(handler)
+            source.setLevel(previous_level)
+        assert payloads == []
+        assert plane.metrics.get("scale_stats_timeouts_total").value == 1
+        assert any(
+            "scale.stats.timeout" in record.getMessage()
+            and "slot=3" in record.getMessage()
+            for record in records
+        )
+        summary = plane._plane_summary()
+        assert summary["stats_timeouts"] == 1
+
+    def test_stats_connection_error_is_not_a_timeout(self, tmp_path):
+        plane = self.make_plane(tmp_path)
+
+        class DeadHandle:
+            slot = 0
+            alive = True
+
+            async def request(self, _line):
+                raise ConnectionResetError("worker closed the connection")
+
+        plane._workers.append(DeadHandle())
+        assert self.run(plane._worker_stats()) == []
+        assert plane.metrics.get("scale_stats_timeouts_total").value == 0
+
 
 # ---- full plane over real worker processes ------------------------------
 
@@ -351,3 +471,147 @@ def test_plane_differential_and_respawn(engine, probes, tmp_path):
             tmp_path / "cat", tmp_path / "front.sock", service, probes
         )
     )
+
+
+# ---- distributed observability over real worker processes ----------------
+
+
+async def _plane_obs_scenario(catalog_dir, obs_dir, socket_path, service, probes):
+    """Traced differential + kill harvest + federation, one plane lifetime."""
+    plane = ServingPlane(
+        catalog_dir,
+        config=PlaneConfig(
+            workers=2, max_pending=32, deadline_s=5.0,
+            startup_timeout_s=60.0, obs_dir=obs_dir,
+            obs_scrape_interval_s=0.1, flight_records=32,
+        ),
+        registry=MetricsRegistry(),
+    )
+    ready = asyncio.Event()
+    server_task = asyncio.create_task(
+        plane.serve(
+            socket_path=socket_path,
+            ready_callback=lambda _plane: ready.set(),
+        )
+    )
+    await asyncio.wait_for(ready.wait(), 90.0)
+    reader, writer = await asyncio.open_unix_connection(str(socket_path))
+
+    async def roundtrip(payload: dict) -> bytes:
+        writer.write((json.dumps(payload) + "\n").encode())
+        await writer.drain()
+        return await asyncio.wait_for(reader.readline(), 30.0)
+
+    async def differential_pass() -> None:
+        for query in probes:
+            request = {"op": "query", "q": query}
+            assert await roundtrip(request) == service_bytes(
+                service, request
+            ), query
+        batch = {"op": "query", "qs": list(probes)}
+        assert await roundtrip(batch) == service_bytes(service, batch)
+
+    # 1. Tracing on, answers still byte-identical to the single-process
+    #    service: the _trace envelope must never leak into a response.
+    await differential_pass()
+
+    # 2. Federation: the workers' exported series appear worker-tagged.
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        federated = plane.federation_metrics()
+        tagged = [
+            key for key in federated
+            if key.startswith('scale_worker_query_latency_seconds{worker="')
+        ]
+        if len(tagged) == 2:
+            break
+        await asyncio.sleep(0.05)
+    else:
+        raise AssertionError("per-worker federated series never appeared")
+    assert federated[tagged[0]][0] == "h"
+
+    # 3. The health op exposes the rollup and the run trace id.
+    health = json.loads(await roundtrip({"op": "health"}))
+    assert health["trace_id"] == plane._obs.trace_id
+    assert {row["worker"] for row in health["workers"]} == {"0", "1"}
+
+    # 4. SIGKILL one worker: the front must harvest its flight ring
+    #    into a death artifact naming a request before respawning.
+    pids_before = [
+        int(token) for token in plane.pid_file().read_text().split()
+    ]
+    os.kill(pids_before[0], signal.SIGKILL)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        stats = json.loads(await roundtrip({"op": "stats"}))
+        if (
+            stats["plane"]["worker_respawns"] >= 1
+            and stats["plane"]["workers"] == 2
+        ):
+            break
+        await asyncio.sleep(0.1)
+    else:
+        raise AssertionError("killed worker was never respawned")
+    artifacts = sorted(Path(obs_dir).glob("postmortem-worker0-*.json"))
+    assert artifacts, "worker death left no postmortem artifact"
+    artifact = json.loads(artifacts[0].read_text())
+    assert artifact["kind"] == "worker-death"
+    assert artifact["slot"] == 0
+    assert artifact["trace_id"] == plane._obs.trace_id
+    assert artifact["dying_request"] is not None
+    assert artifact["dying_request"]["rid"].startswith("req-")
+
+    # 5. Still byte-identical after the respawn, tracing still on.
+    await differential_pass()
+    assert stats["plane"]["stats_timeouts"] == 0
+
+    # 6. Drain.
+    done = json.loads(await roundtrip({"op": "shutdown"}))
+    assert done == {"ok": True, "shutdown": True}
+    writer.close()
+    await asyncio.wait_for(server_task, 30.0)
+    return plane
+
+
+def test_plane_obs_end_to_end(engine, probes, tmp_path):
+    from repro.obs.postmortem import build_postmortem
+    from repro.obs.timeseries import TimeSeriesReader
+
+    catalog = SnapshotCatalog(tmp_path / "cat")
+    catalog.publish(engine.ratio_table(1))
+    service = CellSpotService(engine, demand=None)
+    obs_dir = tmp_path / "obs"
+    plane = asyncio.run(
+        _plane_obs_scenario(
+            tmp_path / "cat", obs_dir, tmp_path / "front.sock",
+            service, probes,
+        )
+    )
+    trace_id = plane._obs.trace_id
+
+    # Offline join: front + worker spans share the run trace id.
+    postmortem = build_postmortem(obs_dir)
+    assert postmortem["trace_id"] == trace_id
+    assert "front" in postmortem["sources"]
+    assert any(src.startswith("worker-") for src in postmortem["sources"])
+    names = {span["name"] for span in postmortem["spans"]}
+    assert {"front.request", "worker.request", "worker.decode",
+            "worker.lpm", "worker.enrich"} <= names
+    front_sids = {
+        span["sid"] for span in postmortem["spans"]
+        if span["name"] == "front.request"
+    }
+    joined = [
+        span for span in postmortem["spans"]
+        if span["name"] == "worker.request" and span.get("pid") in front_sids
+    ]
+    assert joined, "no worker span joined to a front span"
+    assert postmortem["artifacts"]
+
+    # Offline per-worker series: readable with the stock reader.
+    for slot in (0, 1):
+        reader = TimeSeriesReader(obs_dir / f"worker-{slot}")
+        points = reader.series("scale_worker_query_latency_seconds")
+        assert points, f"worker {slot} exported no samples"
+        assert points[-1][1]["count"] > 0
+        assert points[-1][1]["p99"] is not None
