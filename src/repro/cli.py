@@ -166,6 +166,24 @@ def _add_obs(parser: argparse.ArgumentParser) -> None:
              "one is given, else next to --metrics-out, else "
              "./profile.txt)",
     )
+    parser.add_argument(
+        "--prof-sample", action="store_true",
+        help="run the wall-clock sampling profiler (~100Hz stack "
+             "sampler, <5%% overhead) and write flamegraph collapsed "
+             "stacks + a Chrome trace; mutually exclusive with "
+             "--profile (cProfile wins the arbitration slot)",
+    )
+    parser.add_argument(
+        "--prof-sample-out", default=None, metavar="FILE",
+        help="collapsed-stack output path (a sibling FILE.trace.json "
+             "Chrome trace is written too; default mirrors "
+             "--profile-out with profile.collapsed)",
+    )
+    parser.add_argument(
+        "--prof-sample-interval", type=_positive_float, default=0.01,
+        metavar="SECONDS",
+        help="seconds between stack samples (default: 0.01 = 100Hz)",
+    )
 
 
 def _profile_out(args: argparse.Namespace) -> Path:
@@ -179,6 +197,19 @@ def _profile_out(args: argparse.Namespace) -> Path:
     if metrics_out:
         return Path(metrics_out).with_name("profile.txt")
     return Path("profile.txt")
+
+
+def _prof_sample_out(args: argparse.Namespace) -> Path:
+    """Resolve where ``--prof-sample`` collapsed stacks should land."""
+    if getattr(args, "prof_sample_out", None):
+        return Path(args.prof_sample_out)
+    checkpoint = getattr(args, "checkpoint", None)
+    if checkpoint:
+        return Path(checkpoint) / "profile.collapsed"
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        return Path(metrics_out).with_name("profile.collapsed")
+    return Path("profile.collapsed")
 
 
 def _make_lab(args: argparse.Namespace) -> Lab:
@@ -293,7 +324,7 @@ def _cmd_all(args: argparse.Namespace) -> int:
         outcomes = run_all_guarded(lab, guard, checkpoint=store)
     finally:
         if scraper is not None:
-            scraper.stop(final_scrape=True)
+            _stop_telemetry(scraper)
 
     for outcome in outcomes.values():
         if outcome.ok:
@@ -559,6 +590,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except AlertRuleError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.drill_leak:
+        from repro.obs.resources import LeakDrill
+
+        try:
+            engine.leak_drill = LeakDrill.parse(args.drill_leak)
+        except ValueError:
+            print("error: --drill-leak wants BYTES:WINDOWS "
+                  "(e.g. 4194304:20)", file=sys.stderr)
+            return 2
     service = _make_service(
         args, engine, alert_engine=alert_engine, drift_monitor=drift_monitor
     )
@@ -603,7 +643,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         closer()
         if scraper is not None:
-            scraper.stop(final_scrape=True)
+            _stop_telemetry(scraper)
         if previous_sigterm is not None:
             try:
                 signal.signal(signal.SIGTERM, previous_sigterm)
@@ -760,7 +800,7 @@ def _cmd_serve_scale(args: argparse.Namespace) -> int:
         return 2
     finally:
         if scraper is not None:
-            scraper.stop(final_scrape=True)
+            _stop_telemetry(scraper)
     print(f"served {answered:,} requests across "
           f"{plane.metrics.get('scale_worker_respawns_total').value:g} "
           f"respawns; {plane.metrics.get('scale_shed_total').value:,} shed",
@@ -985,6 +1025,117 @@ def _stats_metrics_rows(path: Path):
     return rows
 
 
+def _format_bytes(value) -> str:
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        return "-"
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            return (f"{value:.0f}{unit}" if unit == "B"
+                    else f"{value:.1f}{unit}")
+        value /= 1024.0
+    return f"{value:.1f}GiB"
+
+
+def _resource_snapshot(path: Path):
+    """``(scalars, gc_by_gen, stage_watermarks)`` from a metrics dump.
+
+    Reads the *same* snapshot file as the metrics table, so the
+    resource panel and the table can never disagree.  Returns plain
+    dicts; all three are empty when the dump carries no resource
+    metrics (e.g. a run without telemetry).
+    """
+    import json as json_module
+
+    from repro.obs.metrics import parse_prometheus_text
+    from repro.obs.timeseries import split_metric_tag
+
+    scalar_names = (
+        "process_rss_bytes", "process_rss_peak_bytes",
+        "process_cpu_percent", "process_open_fds", "process_threads",
+    )
+    scalars: Dict[str, float] = {}
+    gc_by_gen: Dict[str, float] = {}
+    watermarks: Dict[str, float] = {}
+    text = path.read_text()
+    if path.suffix == ".json":
+        raw = json_module.loads(text)
+        if not isinstance(raw, dict):
+            raise ValueError("metrics JSON is not an object")
+        for name in scalar_names:
+            payload = raw.get(name)
+            if isinstance(payload, dict) and "value" in payload:
+                scalars[name] = payload["value"]
+        for name, target in (
+            ("process_gc_collections", gc_by_gen),
+            ("rss_peak_bytes", watermarks),
+        ):
+            payload = raw.get(name)
+            if isinstance(payload, dict) and isinstance(
+                payload.get("values"), dict
+            ):
+                target.update(payload["values"])
+        return scalars, gc_by_gen, watermarks
+    parsed = parse_prometheus_text(text)
+    for name in scalar_names:
+        payload = parsed.get(name)
+        if payload and payload["samples"]:
+            scalars[name] = payload["samples"][0][2]
+    for name, target in (
+        ("process_gc_collections", gc_by_gen),
+        ("rss_peak_bytes", watermarks),
+    ):
+        payload = parsed.get(name)
+        if not payload:
+            continue
+        for _sample_name, labels, value in payload["samples"]:
+            # ``labels`` is the raw label string ('stage="x"').
+            parsed_labels = split_metric_tag(f"_{{{labels}}}")[1]
+            for key in parsed_labels.values():
+                if key:  # skip the empty-family placeholder
+                    target[key] = value
+    return scalars, gc_by_gen, watermarks
+
+
+def _render_resource_panel(path: Path) -> str:
+    """The ``cellspot stats --resources`` section, or '' when absent."""
+    from repro.analysis.report import render_table
+
+    scalars, gc_by_gen, watermarks = _resource_snapshot(path)
+    if not scalars and not gc_by_gen and not watermarks:
+        return ""
+    rows = []
+    if "process_rss_bytes" in scalars:
+        rows.append(["rss current",
+                     _format_bytes(scalars["process_rss_bytes"])])
+    if "process_rss_peak_bytes" in scalars:
+        rows.append(["rss peak",
+                     _format_bytes(scalars["process_rss_peak_bytes"])])
+    if "process_cpu_percent" in scalars:
+        rows.append(["cpu", f"{scalars['process_cpu_percent']:.1f}%"])
+    if "process_open_fds" in scalars:
+        rows.append(["open fds", f"{scalars['process_open_fds']:.0f}"])
+    if "process_threads" in scalars:
+        rows.append(["threads", f"{scalars['process_threads']:.0f}"])
+    for gen in sorted(gc_by_gen):
+        rows.append([f"gc gen{gen} collections",
+                     f"{gc_by_gen[gen]:.0f}"])
+    parts = [render_table(
+        ["resource", "value"], rows, title=f"resources ({path})",
+    )]
+    if watermarks:
+        top = sorted(
+            watermarks.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:5]
+        parts.append(render_table(
+            ["stage", "rss peak"],
+            [[stage, _format_bytes(peak)] for stage, peak in top],
+            title="top stages by peak-RSS watermark",
+        ))
+    return "\n\n".join(parts)
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Summarize telemetry files a finished run left behind.
 
@@ -999,6 +1150,10 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if not args.metrics and not args.trace:
         print("error: nothing to summarize; give --metrics FILE and/or "
               "--trace FILE", file=sys.stderr)
+        return 2
+    if args.resources and not args.metrics:
+        print("error: --resources needs --metrics FILE",
+              file=sys.stderr)
         return 2
     if args.metrics:
         path = Path(args.metrics)
@@ -1016,6 +1171,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             title=f"metrics ({path})",
         ))
         print()
+        if args.resources:
+            panel = _render_resource_panel(path)
+            if panel:
+                print(panel)
+            else:
+                print(f"resources ({path}): no resource metrics in "
+                      f"dump (run with telemetry on)")
+            print()
     if args.trace:
         path = Path(args.trace)
         try:
@@ -1449,6 +1612,12 @@ def _build_telemetry(args: argparse.Namespace):
     requested the backing time-series store lands in a temp directory
     (the scraper needs one; the samples are still useful for
     post-mortem reconstruction).
+
+    Telemetry-on also attaches a
+    :class:`~repro.obs.resources.ResourceSampler` as a pre-scrape
+    collector, so every persisted sample carries fresh RSS/CPU/GC/fd
+    readings and the memory-budget / rss-growth default rules have
+    data to evaluate.
     """
     enabled = bool(
         getattr(args, "timeseries_dir", None)
@@ -1461,12 +1630,16 @@ def _build_telemetry(args: argparse.Namespace):
 
     from repro.obs.alerts import AlertEngine, default_rules, load_rules
     from repro.obs.health import CensusDriftMonitor
+    from repro.obs.resources import ResourceSampler
     from repro.obs.timeseries import MetricScraper, TimeSeriesStore
     from repro.obs.trace import current_trace_id
 
     directory = args.timeseries_dir or tempfile.mkdtemp(prefix="cellspot-ts-")
     store = TimeSeriesStore(directory)
     scraper = MetricScraper(store, interval_s=args.scrape_interval)
+    sampler = ResourceSampler()
+    sampler.attach(scraper)
+    scraper.resource_sampler = sampler
     rules = (
         load_rules(args.alert_rules) if args.alert_rules else default_rules()
     )
@@ -1475,6 +1648,14 @@ def _build_telemetry(args: argparse.Namespace):
     )
     scraper.subscribe(engine.observe)
     return scraper, engine, CensusDriftMonitor()
+
+
+def _stop_telemetry(scraper) -> None:
+    """Final scrape, then detach the resource sampler's process hooks."""
+    scraper.stop(final_scrape=True)
+    sampler = getattr(scraper, "resource_sampler", None)
+    if sampler is not None:
+        sampler.uninstall()
 
 
 def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
@@ -1596,6 +1777,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=_positive_int, default=15, metavar="N",
         help="spans shown in the slowest-span table (default: 15)",
     )
+    stats.add_argument(
+        "--resources", action="store_true",
+        help="also render the resource panel (current/peak RSS, CPU%%, "
+             "GC generation counts, top stages by peak-RSS watermark) "
+             "from the same --metrics snapshot",
+    )
     stats.set_defaults(func=_cmd_stats)
 
     report = subparsers.add_parser(
@@ -1685,6 +1872,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline", type=_positive_float, default=None, metavar="SECONDS",
         help="per-request wall budget; batch items past it are "
              "answered 'overloaded' (default: none)",
+    )
+    serve.add_argument(
+        "--drill-leak", default=None, metavar="BYTES:WINDOWS",
+        help="drill: retain BYTES of heap ballast at every window "
+             "close, released after WINDOWS closes -- exercises the "
+             "rss-growth leak alert end to end (fires while the "
+             "ballast accumulates, resolves after the release)",
     )
     serve.add_argument(
         "--ratio-spool", default=None, metavar="DIR",
@@ -2053,12 +2247,16 @@ def main(argv=None) -> int:
     from repro.obs import observed_command
 
     profile = bool(getattr(args, "profile", False))
+    prof_sample = bool(getattr(args, "prof_sample", False))
     with observed_command(
         args.command,
         metrics_out=getattr(args, "metrics_out", None),
         trace_out=getattr(args, "trace_out", None),
         profile=profile,
         profile_out=_profile_out(args) if profile else None,
+        prof_sample=prof_sample,
+        prof_sample_out=_prof_sample_out(args) if prof_sample else None,
+        prof_sample_interval_s=getattr(args, "prof_sample_interval", 0.01),
     ):
         return args.func(args)
 

@@ -61,6 +61,7 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LabeledGauge,
     MetricsRegistry,
     NullMetric,
     PrometheusFormatError,
@@ -79,7 +80,25 @@ from repro.obs.postmortem import (
     render_text as render_postmortem_text,
     to_chrome_trace as postmortem_chrome_trace,
 )
-from repro.obs.profile import maybe_profile, write_profile_report
+from repro.obs.profile import (
+    acquire_profiler,
+    active_profiler,
+    maybe_profile,
+    release_profiler,
+    write_profile_report,
+    write_report_text,
+)
+from repro.obs.resources import (
+    LeakDrill,
+    ResourceSampler,
+    count_open_fds,
+    read_io,
+    read_statm,
+    read_status,
+    rusage_snapshot,
+    total_memory_bytes,
+)
+from repro.obs.sampler import SamplingProfiler
 from repro.obs.timeseries import (
     MetricScraper,
     TimeSeriesReader,
@@ -93,9 +112,11 @@ from repro.obs.trace import (
     Span,
     SpanLog,
     Tracer,
+    add_span_exit_hook,
     current_trace_id,
     get_tracer,
     read_span_log,
+    remove_span_exit_hook,
     reset_tracer,
     span,
     traced,
@@ -183,6 +204,9 @@ def observed_command(
     trace_out: Optional[Union[str, Path]] = None,
     profile: bool = False,
     profile_out: Optional[Union[str, Path]] = None,
+    prof_sample: bool = False,
+    prof_sample_out: Optional[Union[str, Path]] = None,
+    prof_sample_interval_s: float = 0.01,
 ) -> Iterator[ObservedRun]:
     """Run one CLI command under the observability spine.
 
@@ -193,9 +217,14 @@ def observed_command(
       ``trace_id``;
     - installs a ``SIGUSR1`` handler that atomically dumps the
       requested telemetry files mid-run (restored on exit);
-    - optionally wraps the body in :func:`~repro.obs.profile.maybe_profile`;
+    - optionally wraps the body in :func:`~repro.obs.profile.maybe_profile`
+      (``--profile``) or runs the wall-clock sampling profiler
+      (``--prof-sample``) -- the two arbitrate through one shared
+      guard, so passing both flags runs exactly one of them (cProfile
+      wins, the sampler logs the conflict);
     - on exit -- success *or* failure -- writes ``metrics_out`` /
-      ``trace_out`` atomically.
+      ``trace_out`` (and the sampler's collapsed stacks + Chrome
+      trace) atomically.
     """
     registry = reset_global_registry()
     tracer = reset_tracer()
@@ -206,11 +235,31 @@ def observed_command(
             metrics_out, trace_out, registry, tracer
         )
     run = ObservedRun(registry=registry, tracer=tracer)
+    stack_sampler = None
     try:
         with maybe_profile(profile, profile_out):
+            if prof_sample:
+                stack_sampler = SamplingProfiler(
+                    interval_s=prof_sample_interval_s
+                )
+                if not stack_sampler.start():
+                    stack_sampler = None  # cProfile holds the slot
             with tracer.span(f"cellspot.{command}", command=command):
                 yield run
     finally:
+        if stack_sampler is not None:
+            stack_sampler.stop()
+            if prof_sample_out is not None:
+                try:
+                    stack_sampler.write_collapsed(prof_sample_out)
+                    stack_sampler.write_chrome_trace(
+                        str(prof_sample_out) + ".trace.json",
+                        trace_id=tracer.trace_id,
+                    )
+                except OSError as exc:
+                    sys.stderr.write(
+                        f"sampling profile write failed: {exc}\n"
+                    )
         if handler_installed:
             try:
                 signal.signal(
@@ -239,18 +288,26 @@ __all__ = [
     "FlightRecorderError",
     "Gauge",
     "Histogram",
+    "LabeledGauge",
+    "LeakDrill",
     "MetricScraper",
     "MetricsRegistry",
     "NullMetric",
     "ObservedRun",
     "PrometheusFormatError",
     "RatioSketch",
+    "ResourceSampler",
+    "SamplingProfiler",
     "Span",
     "SpanLog",
     "TimeSeriesReader",
     "TimeSeriesStore",
     "Tracer",
+    "acquire_profiler",
+    "active_profiler",
+    "add_span_exit_hook",
     "build_postmortem",
+    "count_open_fds",
     "collect_spans",
     "current_trace_id",
     "default_rules",
@@ -270,8 +327,13 @@ __all__ = [
     "postmortem_chrome_trace",
     "read_alert_log",
     "read_flight_ring",
+    "read_io",
     "read_latest_sample",
     "read_span_log",
+    "read_statm",
+    "read_status",
+    "release_profiler",
+    "remove_span_exit_hook",
     "render_dashboard",
     "render_health_report",
     "render_postmortem_text",
@@ -279,12 +341,15 @@ __all__ = [
     "reset_global_registry",
     "reset_tracer",
     "run_top",
+    "rusage_snapshot",
     "scrape_registry",
     "set_enabled",
     "span",
     "split_metric_tag",
     "tag_metric",
+    "total_memory_bytes",
     "traced",
     "validate_bounds",
     "write_profile_report",
+    "write_report_text",
 ]

@@ -28,7 +28,19 @@ Supported ``kind`` values:
   (histograms via ``q``, counters/gauges via their scalar) and the
   value is ``worst / median(rest)`` -- how far the worst replica sits
   from the rest of the fleet.  Needs at least two replicas reporting;
-  fewer is "no data", never a breach.
+  fewer is "no data", never a breach;
+- ``memory_budget`` -- the worst (plain or labelled) gauge value vs an
+  absolute byte budget, or -- when ``percent`` is set -- that percent
+  of the machine's total memory resolved at rule-build time (the
+  given ``threshold`` stays as the absolute fallback off-Linux);
+- ``rss_growth``   -- leak detector: least-squares slope (bytes/s) of
+  the metric over a trailing ``window_s``, evaluated per series (the
+  plain key *and* every federated ``metric{worker="N"}`` key -- a
+  single leaking worker pages like a latency skew).  Reset-aware: a
+  value *drop* (restart, ballast release, allocator trim) clears that
+  series' history instead of producing a negative or poisoned slope.
+  Needs >= 3 points spanning at least half the window; less is "no
+  data", never a breach.
 
 **State machine.**  Each rule is ``ok -> pending -> firing -> ok``:
 a breach moves ok to *pending*; a breach sustained for ``for_s``
@@ -61,7 +73,8 @@ STATE_PENDING = "pending"
 STATE_FIRING = "firing"
 
 _VALID_KINDS = (
-    "gauge", "counter", "counter_rate", "ratio", "quantile", "skew"
+    "gauge", "counter", "counter_rate", "ratio", "quantile", "skew",
+    "memory_budget", "rss_growth",
 )
 _VALID_OPS = (">", ">=", "<", "<=")
 
@@ -85,6 +98,11 @@ class AlertRule:
     denominator: Optional[str] = None
     #: Histogram quantile (``kind == "quantile"``): 0.5 or 0.99.
     q: float = 0.99
+    #: Memory budget as a percent of total memory (``memory_budget``
+    #: only); resolved into ``threshold`` bytes at rule-build time.
+    percent: Optional[float] = None
+    #: Trailing window for the leak slope (``rss_growth`` only).
+    window_s: float = 30.0
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -110,6 +128,34 @@ class AlertRule:
                 f"rule {self.name!r}: scraped quantiles are 0.5 and 0.99, "
                 f"not {self.q}"
             )
+        if self.percent is not None:
+            if self.kind != "memory_budget":
+                raise AlertRuleError(
+                    f"rule {self.name!r}: 'percent' only applies to "
+                    f"kind 'memory_budget'"
+                )
+            if not 0 < self.percent <= 100:
+                raise AlertRuleError(
+                    f"rule {self.name!r}: percent must be in (0, 100]"
+                )
+            from repro.obs.resources import total_memory_bytes
+
+            total = total_memory_bytes()
+            if total:
+                # Frozen dataclass: the resolved budget replaces the
+                # absolute fallback threshold.
+                object.__setattr__(
+                    self, "threshold", total * self.percent / 100.0
+                )
+        if self.kind == "memory_budget" and self.threshold <= 0:
+            raise AlertRuleError(
+                f"rule {self.name!r}: memory_budget needs a positive "
+                f"threshold (bytes) or a percent"
+            )
+        if self.kind == "rss_growth" and self.window_s <= 0:
+            raise AlertRuleError(
+                f"rule {self.name!r}: rss_growth needs window_s > 0"
+            )
 
     def breaches(self, value: float) -> bool:
         if self.op == ">":
@@ -130,6 +176,10 @@ class AlertRule:
             subject = f"p{int(self.q * 100)}({self.metric})"
         elif self.kind == "skew":
             subject = f"skew({self.metric})"
+        elif self.kind == "rss_growth":
+            subject = f"slope({self.metric}, {self.window_s:g}s)"
+        elif self.kind == "memory_budget" and self.percent is not None:
+            subject = f"{self.metric} ({self.percent:g}% of mem)"
         else:
             subject = self.metric
         clause = f"{subject} {self.op} {self.threshold:g}"
@@ -143,7 +193,7 @@ class AlertRule:
             raise AlertRuleError(f"rule must be a table/object, got {raw!r}")
         known = {
             "name", "metric", "kind", "op", "threshold", "for_s",
-            "denominator", "q", "description",
+            "denominator", "q", "percent", "window_s", "description",
         }
         unknown = set(raw) - known
         if unknown:
@@ -159,6 +209,11 @@ class AlertRule:
             threshold = float(raw.get("threshold", 0.0))
             for_s = float(raw.get("for_s", 0.0))
             q = float(raw.get("q", 0.99))
+            percent = (
+                float(raw["percent"]) if raw.get("percent") is not None
+                else None
+            )
+            window_s = float(raw.get("window_s", 30.0))
         except (TypeError, ValueError) as exc:
             raise AlertRuleError(
                 f"rule {raw.get('name', '?')!r}: non-numeric field: {exc}"
@@ -172,6 +227,8 @@ class AlertRule:
             for_s=for_s,
             denominator=raw.get("denominator"),
             q=q,
+            percent=percent,
+            window_s=window_s,
             description=str(raw.get("description", "")),
         )
 
@@ -310,6 +367,31 @@ def default_rules() -> List[AlertRule]:
                         "from the fleet median (federated per-worker "
                         "series) -- a sick replica, not plane-wide load",
         ),
+        AlertRule(
+            name="memory-budget",
+            kind="memory_budget",
+            metric="process_rss_bytes",
+            op=">",
+            threshold=8 * 1024 ** 3,  # absolute fallback off-Linux
+            percent=85.0,
+            for_s=2.0,
+            description="process (or any federated worker) RSS above "
+                        "85% of total memory -- heading for the OOM "
+                        "killer, shed or restart before it does",
+        ),
+        AlertRule(
+            name="rss-growth",
+            kind="rss_growth",
+            metric="process_rss_bytes",
+            op=">",
+            threshold=16 * 1024 * 1024,  # bytes/s, sustained
+            window_s=10.0,
+            for_s=2.0,
+            description="RSS climbing faster than 16MiB/s over the "
+                        "trailing window on any process -- a leak, not "
+                        "a working set (reset-aware: restarts and "
+                        "releases clear the slope)",
+        ),
     ]
 
 
@@ -326,6 +408,9 @@ class AlertState:
     #: Timestamp of the most recent evaluation.
     last_ts: Optional[float] = None
     transitions: int = 0
+    #: Per-series trailing points for ``rss_growth`` rules:
+    #: ``{sample key: [(ts, value), ...]}`` within the rule's window.
+    history: Dict[str, List] = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
         return {
@@ -361,9 +446,83 @@ def _labelled_values(rule: AlertRule, metrics: Dict) -> List[float]:
     return values
 
 
+def _series_keys(rule: AlertRule, metrics: Dict) -> List[str]:
+    """The plain metric key plus every labelled ``metric{...}`` key."""
+    keys = [rule.metric] if rule.metric in metrics else []
+    prefix = rule.metric + "{"
+    keys.extend(sorted(k for k in metrics if k.startswith(prefix)))
+    return keys
+
+
+def _slope(points: List) -> Optional[float]:
+    """Least-squares slope (units/s) of ``[(ts, value), ...]``."""
+    if len(points) < 3:
+        return None
+    t0 = points[0][0]
+    xs = [t - t0 for t, _ in points]
+    ys = [v for _, v in points]
+    n = len(points)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denom = sum((x - mean_x) ** 2 for x in xs)
+    if denom <= 0:
+        return None
+    return sum(
+        (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+    ) / denom
+
+
+def _growth_value(
+    state: AlertState, sample: Dict, ts: float
+) -> Optional[float]:
+    """Worst per-series RSS slope for one ``rss_growth`` rule.
+
+    Stateful (the trailing window lives on ``state.history``), so it
+    runs inside the engine rather than through :func:`_sample_value`.
+    A series whose value *drops* had a restart or a release -- its
+    history is cleared (reset-aware), never rated as negative growth.
+    """
+    rule = state.rule
+    metrics = sample.get("m", {})
+    worst: Optional[float] = None
+    for key in _series_keys(rule, metrics):
+        payload = metrics[key]
+        try:
+            if payload[0] not in ("g", "c"):
+                continue
+            value = float(payload[1])
+        except (TypeError, IndexError, ValueError):
+            continue
+        points = state.history.setdefault(key, [])
+        if points and value < points[-1][1]:
+            points.clear()
+        points.append((ts, value))
+        cutoff = ts - rule.window_s
+        while len(points) > 1 and points[0][0] < cutoff:
+            points.pop(0)
+        # Demand at least half the window of evidence: three samples
+        # seconds apart must not convict a process of leaking.
+        if points[-1][0] - points[0][0] < rule.window_s / 2:
+            continue
+        slope = _slope(points)
+        if slope is not None and (worst is None or slope > worst):
+            worst = slope
+    return worst
+
+
 def _sample_value(rule: AlertRule, sample: Dict, previous: Optional[Dict]):
     """Evaluate one rule against one scraped sample (None = no data)."""
     metrics = sample.get("m", {})
+    if rule.kind == "memory_budget":
+        values = []
+        for key in _series_keys(rule, metrics):
+            payload = metrics[key]
+            try:
+                if payload[0] in ("g", "c"):
+                    values.append(float(payload[1]))
+            except (TypeError, IndexError, ValueError):
+                continue
+        return max(values) if values else None
     if rule.kind == "skew":
         values = sorted(_labelled_values(rule, metrics))
         if len(values) < 2:
@@ -437,9 +596,12 @@ class AlertEngine:
         emitted: List[Dict] = []
         with self._lock:
             for state in self.states.values():
-                value = _sample_value(
-                    state.rule, sample, self._previous_sample
-                )
+                if state.rule.kind == "rss_growth":
+                    value = _growth_value(state, sample, ts)
+                else:
+                    value = _sample_value(
+                        state.rule, sample, self._previous_sample
+                    )
                 transition = self._advance(state, value, ts)
                 if transition is not None:
                     emitted.append(transition)

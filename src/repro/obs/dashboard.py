@@ -59,6 +59,42 @@ def _fmt(value, digits: int = 4) -> str:
     return str(value)
 
 
+def _fmt_bytes(value) -> str:
+    if value is None:
+        return "-"
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        return "-"
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            return (f"{value:.0f}{unit}" if unit == "B"
+                    else f"{value:.1f}{unit}")
+        value /= 1024.0
+    return f"{value:.1f}GiB"
+
+
+def _resources_from_values(values: Dict[str, float]) -> Dict:
+    """The ``resources`` health block from flat metric values.
+
+    Empty when the dump carries no :mod:`repro.obs.resources` metrics
+    (a run without telemetry), so panels know to stay hidden.
+    """
+    mapping = {
+        "rss_bytes": "process_rss_bytes",
+        "rss_peak_bytes": "process_rss_peak_bytes",
+        "cpu_percent": "process_cpu_percent",
+        "open_fds": "process_open_fds",
+        "threads": "process_threads",
+    }
+    resources = {
+        key: values[name]
+        for key, name in mapping.items()
+        if values.get(name) is not None
+    }
+    return resources
+
+
 def _panel(title: str, rows: List[str], width: int) -> List[str]:
     inner = width - 4
     lines = [f"┌─ {title} " + "─" * max(0, width - len(title) - 5) + "┐"]
@@ -109,6 +145,23 @@ def render_dashboard(health: Dict, width: int = 78) -> str:
     ]
     lines += _panel("census drift", drift_rows, width)
 
+    resources = health.get("resources") or {}
+    if resources:
+        resource_rows = [
+            f"rss {_fmt_bytes(resources.get('rss_bytes'))}   "
+            f"peak {_fmt_bytes(resources.get('rss_peak_bytes'))}   "
+            f"cpu {_fmt(resources.get('cpu_percent'))}%   "
+            f"fds {_fmt(resources.get('open_fds'))}   "
+            f"threads {_fmt(resources.get('threads'))}",
+        ]
+        stages = resources.get("stages") or []
+        for stage_row in stages[:3]:
+            resource_rows.append(
+                f"stage {str(stage_row.get('stage', '?'))[:40]:40s} "
+                f"peak {_fmt_bytes(stage_row.get('rss_peak_bytes'))}"
+            )
+        lines += _panel("resources", resource_rows, width)
+
     workers = health.get("workers") or []
     if workers:
         worker_rows = []
@@ -117,7 +170,8 @@ def render_dashboard(health: Dict, width: int = 78) -> str:
                 f"worker {str(row.get('worker', '?')):>3s}   "
                 f"gen {_fmt(row.get('generation'))}   "
                 f"queries {_fmt(row.get('queries'))}   "
-                f"p99 {_fmt(row.get('p99_s'))} s"
+                f"p99 {_fmt(row.get('p99_s'))} s   "
+                f"rss {_fmt_bytes(row.get('rss_bytes'))}"
             )
         lines += _panel("workers", worker_rows, width)
 
@@ -173,6 +227,7 @@ def health_from_metrics_dump(path: Union[str, Path]) -> Dict:
     path = Path(path)
     text = path.read_text()
     values: Dict[str, float] = {}
+    stages: Dict[str, float] = {}
     if path.suffix == ".json":
         raw = json.loads(text)
         for name, payload in raw.items():
@@ -180,11 +235,35 @@ def health_from_metrics_dump(path: Union[str, Path]) -> Dict:
                 values[name] = payload["value"]
             elif isinstance(payload, dict) and payload.get("type") == "histogram":
                 values[f"{name}_p99"] = payload.get("p99") or 0.0
+            elif (
+                isinstance(payload, dict)
+                and payload.get("type") == "labeled_gauge"
+                and name == "rss_peak_bytes"
+            ):
+                stages.update(payload.get("values") or {})
     else:
+        from repro.obs.timeseries import split_metric_tag
+
         for name, payload in parse_prometheus_text(text).items():
-            for sample_name, _labels, value in payload["samples"]:
-                values[sample_name] = value
-    return _health_from_values(values, source=str(path))
+            for sample_name, labels, value in payload["samples"]:
+                # ``labels`` is the raw label string ('stage="x"').
+                if name == "rss_peak_bytes" and labels:
+                    stage = split_metric_tag(
+                        f"_{{{labels}}}"
+                    )[1].get("stage")
+                    if stage:
+                        stages[stage] = value
+                elif not labels:
+                    values[sample_name] = value
+    health = _health_from_values(values, source=str(path))
+    if stages:
+        health.setdefault("resources", {})["stages"] = [
+            {"stage": stage, "rss_peak_bytes": peak}
+            for stage, peak in sorted(
+                stages.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+    return health
 
 
 def health_from_timeseries(directory: Union[str, Path]) -> Dict:
@@ -218,10 +297,20 @@ def health_from_timeseries(directory: Union[str, Path]) -> Dict:
     from repro.obs.timeseries import split_metric_tag
 
     workers: Dict[str, Dict] = {}
+    stages: Dict[str, float] = {}
     for name, payload in latest.get("m", {}).items():
         if "{" not in name:
             continue
         base, labels = split_metric_tag(name)
+        if (
+            base == "rss_peak_bytes"
+            and labels.get("stage")
+            and payload[0] == "g"
+        ):
+            # Stage watermarks from this process and (federated)
+            # workers fold into one heaviest-stages view.
+            stage = labels["stage"]
+            stages[stage] = max(stages.get(stage, 0.0), payload[1])
         slot = labels.get("worker")
         if slot is None:
             continue
@@ -231,9 +320,18 @@ def health_from_timeseries(directory: Union[str, Path]) -> Dict:
             row["p99_s"] = payload[4]
         elif base == "scale_worker_generation" and payload[0] == "g":
             row["generation"] = payload[1]
+        elif base == "process_rss_bytes" and payload[0] == "g":
+            row["rss_bytes"] = payload[1]
     if workers:
         health["workers"] = [
             workers[slot] for slot in sorted(workers, key=str)
+        ]
+    if stages:
+        health.setdefault("resources", {})["stages"] = [
+            {"stage": stage, "rss_peak_bytes": peak}
+            for stage, peak in sorted(
+                stages.items(), key=lambda kv: (-kv[1], kv[0])
+            )
         ]
     return health
 
@@ -280,6 +378,7 @@ def _health_from_values(values: Dict[str, float], source: str) -> Dict:
                 "churn_rate": values.get("census_churn_rate"),
             },
         },
+        "resources": _resources_from_values(values),
         "alerts": [],
         "index_entries": 0,
     }
@@ -371,6 +470,29 @@ def render_health_report(
     trend = sparkline(drift.get("recent_psi") or [])
     if trend:
         lines.append(f"- PSI trend: `{trend}`")
+    resources = health.get("resources") or {}
+    if resources:
+        lines += ["", "## resources", ""]
+        if resources.get("rss_bytes") is not None:
+            lines.append(
+                f"- RSS: {_fmt_bytes(resources.get('rss_bytes'))} "
+                f"(peak {_fmt_bytes(resources.get('rss_peak_bytes'))})"
+            )
+        if resources.get("cpu_percent") is not None:
+            lines.append(f"- CPU: {_fmt(resources.get('cpu_percent'))}%")
+        if resources.get("open_fds") is not None:
+            lines.append(
+                f"- open fds: {_fmt(resources.get('open_fds'))}, "
+                f"threads: {_fmt(resources.get('threads'))}"
+            )
+        stages = resources.get("stages") or []
+        if stages:
+            lines.append("- heaviest stages by peak RSS:")
+            for stage_row in stages[:5]:
+                lines.append(
+                    f"  - `{stage_row.get('stage')}`: "
+                    f"{_fmt_bytes(stage_row.get('rss_peak_bytes'))}"
+                )
     lines += ["", "## alerts", ""]
     states = health.get("alerts") or []
     if states:

@@ -236,14 +236,75 @@ class Histogram:
         }
 
 
+class LabeledGauge:
+    """A gauge *family* over one label dimension (thread-safe).
+
+    One registered name fans out into per-label samples -- e.g.
+    ``rss_peak_bytes`` with label ``stage`` holds the peak-RSS
+    watermark of every pipeline stage.  Renders to Prometheus as
+    ordinary ``name{label="value"} v`` gauge samples (which the strict
+    parser already accepts) and scrapes into the same
+    ``name{label="value"}`` tagged keys the alert engine's labelled
+    evaluation consumes.
+
+    :meth:`set_max` is the watermark primitive: it only ever raises a
+    label's value, so concurrent observers race benignly.
+    """
+
+    __slots__ = ("name", "help", "label", "_values", "_lock")
+
+    def __init__(
+        self, name: str, help_text: str = "", label: str = "stage"
+    ) -> None:
+        if not label or not label.replace("_", "").isalnum():
+            raise ValueError(f"bad label name: {label!r}")
+        self.name = name
+        self.help = help_text
+        self.label = label
+        self._values: Dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def set(self, label_value: object, value: float) -> None:
+        with self._lock:
+            self._values[str(label_value)] = float(value)
+
+    def set_max(self, label_value: object, value: float) -> None:
+        """Raise the label's value to ``value`` if it is higher."""
+        key = str(label_value)
+        value = float(value)
+        with self._lock:
+            if value > self._values.get(key, float("-inf")):
+                self._values[key] = value
+
+    def get(self, label_value: object) -> Optional[float]:
+        with self._lock:
+            return self._values.get(str(label_value))
+
+    def values(self) -> Dict[str, float]:
+        """Snapshot copy of every label's value."""
+        with self._lock:
+            return dict(self._values)
+
+    def as_dict(self) -> Dict:
+        with self._lock:
+            values = dict(self._values)
+        return {
+            "type": "labeled_gauge",
+            "label": self.label,
+            "values": values,
+            "help": self.help,
+        }
+
+
 class NullMetric:
     """A metric that ignores everything (instrumentation kill switch).
 
-    Stands in for any of the three concrete types: ``inc``, ``set``,
-    and ``observe`` are all no-ops.  Returned by the cached accessors
-    the hot paths use when :func:`set_enabled` turned observability
-    off, so disabling costs the call sites nothing but an attribute
-    call on this object.
+    Stands in for any of the concrete types: ``inc``, ``set``,
+    ``set_max``, and ``observe`` are all no-ops (the labelled variants
+    take extra positional arguments, hence ``*_args``).  Returned by
+    the cached accessors the hot paths use when :func:`set_enabled`
+    turned observability off, so disabling costs the call sites
+    nothing but an attribute call on this object.
     """
 
     __slots__ = ()
@@ -251,11 +312,20 @@ class NullMetric:
     def inc(self, amount: int = 1) -> None:
         pass
 
-    def set(self, value: float) -> None:
+    def set(self, *_args: object) -> None:
+        pass
+
+    def set_max(self, *_args: object) -> None:
         pass
 
     def observe(self, value: float) -> None:
         pass
+
+    def get(self, *_args: object) -> None:
+        return None
+
+    def values(self) -> Dict[str, float]:
+        return {}
 
 
 #: Shared no-op instance (stateless, so one is enough).
@@ -301,6 +371,23 @@ class MetricsRegistry:
         return self._register(
             Histogram(name, help_text, bounds), Histogram, exist_ok
         )
+
+    def labeled_gauge(
+        self,
+        name: str,
+        help_text: str = "",
+        label: str = "stage",
+        exist_ok: bool = False,
+    ) -> LabeledGauge:
+        existing = self._register(
+            LabeledGauge(name, help_text, label), LabeledGauge, exist_ok
+        )
+        if existing.label != label:
+            raise ValueError(
+                f"labeled gauge {name!r} already registered with label "
+                f"{existing.label!r}, not {label!r}"
+            )
+        return existing
 
     def get(self, name: str):
         with self._lock:
@@ -374,6 +461,24 @@ def render_prometheus(registry: MetricsRegistry) -> str:
         lines.append(f"# TYPE {name} {kind}")
         if kind in ("counter", "gauge"):
             lines.append(f"{name} {_format_value(payload['value'])}")
+            continue
+        if kind == "labeled_gauge":
+            # Rendered as plain gauge samples with one label each; the
+            # HELP/TYPE pair above already declared the base name, so
+            # the strict parser accepts every labelled sample.  The
+            # TYPE line must say "gauge" -- rewrite it in place.
+            lines[-1] = f"# TYPE {name} gauge"
+            label = payload["label"]
+            for label_value in sorted(payload["values"]):
+                value = payload["values"][label_value]
+                lines.append(
+                    f'{name}{{{label}="{label_value}"}} '
+                    f"{_format_value(value)}"
+                )
+            if not payload["values"]:
+                # The strict parser rejects declared metrics with no
+                # samples; an empty family renders a zero placeholder.
+                lines.append(f'{name}{{{label}=""}} 0')
             continue
         # Histogram: cumulative le-buckets, +Inf, then sum and count.
         cumulative = 0
@@ -534,14 +639,16 @@ def metrics_enabled() -> bool:
     return _ENABLED
 
 
-def instrument(kind: str, name: str, help_text: str = "", bounds=None):
+def instrument(kind: str, name: str, help_text: str = "", bounds=None,
+               label: str = "stage"):
     """Idempotently resolve a metric on the global registry.
 
     The library's instrumentation points go through this single
     chokepoint: when observability is disabled it returns the shared
     no-op metric, otherwise it registers (``exist_ok``) on the global
     registry.  ``kind`` is ``"counter"`` / ``"gauge"`` /
-    ``"histogram"``.
+    ``"histogram"`` / ``"labeled_gauge"`` (``label`` names the one
+    label dimension of the family).
     """
     if not _ENABLED:
         return NULL_METRIC
@@ -556,6 +663,10 @@ def instrument(kind: str, name: str, help_text: str = "", bounds=None):
             help_text,
             bounds=bounds if bounds is not None else DEFAULT_LATENCY_BUCKETS,
             exist_ok=True,
+        )
+    if kind == "labeled_gauge":
+        return registry.labeled_gauge(
+            name, help_text, label=label, exist_ok=True
         )
     raise ValueError(f"unknown metric kind: {kind!r}")
 

@@ -1,4 +1,4 @@
-"""Opt-in sampling/profiling hooks (``--profile``).
+"""Opt-in deterministic profiling (``--profile``) + profiler arbitration.
 
 Wraps a run in :mod:`cProfile` and emits the top-N cumulative-time
 stats as a text report (plus the raw ``pstats`` dump for offline
@@ -11,19 +11,79 @@ Deterministic-profiler overhead is real (~1.3-2x on tight Python
 loops), which is why this is opt-in and **never** wired into the
 default path; the <5% observability overhead budget pinned by
 ``benchmarks/bench_obs_overhead.py`` covers metrics + tracing only.
+
+**Profiler arbitration.**  Exactly one profiler may instrument the
+process at a time: running :mod:`cProfile` (``--profile``) and the
+wall-clock sampling profiler (``--prof-sample``,
+:mod:`repro.obs.sampler`) together would double-instrument -- the
+deterministic profiler's per-call bookkeeping dilates every frame the
+sampler then attributes wall time to, so both reports lie.  Both
+acquire the process-wide guard here (:func:`acquire_profiler`); the
+loser logs a warning and no-ops instead of silently corrupting the
+winner's numbers.
 """
 
 from __future__ import annotations
 
 import cProfile
 import io
+import logging
 import pstats
+import threading
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
+from repro.runtime.logging import get_logger, log_event
+
 #: Rows of cumulative stats included in the text report.
 DEFAULT_TOP_N = 40
+
+_GUARD_LOCK = threading.Lock()
+#: Name of the profiler currently instrumenting the process, or None.
+_ACTIVE_PROFILER: Optional[str] = None
+
+
+def acquire_profiler(kind: str) -> bool:
+    """Claim the process-wide profiler slot; False when already taken.
+
+    ``kind`` names the claimant (``"cprofile"`` / ``"sample"``).  The
+    refusal is logged with both names so a run started with
+    ``--profile --prof-sample`` explains which flag won.
+    """
+    global _ACTIVE_PROFILER
+    with _GUARD_LOCK:
+        if _ACTIVE_PROFILER is None:
+            _ACTIVE_PROFILER = kind
+            return True
+        holder = _ACTIVE_PROFILER
+    log_event(
+        get_logger("obs.profile"), logging.WARNING,
+        "profiler_conflict", requested=kind, active=holder,
+    )
+    return False
+
+
+def release_profiler(kind: str) -> None:
+    """Release the slot if ``kind`` holds it (idempotent)."""
+    global _ACTIVE_PROFILER
+    with _GUARD_LOCK:
+        if _ACTIVE_PROFILER == kind:
+            _ACTIVE_PROFILER = None
+
+
+def active_profiler() -> Optional[str]:
+    """The profiler currently holding the slot (None when free)."""
+    return _ACTIVE_PROFILER
+
+
+def write_report_text(out_path: Union[str, Path], text: str) -> Path:
+    """Atomically write one profiler report (shared by both profilers)."""
+    from repro.runtime.checkpoint import atomic_write_text
+
+    out_path = Path(out_path)
+    atomic_write_text(out_path, text)
+    return out_path
 
 
 def write_profile_report(
@@ -37,15 +97,13 @@ def write_profile_report(
     time; a sibling ``<out_path>.pstats`` carries the raw stats for
     ``python -m pstats`` / snakeviz-style tooling.
     """
-    from repro.runtime.checkpoint import atomic_write_text
-
     out_path = Path(out_path)
     buffer = io.StringIO()
     stats = pstats.Stats(profiler, stream=buffer)
     stats.sort_stats("cumulative")
     buffer.write(f"top {top_n} functions by cumulative time\n")
     stats.print_stats(top_n)
-    atomic_write_text(out_path, buffer.getvalue())
+    write_report_text(out_path, buffer.getvalue())
     stats.dump_stats(str(out_path) + ".pstats")
     return out_path
 
@@ -59,9 +117,14 @@ def maybe_profile(
     """Profile the body when ``enabled``; no-op (yields None) otherwise.
 
     The report is written even when the body raises -- a profile of
-    the run that crashed is usually the one you wanted.
+    the run that crashed is usually the one you wanted.  When another
+    profiler already holds the arbitration slot (``--prof-sample``
+    started first) this yields None instead of double-instrumenting.
     """
     if not enabled:
+        yield None
+        return
+    if not acquire_profiler("cprofile"):
         yield None
         return
     profiler = cProfile.Profile()
@@ -70,5 +133,6 @@ def maybe_profile(
         yield profiler
     finally:
         profiler.disable()
+        release_profiler("cprofile")
         if out_path is not None:
             write_profile_report(profiler, out_path, top_n=top_n)

@@ -77,6 +77,12 @@ def scrape_registry(
                 payload["p50"],
                 payload["p99"],
             ]
+        elif kind == "labeled_gauge":
+            label = payload["label"]
+            for label_value, value in payload["values"].items():
+                metrics[tag_metric(name, **{label: label_value})] = (
+                    ["g", value]
+                )
     return {"ts": clock(), "m": metrics}
 
 
@@ -395,8 +401,10 @@ class MetricScraper:
         self.samples_taken = 0
         self.callback_errors = 0
         self.enricher_errors = 0
+        self.collector_errors = 0
         self._callbacks: List[Callable[[Dict], None]] = []
         self._enrichers: List[Callable[[], Dict[str, List]]] = []
+        self._collectors: List[Callable[[], None]] = []
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
 
@@ -426,7 +434,23 @@ class MetricScraper:
         """
         self._enrichers.append(enricher)
 
+    def add_collector(self, collector: Callable[[], None]) -> None:
+        """Run a hook *before* each registry scrape.
+
+        Collectors update the registry itself (the resource sampler
+        reads ``/proc`` into its gauges here), so their values land in
+        the very sample being taken rather than one scrape late the
+        way an enricher's would.  A raising collector is isolated and
+        counted, like enrichers.
+        """
+        self._collectors.append(collector)
+
     def scrape_once(self, ts: Optional[float] = None) -> Dict:
+        for collector in self._collectors:
+            try:
+                collector()
+            except Exception:  # noqa: BLE001 -- probes must not kill scraping
+                self.collector_errors += 1
         sample = scrape_registry(self.registry, clock=self.clock)
         if ts is not None:
             sample["ts"] = ts
@@ -437,6 +461,7 @@ class MetricScraper:
                 sample["m"].update(enricher())
             except Exception:  # noqa: BLE001 -- federation must not kill scraping
                 self.enricher_errors += 1
+                self._count_enricher_error(enricher)
         self.store.append(sample)
         self.samples_taken += 1
         for callback in self._callbacks:
@@ -445,6 +470,28 @@ class MetricScraper:
             except Exception:  # noqa: BLE001 -- observers must not kill scraping
                 self.callback_errors += 1
         return sample
+
+    def _count_enricher_error(self, enricher) -> None:
+        """Surface an enricher failure: counter + named debug log line."""
+        import logging
+
+        from repro.runtime.logging import get_logger, log_event
+
+        name = getattr(
+            enricher, "__qualname__", getattr(enricher, "__name__", None)
+        ) or repr(enricher)
+        try:
+            self.registry.counter(
+                "scraper_enricher_errors_total",
+                "sample enrichers that raised (isolated per scrape)",
+                exist_ok=True,
+            ).inc()
+        except ValueError:
+            pass  # name collision with a foreign metric type
+        log_event(
+            get_logger("obs.scraper"), logging.DEBUG,
+            "enricher_error", enricher=name,
+        )
 
     # ---- thread management ----------------------------------------------
 

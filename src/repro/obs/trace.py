@@ -238,7 +238,40 @@ class _SpanContext:
         reset_trace_context(self._log_token)
         self._tracer._current.reset(self._token)
         self._tracer._record(span)
+        if _SPAN_EXIT_HOOKS:
+            for hook in tuple(_SPAN_EXIT_HOOKS):
+                try:
+                    hook(span)
+                except Exception:  # noqa: BLE001 -- hooks must not break spans
+                    pass
         return None
+
+
+# ---- span-exit hooks -------------------------------------------------------
+
+#: Observers called with every completed span (any tracer).  Empty in
+#: the default path: ``_SpanContext.__exit__`` pays one truthiness
+#: check when nothing is registered, so dormant overhead is nil.  The
+#: resource sampler registers its peak-RSS watermark attribution here.
+_SPAN_EXIT_HOOKS: List = []
+
+
+def add_span_exit_hook(hook) -> None:
+    """Call ``hook(span)`` after every span completes.
+
+    Hooks run after the span is recorded; a raising hook is swallowed
+    (observability must never break the observed code).
+    """
+    if hook not in _SPAN_EXIT_HOOKS:
+        _SPAN_EXIT_HOOKS.append(hook)
+
+
+def remove_span_exit_hook(hook) -> None:
+    """Unregister a hook; missing hooks are ignored (idempotent)."""
+    try:
+        _SPAN_EXIT_HOOKS.remove(hook)
+    except ValueError:
+        pass
 
 
 def traced(name: Optional[str] = None, **attributes: object):

@@ -107,6 +107,11 @@ _EXEC_METER = MeterCache(
             "counter", "shard_hedges_total",
             "straggler shards duplicate-submitted (hedging)",
         ),
+        instrument(
+            "labeled_gauge", "rss_peak_bytes",
+            "peak resident set observed per pipeline stage",
+            label="stage",
+        ),
     )
 )
 
@@ -196,10 +201,20 @@ class ShardPlan:
         return self.workers > 1
 
 
+def _worker_rss_bytes() -> float:
+    """The calling process's RSS right now (worker-side measurement)."""
+    from repro.obs.resources import read_statm, rusage_snapshot
+
+    statm = read_statm("/proc/self/statm")
+    if statm is not None:
+        return float(statm[0])
+    return float(rusage_snapshot()["maxrss_bytes"])
+
+
 def _timed_call(
     args: Tuple[Callable[[_A], _R], _A, int]
-) -> Tuple[float, float, _R]:
-    """Run one shard function, returning (started, elapsed, result).
+) -> Tuple[float, float, float, _R]:
+    """Run one shard function: (started, elapsed, rss_bytes, result).
 
     Module-level so it pickles into pool workers; the elapsed time is
     measured *inside* the worker, so per-shard timings reflect shard
@@ -207,14 +222,19 @@ def _timed_call(
     ``perf_counter`` reading at invocation -- on Linux that clock is
     ``CLOCK_MONOTONIC``, shared across local processes, so the parent
     can subtract its own submit reading to get queue wait and place
-    the shard on the run's trace timeline.  The shard index feeds the
-    ``executor.shard`` injection point (a no-op without a fault plan).
+    the shard on the run's trace timeline.  ``rss_bytes`` is the
+    worker's resident size right after the shard returns -- pool
+    workers cannot write the parent's registry, so the parent folds it
+    into the ``rss_peak_bytes{stage=shard.<fn>}`` watermark for them.
+    The shard index feeds the ``executor.shard`` injection point (a
+    no-op without a fault plan).
     """
     fn, arg, index = args
     fault_point("executor.shard", index=index)
     started = time.perf_counter()
     result = fn(arg)
-    return started, time.perf_counter() - started, result
+    elapsed = time.perf_counter() - started
+    return started, elapsed, _worker_rss_bytes(), result
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -267,13 +287,16 @@ class ShardExecutor:
         else:
             raw = self._run_pool(jobs)
         self._observe(fn, raw, submitted)
-        return [(elapsed, result) for _started, elapsed, result in raw]
+        return [
+            (elapsed, result)
+            for _started, elapsed, _rss, result in raw
+        ]
 
     # ---- in-process path -------------------------------------------------
 
     def _run_inline(
         self, job: Tuple[Callable[[_A], _R], _A, int]
-    ) -> Tuple[float, float, _R]:
+    ) -> Tuple[float, float, float, _R]:
         """One shard with the same bounded retry budget as the pool."""
         attempts = 0
         while True:
@@ -307,13 +330,13 @@ class ShardExecutor:
 
     def _run_pool(
         self, jobs: List[Tuple[Callable[[_A], _R], _A, int]]
-    ) -> List[Tuple[float, float, _R]]:
+    ) -> List[Tuple[float, float, float, _R]]:
         plan = self.plan
         meter = _EXEC_METER.resolve()
         retries, timeouts, rebuilds_meter, hedges_meter = meter[3:7]
         tracer = get_tracer()
 
-        results: Dict[int, Tuple[float, float, _R]] = {}
+        results: Dict[int, Tuple[float, float, float, _R]] = {}
         attempts: Dict[int, int] = {index: 0 for _f, _a, index in jobs}
         by_index = {index: job for job in jobs for index in (job[2],)}
         rebuilds = 0
@@ -437,7 +460,9 @@ class ShardExecutor:
         hedges_meter,
     ) -> None:
         """Duplicate-submit shards running far past the typical time."""
-        finished = sorted(elapsed for _s, elapsed, _r in results.values())
+        finished = sorted(
+            elapsed for _s, elapsed, _rss, _r in results.values()
+        )
         typical = finished[len(finished) // 2]
         cutoff = max(4.0 * typical, 0.1)
         now = time.perf_counter()
@@ -453,19 +478,24 @@ class ShardExecutor:
     def _observe(
         self,
         fn: Callable,
-        raw: Sequence[Tuple[float, float, _R]],
+        raw: Sequence[Tuple[float, float, float, _R]],
         submitted: float,
     ) -> None:
         """Record shard metrics + spans from worker-side timings."""
-        wall, queue_wait, executed = _EXEC_METER.resolve()[:3]
+        meter = _EXEC_METER.resolve()
+        wall, queue_wait, executed = meter[:3]
+        watermarks = meter[7]
         tracer = get_tracer()
         fn_name = getattr(fn, "__name__", str(fn))
-        for index, (started, elapsed, _result) in enumerate(raw):
+        stage = f"shard.{fn_name.lstrip('_')}"
+        for index, (started, elapsed, rss_bytes, _result) in enumerate(raw):
             executed.inc()
             wall.observe(elapsed)
             queue_wait.observe(max(0.0, started - submitted))
+            if rss_bytes > 0:
+                watermarks.set_max(stage, rss_bytes)
             tracer.add_span(
-                f"shard.{fn_name.lstrip('_')}",
+                stage,
                 started,
                 elapsed,
                 shard=index,

@@ -145,6 +145,26 @@ def configure_logging(
     return root
 
 
+def format_bytes(value: object) -> str:
+    """Human-readable byte count for structured log fields.
+
+    ``format_fields`` renders floats with 6 significant digits, which
+    turns an RSS reading into ``1.23457e+09`` -- useless in a log line
+    an operator is grepping under memory pressure.  Size-like fields
+    should pre-format with this instead: ``rss=format_bytes(rss)``.
+    """
+    try:
+        size = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return str(value)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(size) < 1024.0 or unit == "GiB":
+            return (f"{size:.0f}{unit}" if unit == "B"
+                    else f"{size:.1f}{unit}")
+        size /= 1024.0
+    return f"{size:.1f}GiB"
+
+
 def format_fields(**fields: object) -> str:
     """Render ``key=value`` pairs with sorted keys (deterministic)."""
     parts = []

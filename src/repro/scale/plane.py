@@ -320,7 +320,11 @@ class PlaneObs:
         than ``max_age_s`` are dropped: a dead worker's stale export
         must not keep feeding the skew alert.
         """
-        from repro.obs.timeseries import read_latest_sample, tag_metric
+        from repro.obs.timeseries import (
+            read_latest_sample,
+            split_metric_tag,
+            tag_metric,
+        )
 
         merged: Dict = {}
         now = time.time()
@@ -334,7 +338,13 @@ class PlaneObs:
             if now - float(sample.get("ts", 0.0)) > max_age_s:
                 continue
             for name, value in (sample.get("m") or {}).items():
-                merged[tag_metric(name, worker=slot)] = value
+                # Worker keys may already carry a label (labeled-gauge
+                # series like rss_peak_bytes{stage=...}); fold the
+                # worker tag into the existing label set instead of
+                # appending a second brace group.
+                base, labels = split_metric_tag(name)
+                labels["worker"] = slot
+                merged[tag_metric(base, **labels)] = value
         return merged
 
     def worker_rollup(self) -> List[Dict]:

@@ -102,6 +102,7 @@ class WorkerObs:
         flight_records: int = 128,
     ) -> None:
         from repro.obs.flight import FlightRecorder
+        from repro.obs.resources import ResourceSampler
         from repro.obs.timeseries import MetricScraper, TimeSeriesStore
         from repro.obs.trace import SpanLog
 
@@ -119,6 +120,13 @@ class WorkerObs:
             interval_s=scrape_interval_s,
             source=name,
         )
+        # Worker-side resource telemetry: every exported sample carries
+        # this process's RSS/CPU/GC/fd readings, so the front's
+        # federation enricher surfaces them as
+        # ``process_rss_bytes{worker="<slot>"}`` and the rss-growth
+        # rule can page on the one leaking worker.
+        self.resources = ResourceSampler(registry=registry)
+        self.resources.attach(self.scraper)
 
     def start(self) -> None:
         self.scraper.start()
@@ -126,6 +134,10 @@ class WorkerObs:
     def stop(self) -> None:
         try:
             self.scraper.stop(final_scrape=True)
+        except Exception:  # noqa: BLE001 -- teardown best effort
+            pass
+        try:
+            self.resources.uninstall()
         except Exception:  # noqa: BLE001 -- teardown best effort
             pass
         self.flight.close()

@@ -241,9 +241,9 @@ class TestServeTelemetry:
         # The drift monitor rode the window-close boundary.
         assert health["drift"]["baseline_windows"] >= 1
         # The default SLO rules are live.
-        assert len(health["alerts"]) == 9
+        assert len(health["alerts"]) == 11
         assert "alert_counts" in health
-        assert alerts["ok"] is True and len(alerts["rules"]) == 9
+        assert alerts["ok"] is True and len(alerts["rules"]) == 11
         assert alerts["trace_id"]
         # Shutdown summary names the alerting state.
         assert "alerting:" in captured.err
